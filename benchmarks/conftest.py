@@ -1,0 +1,44 @@
+"""Shared helpers for the per-figure pytest-benchmark suites.
+
+Sizes here are chosen so the whole ``pytest benchmarks/
+--benchmark-only`` run finishes in a few minutes of pure Python while
+still showing the paper's separations (who wins per topology, by what
+factor). The standalone harness ``benchmarks/run_experiments.py`` sweeps
+the full size ranges with budget-based cell skipping and regenerates
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import make_algorithm
+from repro.graph.generators import graph_for_topology
+
+#: (topology, n) per figure: large enough that the paper's ordering is
+#: unambiguous, small enough for pure Python under pytest-benchmark.
+BENCH_SIZES = {
+    8: ("chain", 14),
+    9: ("cycle", 12),
+    10: ("star", 10),
+    11: ("clique", 9),
+}
+
+ALGORITHMS = ("dpsize", "dpsub", "dpccp")
+
+
+def optimize_once(algorithm: str, topology: str, n: int):
+    """One full optimization run (graph construction excluded)."""
+    graph = graph_for_topology(topology, n)
+    runner = make_algorithm(algorithm)
+
+    def action():
+        return runner.optimize(graph)
+
+    return action
+
+
+@pytest.fixture
+def pedantic_kwargs():
+    """Uniform pedantic settings: keep total benchmark time bounded."""
+    return {"rounds": 3, "iterations": 1, "warmup_rounds": 1}

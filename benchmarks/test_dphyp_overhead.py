@@ -1,0 +1,45 @@
+"""Extension bench: DPhyp's overhead over DPccp on simple graphs.
+
+DPhyp generalizes DPccp; on plain binary-join queries both evaluate
+exactly the same csg-cmp-pairs, so any runtime difference is pure
+per-pair bookkeeping overhead (hyperedge scans in the neighborhood
+calculation). This quantifies the price of generality — the analogue
+of the paper's observation that DPccp pays a bounded enumeration
+overhead versus DPsub on cliques.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DPccp
+from repro.graph.generators import graph_for_topology
+from repro.hyper import DPhyp, Hypergraph
+
+CASES = {
+    "chain": 12,
+    "star": 10,
+    "clique": 8,
+}
+
+
+@pytest.mark.parametrize("topology", sorted(CASES))
+@pytest.mark.benchmark(group="dphyp-overhead")
+def test_dpccp_baseline(benchmark, topology, pedantic_kwargs):
+    graph = graph_for_topology(topology, CASES[topology])
+    result = benchmark.pedantic(
+        lambda: DPccp().optimize(graph), **pedantic_kwargs
+    )
+    assert result.plan.size == CASES[topology]
+
+
+@pytest.mark.parametrize("topology", sorted(CASES))
+@pytest.mark.benchmark(group="dphyp-overhead")
+def test_dphyp_on_same_query(benchmark, topology, pedantic_kwargs):
+    graph = graph_for_topology(topology, CASES[topology])
+    hypergraph = Hypergraph.from_query_graph(graph)
+    reference_pairs = DPccp().optimize(graph).counters.ono_lohman_counter
+    result = benchmark.pedantic(
+        lambda: DPhyp().optimize(hypergraph), **pedantic_kwargs
+    )
+    assert result.counters.ono_lohman_counter == reference_pairs

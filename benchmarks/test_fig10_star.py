@@ -1,0 +1,45 @@
+"""Figure 10 bench: star queries — DPccp highly superior to both.
+
+The paper: "For star queries, DPccp is highly superior to both DPsize
+and DPsub. As the query size increases, the other algorithms become
+slower by multiple orders of magnitude."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import ALGORITHMS, BENCH_SIZES, optimize_once
+from repro.bench.timer import measure_seconds
+
+TOPOLOGY, N = BENCH_SIZES[10]
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.benchmark(group=f"fig10-{TOPOLOGY}-n{N}")
+def test_fig10_star_timing(benchmark, algorithm, pedantic_kwargs):
+    benchmark.pedantic(optimize_once(algorithm, TOPOLOGY, N), **pedantic_kwargs)
+
+
+@pytest.mark.benchmark(group="fig10-shape")
+def test_fig10_shape_dpccp_wins_on_stars(benchmark):
+    """DPccp fastest; at n=14 DPsize must trail it by a large factor.
+
+    I_DPsize grows ~4x per added star relation (2^{2n-4}) while DPccp's
+    pair count only doubles ((n-1)*2^{n-2}); by n=14 the gap is a
+    multiple, by n=15 the paper reports orders of magnitude.
+    """
+
+    def run():
+        times = {
+            algorithm: measure_seconds(
+                optimize_once(algorithm, TOPOLOGY, 14), min_total_seconds=0.05
+            )
+            for algorithm in ALGORITHMS
+        }
+        return times
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert times["dpccp"] < times["dpsize"]
+    assert times["dpccp"] < times["dpsub"]
+    assert times["dpsize"] / times["dpccp"] > 3.0

@@ -1,0 +1,24 @@
+"""Figure 12 bench: the absolute-runtime grid at n=10.
+
+The paper's Figure 12 reports seconds at n ∈ {5, 10, 15, 20}; the
+pytest-benchmark suite measures the n=10 column for every (topology,
+algorithm) cell — the largest size where all twelve cells are feasible
+in pure Python. The full grid, with budget-skipped cells, comes from
+``benchmarks/run_experiments.py fig12``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import ALGORITHMS, optimize_once
+
+N = 10
+TOPOLOGIES = ("chain", "cycle", "star", "clique")
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig12_cell(benchmark, topology, algorithm, pedantic_kwargs):
+    benchmark.group = f"fig12-{topology}-n{N}"
+    benchmark.pedantic(optimize_once(algorithm, topology, N), **pedantic_kwargs)

@@ -1,0 +1,60 @@
+"""Figure 3 bench: regenerate the search-space table and verify it live.
+
+Benchmarks the instrumented counter runs whose terminal values must
+equal the paper's Figure 3 cells. The assertion runs inside the
+benchmarked callable's result check, so a timing run that produced wrong
+counters fails loudly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import FIGURE3_PAPER_VALUES, figure3_table
+from repro.core import DPccp, DPsize, DPsub
+from repro.graph.generators import graph_for_topology
+
+TOPOLOGIES = ("chain", "cycle", "star", "clique")
+VERIFY_N = 10  # the largest Figure 3 size feasible for every algorithm
+
+
+@pytest.mark.benchmark(group="fig3-formulas")
+def test_fig3_formula_table_generation(benchmark):
+    """Generating the full Figure 3 table from closed forms is instant."""
+    table = benchmark(figure3_table)
+    by_key = {(row.topology, row.n): row for row in table}
+    for key, expected in FIGURE3_PAPER_VALUES.items():
+        assert by_key[key] == expected
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+@pytest.mark.benchmark(group="fig3-instrumented")
+def test_fig3_dpsize_counters(benchmark, topology):
+    graph = graph_for_topology(topology, VERIFY_N)
+    result = benchmark.pedantic(
+        lambda: DPsize().optimize(graph), rounds=2, iterations=1
+    )
+    expected = FIGURE3_PAPER_VALUES[(topology, VERIFY_N)]
+    assert result.counters.inner_counter == expected.dpsize
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+@pytest.mark.benchmark(group="fig3-instrumented")
+def test_fig3_dpsub_counters(benchmark, topology):
+    graph = graph_for_topology(topology, VERIFY_N)
+    result = benchmark.pedantic(
+        lambda: DPsub().optimize(graph), rounds=2, iterations=1
+    )
+    expected = FIGURE3_PAPER_VALUES[(topology, VERIFY_N)]
+    assert result.counters.inner_counter == expected.dpsub
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+@pytest.mark.benchmark(group="fig3-instrumented")
+def test_fig3_dpccp_meets_lower_bound(benchmark, topology):
+    graph = graph_for_topology(topology, VERIFY_N)
+    result = benchmark.pedantic(
+        lambda: DPccp().optimize(graph), rounds=2, iterations=1
+    )
+    expected = FIGURE3_PAPER_VALUES[(topology, VERIFY_N)]
+    assert result.counters.ono_lohman_counter == expected.ccp

@@ -1,0 +1,39 @@
+"""Figure 8 bench: chain queries — DPsize ~ DPccp, both beat DPsub.
+
+The paper's claim for chains: DPsize and DPccp are close, DPsub is
+slower by a growing factor (its 2^n subset scan dwarfs the O(n^2)
+connected sets). The benchmark group lets pytest-benchmark print the
+three side by side; the trend assertion runs in the shape test below.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import ALGORITHMS, BENCH_SIZES, optimize_once
+from repro.bench.timer import measure_seconds
+
+TOPOLOGY, N = BENCH_SIZES[8]
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.benchmark(group=f"fig8-{TOPOLOGY}-n{N}")
+def test_fig8_chain_timing(benchmark, algorithm, pedantic_kwargs):
+    benchmark.pedantic(optimize_once(algorithm, TOPOLOGY, N), **pedantic_kwargs)
+
+
+@pytest.mark.benchmark(group="fig8-shape")
+def test_fig8_shape_dpsub_loses_on_chains(benchmark):
+    """DPsub must be the slowest algorithm on a chain of this size."""
+
+    def run():
+        return {
+            algorithm: measure_seconds(
+                optimize_once(algorithm, TOPOLOGY, N), min_total_seconds=0.05
+            )
+            for algorithm in ALGORITHMS
+        }
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert times["dpsub"] > times["dpsize"]
+    assert times["dpsub"] > times["dpccp"]

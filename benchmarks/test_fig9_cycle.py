@@ -1,0 +1,31 @@
+"""Figure 9 bench: cycle queries — DPsize ~ DPccp, both beat DPsub."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import ALGORITHMS, BENCH_SIZES, optimize_once
+from repro.bench.timer import measure_seconds
+
+TOPOLOGY, N = BENCH_SIZES[9]
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.benchmark(group=f"fig9-{TOPOLOGY}-n{N}")
+def test_fig9_cycle_timing(benchmark, algorithm, pedantic_kwargs):
+    benchmark.pedantic(optimize_once(algorithm, TOPOLOGY, N), **pedantic_kwargs)
+
+
+@pytest.mark.benchmark(group="fig9-shape")
+def test_fig9_shape_dpsub_loses_on_cycles(benchmark):
+    def run():
+        return {
+            algorithm: measure_seconds(
+                optimize_once(algorithm, TOPOLOGY, N), min_total_seconds=0.05
+            )
+            for algorithm in ALGORITHMS
+        }
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert times["dpsub"] > times["dpsize"]
+    assert times["dpsub"] > times["dpccp"]

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Walk through EnumerateCsg / EnumerateCmp on the paper's example graph.
+
+Reconstructs the paper's Figure 6 query graph and prints:
+
+1. the connected-subset emission order of ``EnumerateCsg`` — the
+   paper's Figure 7 call table,
+2. the complement enumeration for ``S1 = {R1}`` — the worked example of
+   §3.3,
+3. the first csg-cmp-pairs of the combined stream that drives DPccp —
+   the paper's Figure 5 idea.
+
+Run with::
+
+    python examples/enumeration_walkthrough.py
+"""
+
+from __future__ import annotations
+
+from repro import bitset
+from repro.graph.querygraph import QueryGraph
+from repro.graph.subgraphs import (
+    enumerate_cmp,
+    enumerate_csg,
+    enumerate_csg_cmp_pairs,
+)
+
+
+def figure6_graph() -> QueryGraph:
+    """Paper Figure 6: BFS-numbered 5-node graph.
+
+    Edges (reconstructed from the Figure 7 table): R0-R1, R0-R2,
+    R0-R3, R1-R4, R2-R3, R2-R4, R3-R4.
+    """
+    return QueryGraph(
+        5, [(0, 1), (0, 2), (0, 3), (1, 4), (2, 3), (2, 4), (3, 4)]
+    )
+
+
+def names(mask: int) -> str:
+    return "{" + ", ".join(f"R{i}" for i in bitset.iter_bits(mask)) + "}"
+
+
+def main() -> None:
+    graph = figure6_graph()
+    print("paper Figure 6 graph:", graph)
+    print("edges:", ", ".join(f"R{e.left}-R{e.right}" for e in graph.edges))
+    print()
+
+    print("-- EnumerateCsg emission order (paper Figure 7) -----------------")
+    for position, subset in enumerate(enumerate_csg(graph), start=1):
+        print(f"{position:>3}. {names(subset)}")
+    print()
+
+    s1 = bitset.bit(1)
+    print(f"-- EnumerateCmp(S1 = {names(s1)}) (paper §3.3 example) ----------")
+    for complement in enumerate_cmp(graph, s1):
+        print(f"   csg-cmp-pair ({names(s1)}, {names(complement)})")
+    print()
+
+    print("-- first 12 csg-cmp-pairs of the DPccp stream -------------------")
+    for position, (left, right) in enumerate(
+        enumerate_csg_cmp_pairs(graph), start=1
+    ):
+        if position > 12:
+            break
+        print(f"{position:>3}. ({names(left)}, {names(right)})")
+    total = sum(1 for _pair in enumerate_csg_cmp_pairs(graph))
+    print(f"\ntotal csg-cmp-pairs (unordered): {total}")
+    print("each pair appears exactly once, in an order where every")
+    print("component's own sub-pairs were emitted earlier (DP-valid).")
+
+
+if __name__ == "__main__":
+    main()

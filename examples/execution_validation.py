@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Does optimizing C_out actually help? Execute plans and count rows.
+
+The paper optimizes an estimated cost. This example closes the loop:
+
+1. generate synthetic tables whose join attributes realize the
+   catalog's selectivities,
+2. optimize the query with DPccp (optimal) and take a deliberately bad
+   cross-product-free plan for contrast,
+3. *execute* both with the hash-join interpreter and compare the
+   estimated intermediate sizes against the actual row counts.
+
+Run with::
+
+    python examples/execution_validation.py
+"""
+
+from __future__ import annotations
+
+from repro import DPccp
+from repro.catalog.catalog import Catalog
+from repro.cost.cout import CoutModel
+from repro.exec import execute_plan, generate_tables
+from repro.graph.querygraph import QueryGraph
+from repro.plans.visitors import render_inline
+
+
+def main() -> None:
+    # A skewed chain: the middle join is hyper-selective, the outer
+    # joins are not — starting at the ends is a costly mistake.
+    graph = QueryGraph(
+        4, [(0, 1, 0.01), (1, 2, 0.0001), (2, 3, 0.01)]
+    )
+    catalog = Catalog.from_cardinalities([2000, 400, 400, 2000])
+    tables = generate_tables(graph, catalog, rng=42)
+    model = CoutModel(graph, catalog)
+
+    optimal = DPccp().optimize(graph, cost_model=CoutModel(graph, catalog)).plan
+    # A poor but legal plan: work outside-in, saving the selective
+    # middle join for last.
+    poor = model.join(
+        model.join(model.leaf(0), model.leaf(1)),
+        model.join(model.leaf(2), model.leaf(3)),
+    )
+
+    print(
+        "query: R0(2000) -[0.01]- R1(400) -[0.0001]- R2(400) -[0.01]- "
+        "R3(2000)\n"
+    )
+    for label, plan in (("optimal (DPccp)", optimal), ("poor order", poor)):
+        report = execute_plan(plan, graph, tables)
+        print(f"-- {label}: {render_inline(plan)}")
+        print(f"{'join over':<22} {'estimated':>12} {'actual':>9} {'q-error':>8}")
+        for observation in report.observations:
+            print(
+                f"{bin(observation.relations):<22} "
+                f"{observation.estimated:>12,.1f} {observation.actual:>9,} "
+                f"{observation.q_error:>8.2f}"
+            )
+        print(
+            f"total intermediate rows: estimated "
+            f"{report.total_intermediate_estimated:,.0f}, actual "
+            f"{report.total_intermediate_actual:,}"
+        )
+        print(f"final result rows      : {report.result_rows:,}\n")
+
+    print(
+        "Both plans return the same result; the optimizer's plan moves\n"
+        "far fewer real rows — the estimated C_out ordering holds on\n"
+        "actual executions, which is the premise behind optimizing it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Beyond the paper: complex predicates need hypergraphs (DPhyp).
+
+The reproduced paper handles binary join predicates — edges between
+two relations. Real queries also contain predicates referencing three
+or more relations, e.g.::
+
+    SELECT ... FROM orders o, currency c, rates r
+    WHERE o.amount * r.rate = c.threshold AND ...
+
+Such a predicate is a *hyperedge* between relation sets, and it
+constrains reordering: the join using it can only run once all
+relations of one side are assembled. DPhyp ("Dynamic Programming
+Strikes Back", the successor paper) extends DPccp's csg-cmp-pair
+enumeration to hypergraphs; this example shows it at work.
+
+Run with::
+
+    python examples/hypergraph_predicates.py
+"""
+
+from __future__ import annotations
+
+from repro import bitset
+from repro.catalog.catalog import Catalog
+from repro.hyper import DPhyp, HyperCoutModel, Hyperedge, Hypergraph
+from repro.plans.visitors import render_indented
+
+
+def main() -> None:
+    # Relations: 0=orders  1=lineitem  2=rates  3=currency  4=region
+    names = ["orders", "lineitem", "rates", "currency", "region"]
+    catalog = Catalog.from_cardinalities(
+        [1_500_000, 6_000_000, 500, 30, 5], names=names
+    )
+    hypergraph = Hypergraph(
+        5,
+        [
+            # ordinary binary joins
+            Hyperedge(bitset.bit(0), bitset.bit(1), 1 / 1_500_000,
+                      "lineitem.okey = orders.okey"),
+            Hyperedge(bitset.bit(2), bitset.bit(3), 1 / 30,
+                      "rates.cur = currency.cur"),
+            Hyperedge(bitset.bit(3), bitset.bit(4), 1 / 5,
+                      "currency.region = region.id"),
+            Hyperedge(bitset.bit(0), bitset.bit(2), 1 / 500,
+                      "orders.cur = rates.cur"),
+            # the complex predicate: references orders+rates vs currency
+            Hyperedge(bitset.set_of([0, 2]), bitset.bit(3), 0.001,
+                      "orders.amount * rates.rate = currency.threshold"),
+        ],
+    )
+
+    print("query hypergraph:", hypergraph)
+    for edge in hypergraph.edges:
+        kind = "simple " if edge.is_simple else "COMPLEX"
+        print(f"  [{kind}] {edge.predicate}")
+    print()
+
+    result = DPhyp().optimize(
+        hypergraph, cost_model=HyperCoutModel(hypergraph, catalog)
+    )
+    print("optimal plan:")
+    print(render_indented(result.plan))
+    print()
+    print(f"cost                    : {result.cost:,.0f}")
+    print(f"csg-cmp-pairs evaluated : {result.counters.inner_counter}")
+    print(
+        "\nThe complex predicate's selectivity enters the estimates as\n"
+        "soon as orders, rates and currency are all in one intermediate;\n"
+        "DPhyp's enumeration guarantees that any join *relying* on a\n"
+        "hyperedge for connectivity has one full side assembled first."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Optimizing beyond exact-DP reach with IDP-1.
+
+Exact DP — even DPccp — is exponential in the worst case: a 16-relation
+clique has ~21 million csg-cmp-pairs; a 30-relation one ~10^14. The
+paper's intro cites iterative dynamic programming (Kossmann & Stocker)
+as the standard way out: run *bounded* DP (plans up to k relations),
+commit the best k-relation block, contract, repeat.
+
+This example optimizes a snowflake query of configurable size with
+exact DPccp (when feasible), IDP-1 at several block sizes, and greedy
+GOO, showing the quality/effort trade-off.
+
+Run with::
+
+    python examples/large_query_idp.py [n_dimensions] [depth]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import DPccp, GreedyOperatorOrdering
+from repro.catalog.schemas import snowflake_query
+from repro.core.idp import IterativeDP
+
+
+def main() -> None:
+    n_dimensions = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    depth = int(sys.argv[2]) if len(sys.argv) > 2 else 3
+    graph, catalog = snowflake_query(n_dimensions, depth=depth, rng=11)
+    n = graph.n_relations
+    print(
+        f"snowflake query: fact + {n_dimensions} dimension chains of "
+        f"depth {depth} = {n} relations\n"
+    )
+
+    contenders = [
+        ("GOO (greedy)", GreedyOperatorOrdering()),
+        ("IDP-1, k=3", IterativeDP(k=3)),
+        ("IDP-1, k=5", IterativeDP(k=5)),
+        ("IDP-1, k=8", IterativeDP(k=8)),
+    ]
+    if n <= 20:
+        contenders.append(("DPccp (exact)", DPccp()))
+
+    results = []
+    for label, algorithm in contenders:
+        result = algorithm.optimize(graph, catalog=catalog)
+        results.append((label, result))
+
+    best_cost = min(result.cost for _label, result in results)
+    header = (
+        f"{'algorithm':<16} {'cost':>16} {'vs best':>9} "
+        f"{'pairs evaluated':>16} {'time (ms)':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    for label, result in results:
+        print(
+            f"{label:<16} {result.cost:>16,.0f} "
+            f"{result.cost / best_cost:>8.3f}x "
+            f"{result.counters.inner_counter:>16,} "
+            f"{result.elapsed_seconds * 1000:>10.1f}"
+        )
+
+    print(
+        "\nIDP bounds enumeration work for any fixed k; plan quality is\n"
+        "NOT monotone in k — committing the cheapest k-block can lock in\n"
+        "a poor global choice (Kossmann & Stocker observe the same for\n"
+        "the standard-best-plan policy and propose richer block-selection\n"
+        "criteria). At k >= n it coincides with exact DP."
+    )
+
+
+if __name__ == "__main__":
+    main()

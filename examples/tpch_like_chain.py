@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""A TPC-H-flavored chain query under two cost models.
+
+Normalized schemas produce *chain* query graphs (foreign-key paths).
+This example optimizes the region-nation-supplier-partsupp-part chain
+twice — under the C_out model and under the disk model with physical
+operator selection — and shows that:
+
+* the enumeration effort (InnerCounter) is identical: the paper's
+  algorithms are cost-model agnostic;
+* the chosen plans can differ, and the disk model annotates physical
+  operators (hash / nested-loop / sort-merge).
+
+Run with::
+
+    python examples/tpch_like_chain.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    CoutModel,
+    DiskCostModel,
+    DPccp,
+    QueryGraphBuilder,
+    render_indented,
+)
+from repro.plans.metrics import classify_plan_shape
+
+
+def build_chain():
+    return (
+        QueryGraphBuilder()
+        .relation("region", cardinality=5)
+        .relation("nation", cardinality=25)
+        .relation("supplier", cardinality=10_000)
+        .relation("partsupp", cardinality=800_000)
+        .relation("part", cardinality=200_000)
+        .foreign_key("nation", "region")
+        .foreign_key("supplier", "nation")
+        .foreign_key("partsupp", "supplier")
+        .foreign_key("partsupp", "part")
+        .build()
+    )
+
+
+def main() -> None:
+    graph, catalog = build_chain()
+    algorithm = DPccp()
+
+    print("query graph: region - nation - supplier - partsupp - part\n")
+
+    for model in (CoutModel(graph, catalog), DiskCostModel(graph, catalog)):
+        result = algorithm.optimize(graph, cost_model=model)
+        print(f"-- cost model: {model.name} " + "-" * (48 - len(model.name)))
+        print(render_indented(result.plan))
+        print(f"cost                : {result.cost:,.0f}")
+        print(f"plan shape          : {classify_plan_shape(result.plan).value}")
+        print(f"csg-cmp-pairs       : {result.counters.inner_counter}")
+        print()
+
+    print(
+        "Note: both runs enumerate the same csg-cmp-pairs — enumeration\n"
+        "depends only on the query graph, never on the cost arithmetic."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment this repository targets may lack the ``wheel`` package
+(and network access to fetch it), which breaks PEP 660 editable
+installs. ``python setup.py develop`` still works everywhere; all real
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

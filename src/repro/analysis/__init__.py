@@ -1,0 +1,55 @@
+"""Analytical results from paper §2: counter formulas, #csg, #ccp."""
+
+from repro.analysis.formulas import (
+    ccp_symmetric,
+    ccp_unordered,
+    csg_count,
+    inner_counter_dpsize,
+    inner_counter_dpsub,
+)
+from repro.analysis.asymptotics import (
+    dpsize_overtakes_dpsub_at,
+    dpsub_overtakes_dpsize_at,
+    growth_table,
+    waste_factor,
+)
+from repro.analysis.searchspace import (
+    SearchSpaceSummary,
+    clique_tree_count,
+    count_join_trees,
+    count_join_trees_unordered,
+    search_space_summary,
+)
+from repro.analysis.tables import (
+    FIGURE3_PAPER_VALUES,
+    figure3_row,
+    figure3_table,
+)
+from repro.analysis.validation import (
+    CounterComparison,
+    compare_counters,
+    verify_figure3,
+)
+
+__all__ = [
+    "inner_counter_dpsize",
+    "inner_counter_dpsub",
+    "csg_count",
+    "ccp_symmetric",
+    "ccp_unordered",
+    "figure3_row",
+    "figure3_table",
+    "FIGURE3_PAPER_VALUES",
+    "CounterComparison",
+    "compare_counters",
+    "verify_figure3",
+    "count_join_trees",
+    "count_join_trees_unordered",
+    "clique_tree_count",
+    "SearchSpaceSummary",
+    "search_space_summary",
+    "dpsub_overtakes_dpsize_at",
+    "dpsize_overtakes_dpsub_at",
+    "waste_factor",
+    "growth_table",
+]

@@ -1,0 +1,132 @@
+"""Asymptotic comparisons of the counter formulas (paper §2.4).
+
+The paper's qualitative reading of Figure 3 — who dominates whom, and
+from which query size — made precise: crossover finders and growth-rate
+tables over the closed forms of :mod:`repro.analysis.formulas`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.formulas import (
+    ccp_unordered,
+    inner_counter_dpsize,
+    inner_counter_dpsub,
+)
+from repro.errors import WorkloadError
+
+__all__ = [
+    "dpsub_overtakes_dpsize_at",
+    "dpsize_overtakes_dpsub_at",
+    "waste_factor",
+    "GrowthRow",
+    "growth_table",
+]
+
+_MINIMUM = {"chain": 2, "cycle": 3, "star": 2, "clique": 2}
+
+
+def _first_n_where(topology: str, predicate, search_limit: int) -> int | None:
+    if topology not in _MINIMUM:
+        raise WorkloadError(f"unknown topology {topology!r}")
+    for n in range(_MINIMUM[topology], search_limit + 1):
+        if predicate(n):
+            return n
+    return None
+
+
+def dpsub_overtakes_dpsize_at(topology: str, search_limit: int = 64) -> int | None:
+    """Smallest n from which DPsub's InnerCounter stays below DPsize's.
+
+    "Stays": the counters are eventually monotone in their ordering,
+    so we return the first n where DPsub is smaller and remains
+    smaller up to ``search_limit``. ``None`` if that never happens
+    (chains and cycles — DPsize dominates at scale).
+    """
+    candidate = _first_n_where(
+        topology,
+        lambda n: inner_counter_dpsub(n, topology)
+        < inner_counter_dpsize(n, topology),
+        search_limit,
+    )
+    if candidate is None:
+        return None
+    holds_after = all(
+        inner_counter_dpsub(n, topology) < inner_counter_dpsize(n, topology)
+        for n in range(candidate, search_limit + 1)
+    )
+    return candidate if holds_after else None
+
+
+def dpsize_overtakes_dpsub_at(topology: str, search_limit: int = 64) -> int | None:
+    """Smallest n from which DPsize's InnerCounter stays below DPsub's."""
+    candidate = _first_n_where(
+        topology,
+        lambda n: inner_counter_dpsize(n, topology)
+        < inner_counter_dpsub(n, topology),
+        search_limit,
+    )
+    if candidate is None:
+        return None
+    holds_after = all(
+        inner_counter_dpsize(n, topology) < inner_counter_dpsub(n, topology)
+        for n in range(candidate, search_limit + 1)
+    )
+    return candidate if holds_after else None
+
+
+def waste_factor(algorithm: str, topology: str, n: int) -> float:
+    """InnerCounter / #ccp: innermost-loop tests per useful pair.
+
+    1.0 means no wasted work (DPccp by construction); the paper's §2.4
+    observation is that DPsize and DPsub are "orders of magnitude"
+    above 1.0 everywhere except DPsub on cliques.
+    """
+    bound = ccp_unordered(n, topology)
+    if bound == 0:
+        return 1.0
+    if algorithm == "DPsize":
+        return inner_counter_dpsize(n, topology) / bound
+    if algorithm == "DPsub":
+        return inner_counter_dpsub(n, topology) / bound
+    if algorithm == "DPccp":
+        return 1.0
+    raise WorkloadError(f"unknown algorithm {algorithm!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class GrowthRow:
+    """Per-step growth factors of the counters at one size."""
+
+    topology: str
+    n: int
+    dpsize_growth: float
+    dpsub_growth: float
+    ccp_growth: float
+
+
+def growth_table(topology: str, sizes: tuple[int, ...]) -> list[GrowthRow]:
+    """Ratios ``f(n) / f(n-1)`` for each counter — the visible slope.
+
+    Chains approach 1 (polynomial), stars approach 4 for DPsize
+    (``4^n``) vs 2 for #ccp (``2^n``), cliques 4 vs 3 — the growth
+    separation behind Figures 8-11.
+    """
+    rows = []
+    for n in sizes:
+        if n - 1 < _MINIMUM.get(topology, 2):
+            raise WorkloadError(f"growth at n={n} needs n-1 in range")
+        rows.append(
+            GrowthRow(
+                topology=topology,
+                n=n,
+                dpsize_growth=inner_counter_dpsize(n, topology)
+                / inner_counter_dpsize(n - 1, topology),
+                dpsub_growth=inner_counter_dpsub(n, topology)
+                / inner_counter_dpsub(n - 1, topology),
+                ccp_growth=ccp_unordered(n, topology)
+                / ccp_unordered(n - 1, topology),
+            )
+        )
+    return rows

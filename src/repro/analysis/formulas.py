@@ -1,0 +1,189 @@
+"""Closed-form counter formulas from paper §2 (with two OCR fixes).
+
+All functions take the query size ``n`` (number of relations) and a
+topology name from ``{"chain", "cycle", "star", "clique"}`` — the four
+families for which the paper derives formulas — and return exact
+integers (everything is computed in integer arithmetic; the rational
+coefficients in the paper always divide evenly).
+
+Corrections relative to the provided paper text, validated against the
+paper's own Figure 3 (see DESIGN.md):
+
+* ``I_DPsub^chain``: the printed ``2^{n+2} - n^n - 3n - 4`` reads
+  ``n^n`` for what must be ``n^2``.
+* ``I_DPsize^chain`` (odd n): the printed constant ``+11`` must be
+  ``+9`` (``+11`` makes the expression indivisible by 48 and misses
+  Figure 3 by fractions).
+* chain ``#ccp``: Eq. (6) is garbled in the text; the correct closed
+  form is ``(n^3 - n) / 3`` for the symmetric count.
+
+Validity ranges follow the generators: chain/star need ``n >= 1``,
+cycle needs ``n >= 3``, clique ``n >= 1``. The paper's Figure 3 starts
+at ``n = 2``; for ``n = 1`` every counter is 0 by convention (no joins).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import comb
+
+from repro.errors import WorkloadError
+
+__all__ = [
+    "inner_counter_dpsize",
+    "inner_counter_dpsub",
+    "csg_count",
+    "ccp_symmetric",
+    "ccp_unordered",
+]
+
+
+def _check(n: int, topology: str) -> None:
+    if topology not in ("chain", "cycle", "star", "clique"):
+        raise WorkloadError(
+            f"no closed form for topology {topology!r}; expected "
+            "chain, cycle, star or clique"
+        )
+    minimum = 3 if topology == "cycle" else 1
+    if n < minimum:
+        raise WorkloadError(f"{topology} formulas need n >= {minimum}, got {n}")
+
+
+def _exact_div(numerator: int, denominator: int, label: str) -> int:
+    quotient, remainder = divmod(numerator, denominator)
+    if remainder:
+        raise AssertionError(
+            f"{label}: {numerator} not divisible by {denominator}; "
+            "formula transcription error"
+        )
+    return quotient
+
+
+# ----------------------------------------------------------------------
+# InnerCounter after DPsize (paper §2.1)
+# ----------------------------------------------------------------------
+
+
+def inner_counter_dpsize(n: int, topology: str) -> int:
+    """``I_DPsize`` — InnerCounter of DPsize after termination.
+
+    Applies to the optimized DPsize variant (left size up to ⌊s/2⌋,
+    half-pairing for equal sizes), which is what
+    :class:`repro.core.dpsize.DPsize` implements.
+    """
+    _check(n, topology)
+    if n == 1:
+        return 0
+    if topology == "chain":
+        if n % 2 == 0:
+            return _exact_div(
+                5 * n**4 + 6 * n**3 - 14 * n**2 - 12 * n, 48, "I_DPsize chain even"
+            )
+        return _exact_div(
+            5 * n**4 + 6 * n**3 - 14 * n**2 - 6 * n + 9, 48, "I_DPsize chain odd"
+        )
+    if topology == "cycle":
+        if n % 2 == 0:
+            return _exact_div(n**4 - n**3 - n**2, 4, "I_DPsize cycle even")
+        return _exact_div(n**4 - n**3 - n**2 + n, 4, "I_DPsize cycle odd")
+    # The star and clique formulas mix terms with denominators 4 and 8
+    # (e.g. C(2n, n)/4 and 5*2^{n-3}) that are only jointly integral,
+    # so they are evaluated exactly over the rationals.
+    if topology == "star":
+        q = (
+            n * Fraction(2) ** (n - 1)
+            - 5 * Fraction(2) ** (n - 3)
+            + Fraction(n**2 - 5 * n + 4, 2)
+        )
+        value = Fraction(2) ** (2 * n - 4) - Fraction(comb(2 * (n - 1), n - 1), 4) + q
+        if n % 2 == 1:
+            value += Fraction(comb(n - 1, (n - 1) // 2), 4)
+        return _as_integer(value, "I_DPsize star")
+    # clique
+    value = (
+        Fraction(2) ** (2 * n - 2)
+        - 5 * Fraction(2) ** (n - 2)
+        + Fraction(comb(2 * n, n), 4)
+        + 1
+    )
+    if n % 2 == 0:
+        value -= Fraction(comb(n, n // 2), 4)
+    return _as_integer(value, "I_DPsize clique")
+
+
+def _as_integer(value: Fraction, label: str) -> int:
+    if value.denominator != 1:
+        raise AssertionError(
+            f"{label}: expected an integer, got {value}; "
+            "formula transcription error"
+        )
+    return int(value)
+
+
+# ----------------------------------------------------------------------
+# InnerCounter after DPsub (paper §2.2, Eqs. 1-4)
+# ----------------------------------------------------------------------
+
+
+def inner_counter_dpsub(n: int, topology: str) -> int:
+    """``I_DPsub`` — InnerCounter of DPsub after termination.
+
+    Counts one per submask enumerated for each *connected* outer set
+    (the variant with the paper's ``(*)`` connectedness check).
+    """
+    _check(n, topology)
+    if n == 1:
+        return 0
+    if topology == "chain":
+        return 2 ** (n + 2) - n**2 - 3 * n - 4  # Eq. (1), n^2 corrected
+    if topology == "cycle":
+        return n * 2**n + 2**n - 2 * n**2 - 2  # Eq. (2)
+    if topology == "star":
+        return 2 * 3 ** (n - 1) - 2**n  # Eq. (3)
+    return 3**n - 2 ** (n + 1) + 1  # Eq. (4), clique
+
+
+# ----------------------------------------------------------------------
+# #csg and #ccp (paper §2.3.2, Eqs. 5-12)
+# ----------------------------------------------------------------------
+
+
+def csg_count(n: int, topology: str) -> int:
+    """``#csg`` — number of non-empty connected subsets (Eqs. 5, 7, 9, 11)."""
+    _check(n, topology)
+    if topology == "chain":
+        return n * (n + 1) // 2  # Eq. (5)
+    if topology == "cycle":
+        return n**2 - n + 1  # Eq. (7)
+    if topology == "star":
+        return 2 ** (n - 1) + n - 1  # Eq. (9)
+    return 2**n - 1  # Eq. (11), clique
+
+
+def ccp_symmetric(n: int, topology: str) -> int:
+    """``#ccp`` including both orientations (paper §2.3.1 convention).
+
+    Equal, for every correct algorithm, to ``CsgCmpPairCounter`` after
+    termination; also ``2 *`` the ``#ccp`` column of Figure 3.
+    """
+    _check(n, topology)
+    if n == 1:
+        return 0
+    if topology == "chain":
+        return _exact_div(n**3 - n, 3, "#ccp chain")  # Eq. (6), corrected
+    if topology == "cycle":
+        return n**3 - 2 * n**2 + n  # Eq. (8)
+    if topology == "star":
+        return (n - 1) * 2 ** (n - 1)  # Eq. (10) is the unordered count
+    return 3**n - 2 ** (n + 1) + 1  # Eq. (12), clique
+
+
+def ccp_unordered(n: int, topology: str) -> int:
+    """Ono-Lohman count (unordered pairs) — the Figure 3 ``#ccp`` column.
+
+    Lower bound on ``CreateJoinTree`` calls for any DP enumerator that
+    handles commutativity inside ``CreateJoinTree``; DPccp's
+    ``InnerCounter`` equals exactly this.
+    """
+    symmetric = ccp_symmetric(n, topology)
+    return _exact_div(symmetric, 2, "#ccp unordered") if symmetric else 0

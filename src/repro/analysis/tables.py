@@ -1,0 +1,90 @@
+"""Figure 3 of the paper: the search-space table, regenerated.
+
+``FIGURE3_PAPER_VALUES`` transcribes the paper's printed table verbatim
+(ground truth for the test suite). :func:`figure3_table` regenerates the
+same numbers from the closed-form formulas of
+:mod:`repro.analysis.formulas` for any sizes, and
+:func:`repro.analysis.validation.verify_figure3` checks them against
+instrumented algorithm runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.formulas import (
+    ccp_unordered,
+    inner_counter_dpsize,
+    inner_counter_dpsub,
+)
+
+__all__ = ["Figure3Row", "FIGURE3_PAPER_VALUES", "figure3_row", "figure3_table"]
+
+
+@dataclass(frozen=True, slots=True)
+class Figure3Row:
+    """One cell group of Figure 3: a topology at a query size.
+
+    ``ccp`` is the unordered csg-cmp-pair count (the table's ``#ccp``
+    column); ``dpsub`` and ``dpsize`` are the InnerCounter values.
+    """
+
+    topology: str
+    n: int
+    ccp: int
+    dpsub: int
+    dpsize: int
+
+
+#: The paper's Figure 3, transcribed. Keys: (topology, n).
+FIGURE3_PAPER_VALUES: dict[tuple[str, int], Figure3Row] = {
+    (row.topology, row.n): row
+    for row in [
+        Figure3Row("chain", 2, 1, 2, 1),
+        Figure3Row("chain", 5, 20, 84, 73),
+        Figure3Row("chain", 10, 165, 3962, 1135),
+        Figure3Row("chain", 15, 560, 130798, 5628),
+        Figure3Row("chain", 20, 1330, 4193840, 17545),
+        Figure3Row("cycle", 2, 1, 2, 1),
+        Figure3Row("cycle", 5, 40, 140, 120),
+        Figure3Row("cycle", 10, 405, 11062, 2225),
+        Figure3Row("cycle", 15, 1470, 523836, 11760),
+        Figure3Row("cycle", 20, 3610, 22019294, 37900),
+        Figure3Row("star", 2, 1, 2, 1),
+        Figure3Row("star", 5, 32, 130, 110),
+        Figure3Row("star", 10, 2304, 38342, 57888),
+        Figure3Row("star", 15, 114688, 9533170, 57305929),
+        Figure3Row("star", 20, 4980736, 2323474358, 59892991338),
+        Figure3Row("clique", 2, 1, 2, 1),
+        Figure3Row("clique", 5, 90, 180, 280),
+        Figure3Row("clique", 10, 28501, 57002, 306991),
+        Figure3Row("clique", 15, 7141686, 14283372, 307173877),
+        Figure3Row("clique", 20, 1742343625, 3484687250, 309338182241),
+    ]
+}
+
+
+def figure3_row(topology: str, n: int) -> Figure3Row:
+    """Compute one Figure 3 row from the closed forms.
+
+    The paper's n=2 "cycle" row degenerates to a chain (a 2-cycle is
+    not a simple graph); the formulas follow the paper's table there.
+    """
+    formula_topology = topology
+    if topology == "cycle" and n == 2:
+        formula_topology = "chain"
+    return Figure3Row(
+        topology=topology,
+        n=n,
+        ccp=ccp_unordered(n, formula_topology),
+        dpsub=inner_counter_dpsub(n, formula_topology),
+        dpsize=inner_counter_dpsize(n, formula_topology),
+    )
+
+
+def figure3_table(
+    sizes: tuple[int, ...] = (2, 5, 10, 15, 20),
+    topologies: tuple[str, ...] = ("chain", "cycle", "star", "clique"),
+) -> list[Figure3Row]:
+    """Regenerate the full Figure 3 table (any sizes/topologies)."""
+    return [figure3_row(topology, n) for topology in topologies for n in sizes]

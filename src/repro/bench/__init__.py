@@ -1,0 +1,33 @@
+"""Benchmark harness regenerating the paper's tables and figures.
+
+* :mod:`repro.bench.timer` — robust wall-clock measurement.
+* :mod:`repro.bench.workloads` — the per-figure sweep definitions,
+  including the feasibility budget that caps pure-Python cell sizes.
+* :mod:`repro.bench.experiments` — one entry point per paper artifact
+  (Figure 3, Figures 8-11, Figure 12).
+* :mod:`repro.bench.reporting` — ASCII rendering of the results.
+"""
+
+from repro.bench.experiments import (
+    run_figure3,
+    run_figure12,
+    run_relative_performance,
+)
+from repro.bench.reporting import render_table
+from repro.bench.timer import measure_seconds
+from repro.bench.workloads import (
+    FIGURE_SWEEPS,
+    RelativeSweep,
+    predicted_inner_counter,
+)
+
+__all__ = [
+    "measure_seconds",
+    "run_figure3",
+    "run_relative_performance",
+    "run_figure12",
+    "render_table",
+    "FIGURE_SWEEPS",
+    "RelativeSweep",
+    "predicted_inner_counter",
+]

@@ -1,0 +1,78 @@
+"""ASCII charts for the relative-performance figures.
+
+The paper's Figures 8-11 are log-scale line plots of optimization time
+relative to DPccp. :func:`render_ascii_chart` draws the same picture in
+monospace text: one column per query size, log-scaled rows, one mark
+per algorithm ('Z' = DPsize, 'B' = DPsub), with the DPccp baseline as a
+rule of '-' at ratio 1.0.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench.experiments import RelativeSeries
+
+__all__ = ["render_ascii_chart"]
+
+#: Mark per algorithm (DPccp is the baseline rule).
+MARKS = {"DPsize": "Z", "DPsub": "B"}
+
+
+def render_ascii_chart(
+    series: RelativeSeries, height: int = 16, max_ratio: float | None = None
+) -> str:
+    """Draw one of Figures 8-11 as a log-scale ASCII chart.
+
+    Args:
+        series: output of ``run_relative_performance``.
+        height: chart rows (excluding axes).
+        max_ratio: clip ratios above this (default: data maximum).
+    """
+    sizes = sorted({cell.n for cell in series.cells})
+    ratios: dict[tuple[str, int], float] = {}
+    for cell in series.cells:
+        if cell.relative_to_dpccp is not None and cell.algorithm in MARKS:
+            ratios[(cell.algorithm, cell.n)] = cell.relative_to_dpccp
+    if not ratios:
+        return f"Figure {series.figure}: no measurable cells"
+
+    observed_max = max(ratios.values())
+    observed_min = min(ratios.values())
+    top = max(max_ratio or observed_max, 2.0)
+    bottom = min(observed_min, 0.5)
+    log_top = math.log10(top)
+    log_bottom = math.log10(bottom)
+    span = max(log_top - log_bottom, 1e-9)
+
+    def row_of(ratio: float) -> int:
+        clipped = min(max(ratio, bottom), top)
+        fraction = (math.log10(clipped) - log_bottom) / span
+        return round(fraction * (height - 1))
+
+    grid = [[" "] * len(sizes) for _ in range(height)]
+    baseline_row = row_of(1.0)
+    for column in range(len(sizes)):
+        grid[baseline_row][column] = "-"
+    for (algorithm, n), ratio in ratios.items():
+        row = row_of(ratio)
+        column = sizes.index(n)
+        mark = MARKS[algorithm]
+        current = grid[row][column]
+        grid[row][column] = "*" if current in MARKS.values() else mark
+
+    lines = [
+        f"Figure {series.figure}: {series.topology} — time relative to DPccp "
+        f"(log scale; Z=DPsize, B=DPsub, -=DPccp baseline, *=overlap)"
+    ]
+    for row in range(height - 1, -1, -1):
+        fraction = row / (height - 1)
+        value = 10 ** (log_bottom + fraction * span)
+        label = f"{value:8.2f}x |"
+        lines.append(label + " ".join(grid[row]))
+    axis = " " * 10 + "+" + "-" * (2 * len(sizes) - 1)
+    lines.append(axis)
+    size_labels = " ".join(f"{n % 10}" for n in sizes)
+    lines.append(" " * 11 + size_labels)
+    lines.append(" " * 11 + f"n = {sizes[0]} .. {sizes[-1]}")
+    return "\n".join(lines)

@@ -1,0 +1,220 @@
+"""One entry point per paper artifact.
+
+* :func:`run_figure3` — the search-space table (formulas, optionally
+  cross-checked against instrumented runs).
+* :func:`run_relative_performance` — Figures 8-11: optimization time of
+  DPsize/DPsub/DPccp relative to DPccp over a size sweep.
+* :func:`run_figure12` — the absolute-runtime table.
+
+All runners return plain dataclasses; rendering lives in
+:mod:`repro.bench.reporting` so results can also be consumed
+programmatically (the pytest benches and EXPERIMENTS.md generator do).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import Figure3Row, figure3_table
+from repro.analysis.validation import CounterComparison, compare_counters
+from repro.bench.timer import measure_seconds
+from repro.bench.workloads import (
+    DEFAULT_BUDGET,
+    FIGURE12_SIZES,
+    FIGURE_SWEEPS,
+    RelativeSweep,
+    predicted_inner_counter,
+)
+from repro.core import make_algorithm
+from repro.errors import WorkloadError
+from repro.graph.generators import graph_for_topology
+
+__all__ = [
+    "RelativeCell",
+    "RelativeSeries",
+    "AbsoluteCell",
+    "run_figure3",
+    "run_relative_performance",
+    "run_figure12",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class RelativeCell:
+    """One measured point of a relative-performance figure."""
+
+    topology: str
+    n: int
+    algorithm: str
+    seconds: float | None  # None: skipped (over budget)
+    relative_to_dpccp: float | None
+    predicted_inner: int
+
+
+@dataclass(frozen=True, slots=True)
+class RelativeSeries:
+    """All points of one figure (8-11)."""
+
+    figure: int
+    topology: str
+    cells: tuple[RelativeCell, ...]
+
+    def for_algorithm(self, algorithm: str) -> list[RelativeCell]:
+        """The cells of one algorithm, in sweep order."""
+        return [cell for cell in self.cells if cell.algorithm == algorithm]
+
+
+@dataclass(frozen=True, slots=True)
+class AbsoluteCell:
+    """One cell of the Figure 12 absolute-runtime table."""
+
+    topology: str
+    n: int
+    algorithm: str
+    seconds: float | None  # None: skipped (over budget)
+    paper_seconds: float | None
+
+
+#: Figure 12 as printed in the paper (seconds, C++ on 2006 hardware).
+FIGURE12_PAPER_SECONDS: dict[tuple[str, int, str], float] = {
+    ("chain", 5, "DPsize"): 7.7e-6, ("chain", 5, "DPsub"): 9.7e-6, ("chain", 5, "DPccp"): 9.2e-6,
+    ("chain", 10, "DPsize"): 5.8e-5, ("chain", 10, "DPsub"): 0.00018, ("chain", 10, "DPccp"): 6.4e-5,
+    ("chain", 15, "DPsize"): 0.0013, ("chain", 15, "DPsub"): 0.0056, ("chain", 15, "DPccp"): 0.0013,
+    ("chain", 20, "DPsize"): 0.048, ("chain", 20, "DPsub"): 0.22, ("chain", 20, "DPccp"): 0.048,
+    ("cycle", 5, "DPsize"): 1.1e-5, ("cycle", 5, "DPsub"): 1.5e-5, ("cycle", 5, "DPccp"): 1.4e-5,
+    ("cycle", 10, "DPsize"): 0.0001, ("cycle", 10, "DPsub"): 0.00031, ("cycle", 10, "DPccp"): 0.00012,
+    ("cycle", 15, "DPsize"): 0.001, ("cycle", 15, "DPsub"): 0.01, ("cycle", 15, "DPccp"): 0.0015,
+    ("cycle", 20, "DPsize"): 0.049, ("cycle", 20, "DPsub"): 0.47, ("cycle", 20, "DPccp"): 0.048,
+    ("star", 5, "DPsize"): 9.8e-6, ("star", 5, "DPsub"): 1.2e-5, ("star", 5, "DPccp"): 1.0e-5,
+    ("star", 10, "DPsize"): 0.00069, ("star", 10, "DPsub"): 0.0008, ("star", 10, "DPccp"): 0.00044,
+    ("star", 15, "DPsize"): 0.71, ("star", 15, "DPsub"): 0.1, ("star", 15, "DPccp"): 0.022,
+    ("star", 20, "DPsize"): 4791.0, ("star", 20, "DPsub"): 42.7, ("star", 20, "DPccp"): 1.00,
+    ("clique", 5, "DPsize"): 2.1e-5, ("clique", 5, "DPsub"): 2.4e-5, ("clique", 5, "DPccp"): 2.4e-5,
+    ("clique", 10, "DPsize"): 0.0058, ("clique", 10, "DPsub"): 0.0048, ("clique", 10, "DPccp"): 0.005,
+    ("clique", 15, "DPsize"): 4.6, ("clique", 15, "DPsub"): 1.2, ("clique", 15, "DPccp"): 1.3,
+    ("clique", 20, "DPsize"): 21294.0, ("clique", 20, "DPsub"): 439.0, ("clique", 20, "DPccp"): 529.0,
+}
+
+
+def run_figure3(
+    sizes: tuple[int, ...] = (2, 5, 10, 15, 20),
+    verify_up_to: int = 10,
+) -> tuple[list[Figure3Row], list[CounterComparison]]:
+    """Regenerate Figure 3 and cross-check small sizes by running.
+
+    Returns the formula-generated table plus instrumented-run
+    comparisons for every cell with ``n <= verify_up_to``.
+    """
+    table = figure3_table(sizes=sizes)
+    comparisons = [
+        compare_counters(row.topology, row.n)
+        for row in table
+        if row.n <= verify_up_to
+    ]
+    return table, comparisons
+
+
+def _time_cell(
+    algorithm: str,
+    topology: str,
+    n: int,
+    budget: int,
+    min_total_seconds: float,
+) -> tuple[float | None, int]:
+    """Measure one (algorithm, topology, n) cell, or skip over budget."""
+    effective_topology = "chain" if topology == "cycle" and n == 2 else topology
+    predicted = predicted_inner_counter(algorithm, effective_topology, n)
+    if predicted > budget:
+        return None, predicted
+    graph = graph_for_topology(effective_topology, n)
+    runner = make_algorithm(algorithm.lower())
+    seconds = measure_seconds(
+        lambda: runner.optimize(graph), min_total_seconds=min_total_seconds
+    )
+    return seconds, predicted
+
+
+def run_relative_performance(
+    figure: int,
+    budget: int = DEFAULT_BUDGET,
+    min_total_seconds: float = 0.2,
+    sizes: tuple[int, ...] | None = None,
+) -> RelativeSeries:
+    """Measure one of Figures 8-11.
+
+    Args:
+        figure: 8 (chain), 9 (cycle), 10 (star) or 11 (clique).
+        budget: per-cell predicted-inner-counter cap; cells above it
+            are reported with ``seconds=None``.
+        min_total_seconds: timing accumulation floor per cell.
+        sizes: override the sweep's sizes (e.g. for quick CI runs).
+    """
+    try:
+        sweep: RelativeSweep = FIGURE_SWEEPS[figure]
+    except KeyError:
+        raise WorkloadError(
+            f"no relative-performance sweep for figure {figure}; "
+            f"expected one of {sorted(FIGURE_SWEEPS)}"
+        ) from None
+    swept_sizes = sweep.sizes if sizes is None else sizes
+
+    cells: list[RelativeCell] = []
+    for n in swept_sizes:
+        timings: dict[str, float | None] = {}
+        predictions: dict[str, int] = {}
+        for algorithm in sweep.algorithms:
+            seconds, predicted = _time_cell(
+                algorithm, sweep.topology, n, budget, min_total_seconds
+            )
+            timings[algorithm] = seconds
+            predictions[algorithm] = predicted
+        baseline = timings.get("DPccp")
+        for algorithm in sweep.algorithms:
+            seconds = timings[algorithm]
+            relative = (
+                seconds / baseline
+                if seconds is not None and baseline
+                else None
+            )
+            cells.append(
+                RelativeCell(
+                    topology=sweep.topology,
+                    n=n,
+                    algorithm=algorithm,
+                    seconds=seconds,
+                    relative_to_dpccp=relative,
+                    predicted_inner=predictions[algorithm],
+                )
+            )
+    return RelativeSeries(figure=figure, topology=sweep.topology, cells=tuple(cells))
+
+
+def run_figure12(
+    budget: int = DEFAULT_BUDGET,
+    min_total_seconds: float = 0.2,
+    sizes: tuple[int, ...] = FIGURE12_SIZES,
+) -> list[AbsoluteCell]:
+    """Measure the Figure 12 absolute-runtime table.
+
+    Cells whose predicted work exceeds ``budget`` are reported with
+    ``seconds=None`` (the paper's own C++ numbers reach 21294 s).
+    """
+    cells: list[AbsoluteCell] = []
+    for topology in ("chain", "cycle", "star", "clique"):
+        for n in sizes:
+            for algorithm in ("DPsize", "DPsub", "DPccp"):
+                seconds, _predicted = _time_cell(
+                    algorithm, topology, n, budget, min_total_seconds
+                )
+                cells.append(
+                    AbsoluteCell(
+                        topology=topology,
+                        n=n,
+                        algorithm=algorithm,
+                        seconds=seconds,
+                        paper_seconds=FIGURE12_PAPER_SECONDS.get(
+                            (topology, n, algorithm)
+                        ),
+                    )
+                )
+    return cells

@@ -1,0 +1,109 @@
+"""Does InnerCounter predict runtime? (the paper's implicit model)
+
+The paper's whole analysis rests on one premise: the number of
+innermost-loop test executions (``InnerCounter``) is an accurate proxy
+for wall-clock optimization time, per algorithm. This experiment tests
+that premise on *this* implementation: for each algorithm, measure a
+spread of (counter, time) points across topologies and sizes, fit
+``time = constant * counter`` per algorithm, and report the fit
+quality (coefficient of determination on log-scale residuals).
+
+High R² per algorithm — with *different* constants per algorithm —
+is exactly the regime the paper assumes: counters order the
+algorithms correctly once the per-iteration constant is known.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+
+from repro.bench.timer import measure_seconds
+from repro.bench.workloads import predicted_inner_counter
+from repro.core import make_algorithm
+from repro.graph.generators import graph_for_topology
+
+__all__ = ["FitResult", "counter_time_fit", "render_fits"]
+
+
+@dataclass(frozen=True, slots=True)
+class FitResult:
+    """Per-algorithm fit of time against InnerCounter."""
+
+    algorithm: str
+    points: int
+    seconds_per_million_iterations: float
+    log_r_squared: float
+
+
+#: Per-algorithm measurement grid: enough spread to fit, small enough
+#: to finish fast (all cells are < ~1e6 predicted iterations).
+_GRID: dict[str, list[tuple[str, int]]] = {
+    "DPsize": [("chain", 8), ("chain", 14), ("cycle", 12), ("star", 9),
+               ("star", 11), ("clique", 8), ("clique", 10)],
+    "DPsub": [("chain", 8), ("chain", 14), ("cycle", 12), ("star", 9),
+              ("star", 11), ("clique", 8), ("clique", 11)],
+    "DPccp": [("chain", 10), ("chain", 20), ("cycle", 14), ("star", 10),
+              ("star", 13), ("clique", 8), ("clique", 10)],
+}
+
+
+def counter_time_fit(min_total_seconds: float = 0.05) -> list[FitResult]:
+    """Measure the grid and fit time ~ constant * InnerCounter."""
+    fits: list[FitResult] = []
+    for algorithm_name, cells in _GRID.items():
+        runner = make_algorithm(algorithm_name.lower())
+        points: list[tuple[int, float]] = []
+        for topology, n in cells:
+            graph = graph_for_topology(topology, n)
+            seconds = measure_seconds(
+                lambda runner=runner, graph=graph: runner.optimize(graph),
+                min_total_seconds=min_total_seconds,
+            )
+            counter = predicted_inner_counter(algorithm_name, topology, n)
+            points.append((counter, seconds))
+        constant = statistics.median(
+            seconds / counter for counter, seconds in points
+        )
+        log_residuals = [
+            math.log(seconds) - math.log(constant * counter)
+            for counter, seconds in points
+        ]
+        log_values = [math.log(seconds) for _counter, seconds in points]
+        mean_log = statistics.mean(log_values)
+        total_variance = sum((value - mean_log) ** 2 for value in log_values)
+        residual_variance = sum(residual**2 for residual in log_residuals)
+        r_squared = (
+            1.0 - residual_variance / total_variance if total_variance else 1.0
+        )
+        fits.append(
+            FitResult(
+                algorithm=algorithm_name,
+                points=len(points),
+                seconds_per_million_iterations=constant * 1e6,
+                log_r_squared=r_squared,
+            )
+        )
+    return fits
+
+
+def render_fits(fits: list[FitResult]) -> str:
+    """ASCII table of the counter-time fits."""
+    from repro.bench.reporting import render_table
+
+    return (
+        "Counter-predicts-time validation (fit: time = c * InnerCounter)\n"
+        + render_table(
+            ["algorithm", "points", "sec per 1e6 iterations", "log-scale R^2"],
+            [
+                [
+                    fit.algorithm,
+                    fit.points,
+                    round(fit.seconds_per_million_iterations, 3),
+                    round(fit.log_r_squared, 3),
+                ]
+                for fit in fits
+            ],
+        )
+    )

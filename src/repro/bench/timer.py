@@ -1,0 +1,45 @@
+"""Wall-clock measurement for optimizer runs.
+
+Median-of-repeats timing with an adaptive repeat count: fast runs are
+repeated until a minimum total time is accumulated (amortizing timer
+granularity), slow runs execute once. Mirrors what ``timeit`` does, but
+returns the median rather than the minimum so occasional GC pauses in
+long DP runs do not deflate the result.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from typing import Callable, TypeVar
+
+__all__ = ["measure_seconds"]
+
+T = TypeVar("T")
+
+
+def measure_seconds(
+    action: Callable[[], object],
+    min_total_seconds: float = 0.2,
+    max_repeats: int = 1000,
+) -> float:
+    """Median wall-clock seconds of one ``action()`` call.
+
+    Args:
+        action: zero-argument callable to time.
+        min_total_seconds: keep repeating until this much time has been
+            spent (or ``max_repeats`` is reached), so sub-millisecond
+            runs are averaged over many calls.
+        max_repeats: hard cap on repetitions.
+    """
+    samples: list[float] = []
+    total = 0.0
+    while total < min_total_seconds and len(samples) < max_repeats:
+        started = time.perf_counter()
+        action()
+        elapsed = time.perf_counter() - started
+        samples.append(elapsed)
+        total += elapsed
+        if elapsed >= min_total_seconds:
+            break
+    return statistics.median(samples)

@@ -1,0 +1,219 @@
+"""Bitset representation of relation sets.
+
+The whole library represents a set of relations as a plain Python ``int``
+used as a bitvector: bit ``i`` is set iff relation ``R_i`` is a member.
+This is the same representation the paper's DPsub algorithm relies on
+("The integer *i* induces the current subset *S* with its binary
+representation") and the one production optimizers use, because it makes
+the three operations dynamic programming needs O(1) or O(set size):
+
+* disjointness / union / intersection are single integer operations,
+* hashing a set for the plan table is hashing an int,
+* all strict non-empty subsets of a set ``S`` can be enumerated with the
+  Vance-Maier increment ``s' = (s' - S) & S`` [Vance & Maier, SIGMOD 96].
+
+Python ints are arbitrary precision, so queries are not limited to 64
+relations. All functions are pure and allocation-free apart from the
+iterators.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+__all__ = [
+    "EMPTY",
+    "bit",
+    "set_of",
+    "only_bit",
+    "iter_bits",
+    "iter_subsets",
+    "iter_all_subsets",
+    "iter_supersets_within",
+    "lowest_bit",
+    "lowest_bit_index",
+    "highest_bit_index",
+    "popcount",
+    "is_subset",
+    "is_disjoint",
+    "format_bits",
+]
+
+#: The empty relation set.
+EMPTY: int = 0
+
+
+def bit(index: int) -> int:
+    """Return the singleton set containing relation ``index``.
+
+    >>> bit(0), bit(3)
+    (1, 8)
+    """
+    if index < 0:
+        raise ValueError(f"bit index must be non-negative, got {index}")
+    return 1 << index
+
+
+def set_of(indices: Iterable[int]) -> int:
+    """Build a set from an iterable of relation indices.
+
+    >>> set_of([0, 2, 3])
+    13
+    """
+    result = EMPTY
+    for index in indices:
+        result |= bit(index)
+    return result
+
+
+def only_bit(mask: int) -> bool:
+    """Return ``True`` iff ``mask`` is a singleton set.
+
+    >>> only_bit(4), only_bit(6), only_bit(0)
+    (True, False, False)
+    """
+    return mask != 0 and mask & (mask - 1) == 0
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the indices of set bits in ascending order.
+
+    >>> list(iter_bits(13))
+    [0, 2, 3]
+    """
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def iter_subsets(mask: int) -> Iterator[int]:
+    """Yield every non-empty *strict* subset of ``mask``.
+
+    Subsets are produced in ascending numeric order, which guarantees
+    that any subset is yielded before any of its supersets -- the
+    property DPsub and EnumerateCsgRec rely on for a valid dynamic
+    programming order. This is the Vance-Maier subset enumeration.
+
+    >>> list(iter_subsets(0b101))
+    [1, 4]
+    >>> list(iter_subsets(0b11))
+    [1, 2]
+    """
+    subset = mask & -mask if mask else 0
+    while subset and subset != mask:
+        yield subset
+        subset = (subset - mask) & mask
+
+
+def iter_all_subsets(mask: int) -> Iterator[int]:
+    """Yield every non-empty subset of ``mask``, including ``mask`` itself.
+
+    Ascending numeric order, subsets before supersets.
+
+    >>> list(iter_all_subsets(0b101))
+    [1, 4, 5]
+    """
+    yield from iter_subsets(mask)
+    if mask:
+        yield mask
+
+
+def iter_supersets_within(mask: int, universe: int) -> Iterator[int]:
+    """Yield every superset of ``mask`` contained in ``universe``.
+
+    ``mask`` itself is included; ``mask`` must be a subset of
+    ``universe``. Useful for search-space inspection tooling.
+
+    >>> list(iter_supersets_within(0b001, 0b101))
+    [1, 5]
+    """
+    if mask & ~universe:
+        raise ValueError("mask must be a subset of universe")
+    free = universe & ~mask
+    extra = 0
+    while True:
+        yield mask | extra
+        if extra == free:
+            return
+        extra = (extra - free) & free
+
+
+def lowest_bit(mask: int) -> int:
+    """Return the singleton set of the lowest member of ``mask``.
+
+    >>> lowest_bit(0b1100)
+    4
+    """
+    if mask == 0:
+        raise ValueError("lowest_bit of the empty set is undefined")
+    return mask & -mask
+
+
+def lowest_bit_index(mask: int) -> int:
+    """Return ``min(S)``: the smallest relation index in ``mask``.
+
+    This is the paper's ``min(S1)`` used by EnumerateCmp.
+
+    >>> lowest_bit_index(0b1100)
+    2
+    """
+    if mask == 0:
+        raise ValueError("lowest_bit_index of the empty set is undefined")
+    return (mask & -mask).bit_length() - 1
+
+
+def highest_bit_index(mask: int) -> int:
+    """Return the largest relation index in ``mask``.
+
+    >>> highest_bit_index(0b1100)
+    3
+    """
+    if mask == 0:
+        raise ValueError("highest_bit_index of the empty set is undefined")
+    return mask.bit_length() - 1
+
+
+def popcount(mask: int) -> int:
+    """Return the number of relations in the set.
+
+    >>> popcount(0b1011)
+    3
+    """
+    return mask.bit_count()
+
+
+def is_subset(mask: int, container: int) -> bool:
+    """Return ``True`` iff every member of ``mask`` is in ``container``.
+
+    >>> is_subset(0b101, 0b111), is_subset(0b101, 0b110)
+    (True, False)
+    """
+    return mask & ~container == 0
+
+
+def is_disjoint(left: int, right: int) -> bool:
+    """Return ``True`` iff the two sets share no member.
+
+    >>> is_disjoint(0b101, 0b010), is_disjoint(0b101, 0b100)
+    (True, False)
+    """
+    return left & right == 0
+
+
+def format_bits(mask: int, width: int | None = None) -> str:
+    """Render a set as ``{R0, R2}``-style text for messages and debugging.
+
+    ``width`` is accepted for symmetry with fixed-size renderings but
+    only affects padding of the empty set representation.
+
+    >>> format_bits(0b101)
+    '{R0, R2}'
+    >>> format_bits(0)
+    '{}'
+    """
+    del width  # reserved; the textual form does not depend on it
+    if mask == 0:
+        return "{}"
+    inner = ", ".join(f"R{index}" for index in iter_bits(mask))
+    return "{" + inner + "}"

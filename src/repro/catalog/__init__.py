@@ -1,0 +1,31 @@
+"""Catalog substrate: relation statistics and synthetic workloads.
+
+The paper's plan generator needs, for every base relation, a cardinality
+estimate, and for every join edge a selectivity (kept on the edge in
+:class:`~repro.graph.querygraph.JoinEdge`). The catalog holds the
+relation side of that; :mod:`repro.catalog.synthetic` produces seeded
+random catalogs for experiments.
+"""
+
+from repro.catalog.catalog import Catalog, RelationStats
+from repro.catalog.schemas import (
+    snowflake_query,
+    star_schema_query,
+    tpch_like_query,
+)
+from repro.catalog.synthetic import (
+    random_catalog,
+    uniform_catalog,
+    zipfian_catalog,
+)
+
+__all__ = [
+    "Catalog",
+    "RelationStats",
+    "random_catalog",
+    "uniform_catalog",
+    "zipfian_catalog",
+    "star_schema_query",
+    "snowflake_query",
+    "tpch_like_query",
+]

@@ -1,0 +1,135 @@
+"""Relation statistics: the optimizer's view of the stored data.
+
+A :class:`Catalog` maps relation indices (aligned with a
+:class:`~repro.graph.querygraph.QueryGraph`) to
+:class:`RelationStats`. Only cardinalities are required by the paper's
+cost model (C_out); the richer disk model also uses tuple widths and
+page counts, which default to sensible values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import CatalogError
+
+__all__ = ["RelationStats", "Catalog"]
+
+#: Default bytes per tuple when the schema is unknown.
+DEFAULT_TUPLE_BYTES = 100
+#: Default page size used to derive page counts from cardinalities.
+DEFAULT_PAGE_BYTES = 8192
+
+
+@dataclass(frozen=True, slots=True)
+class RelationStats:
+    """Statistics for one base relation.
+
+    Attributes:
+        name: relation name (unique within a catalog).
+        cardinality: estimated number of rows; must be positive. Kept
+            as a float because intermediate estimates are fractional.
+        tuple_bytes: average row width in bytes (disk cost model only).
+        pages: number of disk pages; derived from cardinality and
+            tuple width when not given.
+    """
+
+    name: str
+    cardinality: float
+    tuple_bytes: int = DEFAULT_TUPLE_BYTES
+    pages: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.cardinality <= 0:
+            raise CatalogError(
+                f"relation {self.name!r} must have positive cardinality, "
+                f"got {self.cardinality}"
+            )
+        if self.tuple_bytes <= 0:
+            raise CatalogError(
+                f"relation {self.name!r} must have positive tuple width"
+            )
+        if self.pages == 0:
+            derived = max(
+                1, round(self.cardinality * self.tuple_bytes / DEFAULT_PAGE_BYTES)
+            )
+            object.__setattr__(self, "pages", derived)
+        elif self.pages < 0:
+            raise CatalogError(f"relation {self.name!r} has negative page count")
+
+
+class Catalog:
+    """An immutable collection of :class:`RelationStats`, indexed 0..n-1.
+
+    The index of a relation in the catalog must equal its index in the
+    query graph it accompanies; :class:`repro.graph.QueryGraphBuilder`
+    guarantees this alignment.
+    """
+
+    __slots__ = ("_stats", "_by_name")
+
+    def __init__(self, stats: Iterable[RelationStats]) -> None:
+        self._stats: tuple[RelationStats, ...] = tuple(stats)
+        if not self._stats:
+            raise CatalogError("a catalog needs at least one relation")
+        self._by_name = {entry.name: i for i, entry in enumerate(self._stats)}
+        if len(self._by_name) != len(self._stats):
+            raise CatalogError("catalog relation names must be unique")
+
+    @classmethod
+    def from_cardinalities(
+        cls, cardinalities: Sequence[float], names: Sequence[str] | None = None
+    ) -> "Catalog":
+        """Build a catalog from bare cardinalities.
+
+        Names default to ``R0..R{n-1}``, matching
+        :class:`~repro.graph.querygraph.QueryGraph` defaults.
+        """
+        if names is None:
+            names = [f"R{i}" for i in range(len(cardinalities))]
+        if len(names) != len(cardinalities):
+            raise CatalogError(
+                f"{len(names)} names for {len(cardinalities)} cardinalities"
+            )
+        return cls(
+            RelationStats(name=name, cardinality=float(card))
+            for name, card in zip(names, cardinalities)
+        )
+
+    @classmethod
+    def uniform(cls, n_relations: int, cardinality: float = 1000.0) -> "Catalog":
+        """All relations with the same cardinality (counter experiments)."""
+        return cls.from_cardinalities([cardinality] * n_relations)
+
+    def __len__(self) -> int:
+        return len(self._stats)
+
+    def __iter__(self) -> Iterator[RelationStats]:
+        return iter(self._stats)
+
+    def __getitem__(self, index: int) -> RelationStats:
+        try:
+            return self._stats[index]
+        except IndexError:
+            raise CatalogError(
+                f"no relation with index {index}; catalog has {len(self)}"
+            ) from None
+
+    def by_name(self, name: str) -> RelationStats:
+        """Look up statistics by relation name."""
+        try:
+            return self._stats[self._by_name[name]]
+        except KeyError:
+            raise CatalogError(f"no relation named {name!r}") from None
+
+    def cardinality(self, index: int) -> float:
+        """Row-count estimate of relation ``index``."""
+        return self[index].cardinality
+
+    def cardinalities(self) -> tuple[float, ...]:
+        """All cardinalities, indexed by relation index."""
+        return tuple(entry.cardinality for entry in self._stats)
+
+    def __repr__(self) -> str:
+        return f"Catalog({len(self._stats)} relations)"

@@ -1,0 +1,119 @@
+"""Ready-made schema workloads: star, snowflake, and a TPC-H-like shape.
+
+The generators in :mod:`repro.graph.generators` produce bare
+topologies; these builders produce *realistic queries* — graph and
+catalog together, with foreign-key selectivities and plausible
+cardinality profiles — for the examples, benchmarks and downstream
+users who want a one-liner workload.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.catalog.catalog import Catalog
+from repro.errors import WorkloadError
+from repro.graph.builder import QueryGraphBuilder
+from repro.graph.querygraph import QueryGraph
+
+__all__ = [
+    "star_schema_query",
+    "snowflake_query",
+    "tpch_like_query",
+]
+
+
+def star_schema_query(
+    n_dimensions: int,
+    fact_rows: float = 10_000_000.0,
+    rng: random.Random | int | None = None,
+) -> tuple[QueryGraph, Catalog]:
+    """Fact table + ``n_dimensions`` filtered dimension tables.
+
+    Dimension sizes spread log-uniformly from 10 to 1e6 rows; each
+    join is a foreign key combined with a local filter on the
+    dimension (selectivity drawn from [0.05, 0.9]), so join order
+    matters. Deterministic given a seed.
+    """
+    if n_dimensions < 1:
+        raise WorkloadError(f"need at least one dimension, got {n_dimensions}")
+    generator = rng if isinstance(rng, random.Random) else random.Random(rng)
+    builder = QueryGraphBuilder().relation("fact", cardinality=fact_rows)
+    for index in range(n_dimensions):
+        name = f"dim{index}"
+        rows = round(10 ** generator.uniform(1, 6))
+        builder.relation(name, cardinality=rows)
+        filter_fraction = generator.uniform(0.05, 0.9)
+        builder.join(
+            "fact",
+            name,
+            selectivity=min(1.0, filter_fraction / rows),
+            predicate=f"fact.fk{index} = {name}.pk AND filter_{index}",
+        )
+    return builder.build()
+
+
+def snowflake_query(
+    n_dimensions: int,
+    depth: int = 2,
+    fact_rows: float = 10_000_000.0,
+    rng: random.Random | int | None = None,
+) -> tuple[QueryGraph, Catalog]:
+    """Snowflake: each dimension chain normalized to ``depth`` levels.
+
+    The fact table joins ``n_dimensions`` chains of length ``depth``
+    (dimension -> sub-dimension -> ...), each level roughly 30x
+    smaller. Produces a "spider" topology — star of chains — which is
+    a tree, so IKKBZ applies and DPccp's advantage over DPsize/DPsub
+    shows as in the paper's star experiments.
+    """
+    if n_dimensions < 1:
+        raise WorkloadError(f"need at least one dimension, got {n_dimensions}")
+    if depth < 1:
+        raise WorkloadError(f"need depth >= 1, got {depth}")
+    generator = rng if isinstance(rng, random.Random) else random.Random(rng)
+    builder = QueryGraphBuilder().relation("fact", cardinality=fact_rows)
+    for dimension in range(n_dimensions):
+        parent = "fact"
+        rows = round(10 ** generator.uniform(3, 6))
+        for level in range(depth):
+            name = f"dim{dimension}_{level}"
+            builder.relation(name, cardinality=max(2, rows))
+            builder.foreign_key(parent, name)
+            parent = name
+            rows = max(2, rows // generator.randint(10, 50))
+    return builder.build()
+
+
+def tpch_like_query(scale: float = 1.0) -> tuple[QueryGraph, Catalog]:
+    """The 8-relation TPC-H join core at a given scale factor.
+
+    region - nation - (customer, supplier) - orders/partsupp - lineitem
+    - part, with TPC-H's documented cardinality ratios and foreign-key
+    selectivities. Topology: two branches that fork at nation and meet
+    again at lineitem, so the graph is *cyclic* — between chain and
+    star, a good "realistic query" default (and a case IKKBZ cannot
+    handle, unlike the DP algorithms).
+    """
+    if scale <= 0:
+        raise WorkloadError(f"scale must be positive, got {scale}")
+    return (
+        QueryGraphBuilder()
+        .relation("region", cardinality=5)
+        .relation("nation", cardinality=25)
+        .relation("customer", cardinality=150_000 * scale)
+        .relation("supplier", cardinality=10_000 * scale)
+        .relation("orders", cardinality=1_500_000 * scale)
+        .relation("partsupp", cardinality=800_000 * scale)
+        .relation("part", cardinality=200_000 * scale)
+        .relation("lineitem", cardinality=6_000_000 * scale)
+        .foreign_key("nation", "region")
+        .foreign_key("customer", "nation")
+        .foreign_key("supplier", "nation")
+        .foreign_key("orders", "customer")
+        .foreign_key("partsupp", "supplier")
+        .foreign_key("partsupp", "part")
+        .foreign_key("lineitem", "orders")
+        .foreign_key("lineitem", "partsupp")
+        .build()
+    )

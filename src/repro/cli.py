@@ -1,0 +1,240 @@
+"""Command-line interface.
+
+::
+
+    python -m repro optimize --topology star -n 8 --algorithm dpccp
+    python -m repro count    --topology chain -n 12
+    python -m repro table    --figure 3
+    python -m repro bench    --figure 10 --budget 500000
+
+``optimize`` plans one query and prints the tree; ``count`` prints the
+analytical and measured counters; ``table`` regenerates Figure 3;
+``bench`` runs the timing experiments of Figures 8-12.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Sequence
+
+from repro.analysis.formulas import ccp_unordered, csg_count
+from repro.analysis.validation import compare_counters
+from repro.bench.experiments import run_figure3, run_figure12, run_relative_performance
+from repro.bench.reporting import (
+    render_figure3,
+    render_figure12,
+    render_relative_series,
+)
+from repro.bench.workloads import DEFAULT_BUDGET
+from repro.catalog.synthetic import random_catalog
+from repro.core import ALGORITHMS, make_algorithm
+from repro.errors import ReproError
+from repro.graph.generators import PAPER_TOPOLOGIES, graph_for_topology
+from repro.plans.visitors import render_indented
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-joinorder",
+        description=(
+            "Join-order optimization with DPsize, DPsub and DPccp "
+            "(Moerkotte & Neumann, VLDB 2006)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    optimize = commands.add_parser("optimize", help="plan one query")
+    optimize.add_argument(
+        "--topology", choices=PAPER_TOPOLOGIES, default="chain"
+    )
+    optimize.add_argument("-n", "--relations", type=int, default=8)
+    optimize.add_argument(
+        "--algorithm", choices=sorted(ALGORITHMS), default="dpccp"
+    )
+    optimize.add_argument(
+        "--seed", type=int, default=7, help="seed for catalog and selectivities"
+    )
+
+    count = commands.add_parser(
+        "count", help="analytical vs measured counters for one query graph"
+    )
+    count.add_argument("--topology", choices=PAPER_TOPOLOGIES, default="chain")
+    count.add_argument("-n", "--relations", type=int, default=8)
+
+    table = commands.add_parser("table", help="regenerate a paper table")
+    table.add_argument("--figure", type=int, choices=[3], default=3)
+    table.add_argument(
+        "--sizes", type=int, nargs="+", default=[2, 5, 10, 15, 20]
+    )
+
+    bench = commands.add_parser("bench", help="run a timing experiment")
+    bench.add_argument(
+        "--figure", type=int, choices=[8, 9, 10, 11, 12], required=True
+    )
+    bench.add_argument("--budget", type=int, default=DEFAULT_BUDGET)
+    bench.add_argument("--min-seconds", type=float, default=0.2)
+
+    space = commands.add_parser(
+        "space", help="search-space statistics for one query graph"
+    )
+    space.add_argument("--topology", choices=PAPER_TOPOLOGIES, default="chain")
+    space.add_argument("-n", "--relations", type=int, default=8)
+
+    parse = commands.add_parser(
+        "parse", help="optimize a SQL-ish query given as text"
+    )
+    parse.add_argument(
+        "query",
+        help="query text, e.g. \"SELECT * FROM a (100), b (200) "
+        "WHERE a.x = b.y [0.01]\"",
+    )
+    parse.add_argument(
+        "--algorithm", choices=sorted(ALGORITHMS), default="dpccp"
+    )
+    parse.add_argument(
+        "--dot", action="store_true", help="emit the plan as graphviz DOT"
+    )
+
+    selfcheck = commands.add_parser(
+        "selfcheck",
+        help="fuzz the optimizers against their oracles on this machine",
+    )
+    selfcheck.add_argument("--instances", type=int, default=25)
+    selfcheck.add_argument("--seed", type=int, default=None)
+    selfcheck.add_argument("--max-relations", type=int, default=8)
+    return parser
+
+
+def _command_optimize(args: argparse.Namespace) -> int:
+    rng = random.Random(args.seed)
+    graph = graph_for_topology(args.topology, args.relations, rng=rng)
+    catalog = random_catalog(args.relations, rng)
+    result = make_algorithm(args.algorithm).optimize(graph, catalog=catalog)
+    print(f"algorithm : {result.algorithm}")
+    print(f"cost      : {result.cost:g}")
+    print(f"counters  : {result.counters.as_dict()}")
+    print(f"elapsed   : {result.elapsed_seconds * 1000:.2f} ms")
+    print(render_indented(result.plan))
+    return 0
+
+
+def _command_count(args: argparse.Namespace) -> int:
+    comparison = compare_counters(args.topology, args.relations)
+    print(
+        f"{args.topology} query, n={args.relations}: "
+        f"#csg={csg_count(args.relations, args.topology)} "
+        f"#ccp={ccp_unordered(args.relations, args.topology)} (unordered)"
+    )
+    for line in (
+        f"I_DPsize: formula {comparison.predicted_dpsize}, "
+        f"measured {comparison.measured_dpsize}",
+        f"I_DPsub : formula {comparison.predicted_dpsub}, "
+        f"measured {comparison.measured_dpsub}",
+        f"DPccp   : pairs {comparison.measured_ccp} "
+        f"(lower bound {comparison.predicted_ccp})",
+    ):
+        print(line)
+    print("all formulas match" if comparison.matches else "MISMATCH")
+    return 0 if comparison.matches else 1
+
+
+def _command_table(args: argparse.Namespace) -> int:
+    rows, comparisons = run_figure3(sizes=tuple(args.sizes))
+    print(render_figure3(rows))
+    failures = [c for c in comparisons if not c.matches]
+    print(
+        f"\ninstrumented cross-check: {len(comparisons) - len(failures)}/"
+        f"{len(comparisons)} cells match"
+    )
+    for comparison in failures:
+        for line in comparison.mismatches():
+            print("  " + line)
+    return 0 if not failures else 1
+
+
+def _command_bench(args: argparse.Namespace) -> int:
+    if args.figure == 12:
+        cells = run_figure12(budget=args.budget, min_total_seconds=args.min_seconds)
+        print(render_figure12(cells))
+    else:
+        from repro.bench.charts import render_ascii_chart
+
+        series = run_relative_performance(
+            args.figure, budget=args.budget, min_total_seconds=args.min_seconds
+        )
+        print(render_relative_series(series))
+        print()
+        print(render_ascii_chart(series))
+    print("\ncells shown as '-' exceeded the work budget "
+          f"({args.budget} predicted inner iterations)")
+    return 0
+
+
+def _command_space(args: argparse.Namespace) -> int:
+    from repro.analysis.searchspace import search_space_summary
+
+    graph = graph_for_topology(args.topology, args.relations)
+    summary = search_space_summary(graph)
+    print(f"{args.topology} query, n={args.relations}:")
+    print(f"  connected subsets (#csg)      : {summary.csg:,}")
+    print(f"  csg-cmp-pairs (unordered)     : {summary.ccp_unordered:,}")
+    print(f"  join trees (ordered)          : {summary.trees_ordered:,}")
+    print(f"  join trees (unordered shapes) : {summary.trees_unordered:,}")
+    print(f"  plans covered per pair        : {summary.pruning_power:,.1f}")
+    return 0
+
+
+def _command_parse(args: argparse.Namespace) -> int:
+    from repro.frontend import parse_query
+    from repro.plans.dot import plan_to_dot
+
+    graph, catalog = parse_query(args.query)
+    result = make_algorithm(args.algorithm).optimize(graph, catalog=catalog)
+    if args.dot:
+        print(plan_to_dot(result.plan, title=f"{result.algorithm}, cost {result.cost:g}"))
+        return 0
+    print(f"algorithm : {result.algorithm}")
+    print(f"cost      : {result.cost:g}")
+    print(render_indented(result.plan))
+    return 0
+
+
+def _command_selfcheck(args: argparse.Namespace) -> int:
+    from repro.selfcheck import run_selfcheck
+
+    report = run_selfcheck(
+        instances=args.instances,
+        seed=args.seed,
+        max_relations=args.max_relations,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "optimize": _command_optimize,
+        "count": _command_count,
+        "table": _command_table,
+        "bench": _command_bench,
+        "space": _command_space,
+        "parse": _command_parse,
+        "selfcheck": _command_selfcheck,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

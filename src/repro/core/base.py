@@ -1,0 +1,260 @@
+"""Shared infrastructure of all join-order optimizers.
+
+This module provides what the paper calls the "common infrastructure
+used by all our algorithms": the ``BestPlan`` table, the instrumentation
+counters from the pseudocode (``InnerCounter``, ``CsgCmpPairCounter``,
+``OnoLohmanCounter``), the result object, and the
+:class:`JoinOrderer` base class that validates inputs and dispatches to
+the concrete algorithm.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro import bitset
+from repro.catalog.catalog import Catalog
+from repro.cost.base import CostModel
+from repro.cost.cout import CoutModel
+from repro.errors import (
+    DisconnectedGraphError,
+    EmptyQueryError,
+    OptimizerError,
+)
+from repro.graph.querygraph import QueryGraph
+from repro.plans.jointree import JoinTree
+
+__all__ = ["CounterSet", "PlanTable", "OptimizationResult", "JoinOrderer"]
+
+
+@dataclass(slots=True)
+class CounterSet:
+    """The paper's instrumentation counters.
+
+    Attributes:
+        inner_counter: executions of the innermost-loop test — the
+            paper's measure of algorithmic work ("the real complexity
+            is the number of times the code within the inner loop is
+            executed").
+        csg_cmp_pair_counter: csg-cmp-pairs evaluated, counting both
+            orientations (the paper's ``CsgCmpPairCounter``; the same
+            for every correct algorithm on a given graph).
+        ono_lohman_counter: unordered csg-cmp-pairs,
+            ``csg_cmp_pair_counter / 2`` — the Figure 3 ``#ccp`` column
+            and the lower bound on ``CreateJoinTree`` calls.
+        create_join_tree_calls: actual ``CreateJoinTree`` invocations
+            (pricing events; trees are materialized lazily).
+        connectivity_check_failures: failures of DPsub's ``(*)``-marked
+            outer ``connected(S)`` test; the paper notes this equals
+            ``2^n - #csg(n) - 1``. Zero for algorithms without that
+            check.
+    """
+
+    inner_counter: int = 0
+    csg_cmp_pair_counter: int = 0
+    ono_lohman_counter: int = 0
+    create_join_tree_calls: int = 0
+    connectivity_check_failures: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view for reports."""
+        return {
+            "inner_counter": self.inner_counter,
+            "csg_cmp_pair_counter": self.csg_cmp_pair_counter,
+            "ono_lohman_counter": self.ono_lohman_counter,
+            "create_join_tree_calls": self.create_join_tree_calls,
+            "connectivity_check_failures": self.connectivity_check_failures,
+        }
+
+
+class PlanTable:
+    """The ``BestPlan`` table: optimal plan per relation set.
+
+    A thin wrapper over a dict keyed by bitset, with the
+    compare-and-replace step all three algorithms share: keep the new
+    plan only if no plan for the set exists yet or the new one is
+    cheaper. Ties keep the incumbent, making results deterministic
+    across enumeration orders that produce equal-cost plans.
+    """
+
+    __slots__ = ("_plans",)
+
+    def __init__(self) -> None:
+        self._plans: dict[int, JoinTree] = {}
+
+    def get(self, mask: int) -> JoinTree | None:
+        """Best plan known for ``mask``, or ``None``."""
+        return self._plans.get(mask)
+
+    def __getitem__(self, mask: int) -> JoinTree:
+        try:
+            return self._plans[mask]
+        except KeyError:
+            raise OptimizerError(
+                f"no plan for {bitset.format_bits(mask)}; the enumeration "
+                "order violated the dynamic programming precondition"
+            ) from None
+
+    def __contains__(self, mask: int) -> bool:
+        return mask in self._plans
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def register(self, plan: JoinTree) -> bool:
+        """Keep ``plan`` if it beats the incumbent for its relation set.
+
+        Returns ``True`` when the table changed.
+        """
+        incumbent = self._plans.get(plan.relations)
+        if incumbent is None or plan.cost < incumbent.cost:
+            self._plans[plan.relations] = plan
+            return True
+        return False
+
+    def consider(
+        self, cost_model: CostModel, left: JoinTree, right: JoinTree
+    ) -> bool:
+        """Price ``left ⨝ right`` and keep it only if it wins.
+
+        Equivalent to ``register(cost_model.join(left, right))`` but
+        skips tree construction for losing candidates — the lazy
+        ``CreateJoinTree`` every production DP optimizer uses. Returns
+        ``True`` when the table changed.
+        """
+        cardinality, cost, operator = cost_model.price(left, right)
+        mask = left.relations | right.relations
+        incumbent = self._plans.get(mask)
+        if incumbent is not None and incumbent.cost <= cost:
+            return False
+        self._plans[mask] = JoinTree.join(
+            left, right, cardinality=cardinality, cost=cost, operator=operator
+        )
+        return True
+
+    def masks(self) -> Iterator[int]:
+        """All relation sets with a registered plan."""
+        return iter(self._plans)
+
+
+@dataclass(slots=True)
+class OptimizationResult:
+    """Everything one optimizer run produced.
+
+    Attributes:
+        plan: the optimal join tree for all relations.
+        counters: instrumentation counters (see :class:`CounterSet`).
+        algorithm: name of the algorithm that ran.
+        n_relations: query size.
+        table_size: number of entries in the final ``BestPlan`` table
+            (equals ``#csg`` for the DP algorithms).
+        elapsed_seconds: wall-clock optimization time.
+    """
+
+    plan: JoinTree
+    counters: CounterSet
+    algorithm: str
+    n_relations: int
+    table_size: int
+    elapsed_seconds: float
+
+    @property
+    def cost(self) -> float:
+        """Cost of the optimal plan."""
+        return self.plan.cost
+
+
+class JoinOrderer(abc.ABC):
+    """Base class of every join-order algorithm in :mod:`repro.core`.
+
+    Subclasses implement :meth:`_run`; this class owns input
+    validation, the trivial single-relation case, timing, and default
+    cost-model construction, so each algorithm's code is exactly the
+    paper's loop structure.
+    """
+
+    #: Algorithm name used in results, reports and the CLI.
+    name: str = "abstract"
+
+    #: Cross-product-free algorithms require a connected graph; set to
+    #: False by algorithms (DPall) whose search space includes cross
+    #: products and therefore handles disconnected graphs.
+    requires_connected: bool = True
+
+    def optimize(
+        self,
+        graph: QueryGraph,
+        cost_model: CostModel | None = None,
+        catalog: Catalog | None = None,
+    ) -> OptimizationResult:
+        """Find the optimal bushy cross-product-free join tree.
+
+        Args:
+            graph: a *connected* query graph.
+            cost_model: plan-costing strategy; defaults to
+                :class:`~repro.cost.cout.CoutModel` over ``catalog``.
+            catalog: statistics used only when ``cost_model`` is not
+                given.
+
+        Raises:
+            EmptyQueryError: zero relations (unreachable via
+                :class:`QueryGraph`, kept for defensive clarity).
+            DisconnectedGraphError: the graph is not connected, so no
+                cross-product-free tree exists.
+        """
+        if graph.n_relations == 0:
+            raise EmptyQueryError("cannot optimize a query with no relations")
+        if self.requires_connected and not graph.is_connected:
+            raise DisconnectedGraphError(
+                "the query graph is disconnected; a bushy tree without "
+                "cross products requires a connected graph"
+            )
+        if cost_model is None:
+            cost_model = CoutModel(graph, catalog)
+        elif catalog is not None:
+            raise OptimizerError(
+                "pass either cost_model or catalog, not both; the model "
+                "already embeds its statistics"
+            )
+
+        counters = CounterSet()
+        started = time.perf_counter()
+        if graph.n_relations == 1:
+            plan = cost_model.leaf(0)
+            table_size = 1
+        else:
+            table = PlanTable()
+            for index in range(graph.n_relations):
+                table.register(cost_model.leaf(index))
+            self._run(graph, cost_model, table, counters)
+            plan = table[graph.all_relations]
+            table_size = len(table)
+        elapsed = time.perf_counter() - started
+        return OptimizationResult(
+            plan=plan,
+            counters=counters,
+            algorithm=self.name,
+            n_relations=graph.n_relations,
+            table_size=table_size,
+            elapsed_seconds=elapsed,
+        )
+
+    @abc.abstractmethod
+    def _run(
+        self,
+        graph: QueryGraph,
+        cost_model: CostModel,
+        table: PlanTable,
+        counters: CounterSet,
+    ) -> None:
+        """Fill ``table`` so it holds the optimal plan for all relations.
+
+        ``table`` arrives pre-seeded with all single-relation plans
+        (the paper's initialization loop).
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

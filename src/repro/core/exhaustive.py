@@ -1,0 +1,90 @@
+"""Exhaustive reference optimizer — the test suite's optimality oracle.
+
+A deliberately independent implementation: top-down memoized recursion
+over connected complementary partitions, instead of any of the paper's
+bottom-up enumeration orders. For every connected set ``S`` it considers
+each split ``(S1, S \\ S1)`` with ``S1`` containing the minimum element
+of ``S`` (each unordered partition once), requires both sides connected
+and joined by an edge, and recurses. Exponential and unoptimized by
+design; the cross-validation tests compare the DP algorithms' plan
+costs against this.
+"""
+
+from __future__ import annotations
+
+from repro import bitset
+from repro.core.base import CounterSet, JoinOrderer, PlanTable
+from repro.cost.base import CostModel
+from repro.errors import OptimizerError
+from repro.graph.querygraph import QueryGraph
+from repro.plans.jointree import JoinTree
+
+__all__ = ["ExhaustiveOptimizer"]
+
+
+def _subsets_with_empty(mask: int):
+    """All subsets of ``mask`` including the empty set, ascending."""
+    yield 0
+    yield from bitset.iter_all_subsets(mask)
+
+
+class ExhaustiveOptimizer(JoinOrderer):
+    """Top-down memoized search over all cross-product-free bushy trees."""
+
+    name = "exhaustive"
+
+    def _run(
+        self,
+        graph: QueryGraph,
+        cost_model: CostModel,
+        table: PlanTable,
+        counters: CounterSet,
+    ) -> None:
+        memo: dict[int, JoinTree] = {}
+        for index in range(graph.n_relations):
+            memo[bitset.bit(index)] = cost_model.leaf(index)
+
+        def best(mask: int) -> JoinTree:
+            plan = memo.get(mask)
+            if plan is not None:
+                return plan
+            anchor = mask & -mask  # pin min(S) to the left side
+            free = mask ^ anchor
+            champion: JoinTree | None = None
+            # grow ranges over all subsets of `free`, the empty set
+            # included: S1 = {min(S)} alone is a legal left side.
+            for grow in _subsets_with_empty(free):
+                left = anchor | grow
+                if left == mask:
+                    continue
+                right = mask ^ left
+                counters.inner_counter += 1
+                if not graph.is_connected_set(left):
+                    continue
+                if not graph.is_connected_set(right):
+                    continue
+                if not graph.are_connected(left, right):
+                    continue
+                counters.ono_lohman_counter += 1
+                counters.csg_cmp_pair_counter += 2
+                plan_left = best(left)
+                plan_right = best(right)
+                counters.create_join_tree_calls += 2
+                for candidate in (
+                    cost_model.join(plan_left, plan_right),
+                    cost_model.join(plan_right, plan_left),
+                ):
+                    if champion is None or candidate.cost < champion.cost:
+                        champion = candidate
+            if champion is None:
+                raise OptimizerError(
+                    f"no cross-product-free plan exists for "
+                    f"{bitset.format_bits(mask)}; is the set connected?"
+                )
+            memo[mask] = champion
+            return champion
+
+        final = best(graph.all_relations)
+        for plan in memo.values():
+            table.register(plan)
+        table.register(final)

@@ -1,0 +1,66 @@
+"""GOO — Greedy Operator Ordering (Fegaras 1998), a heuristic baseline.
+
+Not part of the paper, but the standard non-exhaustive baseline: start
+with one tree per relation, then repeatedly join the pair of trees whose
+(edge-connected) join has the smallest estimated output cardinality,
+until one tree remains. Runs in O(n^3) neighborhood checks, produces
+bushy cross-product-free trees, and is *not* optimal — the examples use
+it to show how far greedy plans drift from the DP optimum.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import CounterSet, JoinOrderer, PlanTable
+from repro.cost.base import CostModel
+from repro.graph.querygraph import QueryGraph
+from repro.plans.jointree import JoinTree
+
+__all__ = ["GreedyOperatorOrdering"]
+
+
+class GreedyOperatorOrdering(JoinOrderer):
+    """Greedy minimum-intermediate-result join ordering (GOO)."""
+
+    name = "GOO"
+
+    def _run(
+        self,
+        graph: QueryGraph,
+        cost_model: CostModel,
+        table: PlanTable,
+        counters: CounterSet,
+    ) -> None:
+        estimator = cost_model.estimator
+        forest: list[JoinTree] = [table[1 << i] for i in range(graph.n_relations)]
+
+        while len(forest) > 1:
+            best_pair: tuple[int, int] | None = None
+            best_cardinality = float("inf")
+            for i in range(len(forest)):
+                for j in range(i + 1, len(forest)):
+                    counters.inner_counter += 1
+                    if not graph.are_connected(
+                        forest[i].relations, forest[j].relations
+                    ):
+                        continue
+                    cardinality = estimator.join_cardinality(forest[i], forest[j])
+                    if cardinality < best_cardinality:
+                        best_cardinality = cardinality
+                        best_pair = (i, j)
+            if best_pair is None:
+                # Unreachable for connected graphs (optimize() checks),
+                # kept as a defensive invariant.
+                raise AssertionError("greedy forest became disconnected")
+            i, j = best_pair
+            left, right = forest[i], forest[j]
+            counters.create_join_tree_calls += 2
+            joined = min(
+                cost_model.join(left, right),
+                cost_model.join(right, left),
+                key=lambda plan: plan.cost,
+            )
+            counters.ono_lohman_counter += 1
+            counters.csg_cmp_pair_counter += 2
+            table.register(joined)
+            forest[i] = joined
+            del forest[j]

@@ -1,0 +1,98 @@
+"""QuickPick — random join-tree sampling (Waas & Pellenkoft 2000).
+
+The classic "good enough is easy" baseline: build a random
+cross-product-free bushy tree by repeatedly picking a random query
+graph edge and joining the two component trees it connects; repeat for
+``samples`` trees and keep the cheapest. Linear per sample, embarrassed
+by DP on small queries, surprisingly competitive on large ones — the
+usual foil for both exact DP and IDP in the literature.
+
+Every sampled tree is cross-product-free by construction (only edges
+of the query graph merge components), so QuickPick searches the same
+space as the paper's algorithms, just non-exhaustively.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.base import CounterSet, JoinOrderer, PlanTable
+from repro.cost.base import CostModel
+from repro.errors import OptimizerError
+from repro.graph.querygraph import QueryGraph
+from repro.plans.jointree import JoinTree
+
+__all__ = ["QuickPick"]
+
+
+class QuickPick(JoinOrderer):
+    """Best-of-N random join trees.
+
+    Args:
+        samples: how many random trees to draw.
+        rng: seed or Random instance; defaults to a fixed seed so runs
+            are reproducible (pass your own for fresh randomness).
+    """
+
+    name = "QuickPick"
+
+    def __init__(self, samples: int = 100, rng: random.Random | int | None = 0) -> None:
+        if samples < 1:
+            raise OptimizerError(f"need at least one sample, got {samples}")
+        self._samples = samples
+        self._rng = rng if isinstance(rng, random.Random) else random.Random(rng)
+
+    @property
+    def samples(self) -> int:
+        """Number of random trees drawn per optimize() call."""
+        return self._samples
+
+    def _run(
+        self,
+        graph: QueryGraph,
+        cost_model: CostModel,
+        table: PlanTable,
+        counters: CounterSet,
+    ) -> None:
+        edges = [(edge.left, edge.right) for edge in graph.edges]
+        best: JoinTree | None = None
+        for _ in range(self._samples):
+            candidate = self._sample_tree(graph, cost_model, table, counters, edges)
+            if best is None or candidate.cost < best.cost:
+                best = candidate
+        assert best is not None  # samples >= 1 and graph is connected
+        table.register(best)
+
+    def _sample_tree(
+        self,
+        graph: QueryGraph,
+        cost_model: CostModel,
+        table: PlanTable,
+        counters: CounterSet,
+        edges: list[tuple[int, int]],
+    ) -> JoinTree:
+        """One random cross-product-free tree via random edge draws."""
+        component: dict[int, JoinTree] = {
+            index: table[1 << index] for index in range(graph.n_relations)
+        }
+        # component maps each relation to the tree currently containing
+        # it; trees are shared, so identity comparison detects cycles.
+        order = list(range(len(edges)))
+        self._rng.shuffle(order)
+        remaining = graph.n_relations
+        for position in order:
+            if remaining == 1:
+                break
+            left_index, right_index = edges[position]
+            left_tree = component[left_index]
+            right_tree = component[right_index]
+            if left_tree is right_tree:
+                continue  # edge internal to a component: skip
+            counters.inner_counter += 1
+            counters.create_join_tree_calls += 1
+            joined = cost_model.join(left_tree, right_tree)
+            for index in range(graph.n_relations):
+                if component[index] is left_tree or component[index] is right_tree:
+                    component[index] = joined
+            remaining -= 1
+        return component[0]

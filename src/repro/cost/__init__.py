@@ -1,0 +1,26 @@
+"""Cost models and cardinality estimation.
+
+Every optimizer in :mod:`repro.core` is parameterized by a
+:class:`CostModel`, which builds leaf and join plan nodes with estimated
+cardinalities and costs. Two models ship:
+
+* :class:`CoutModel` — the C_out model (sum of intermediate result
+  sizes), the standard model in the join-ordering literature and the
+  natural companion of this paper.
+* :class:`DiskCostModel` — a textbook disk-based model that picks the
+  cheapest of nested-loop, hash and sort-merge join per node,
+  demonstrating that the enumeration algorithms are cost-model
+  agnostic.
+"""
+
+from repro.cost.base import CostModel
+from repro.cost.cardinality import CardinalityEstimator
+from repro.cost.cout import CoutModel
+from repro.cost.disk import DiskCostModel
+
+__all__ = [
+    "CostModel",
+    "CardinalityEstimator",
+    "CoutModel",
+    "DiskCostModel",
+]

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the repro join-ordering library.
+
+All exceptions raised by this package derive from :class:`ReproError`, so
+callers can catch a single base class. More specific subclasses exist for
+the common failure modes: malformed query graphs, invalid plans, and
+misconfigured optimizers or workloads.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "DisconnectedGraphError",
+    "UnknownRelationError",
+    "PlanError",
+    "CrossProductError",
+    "OptimizerError",
+    "EmptyQueryError",
+    "CatalogError",
+    "WorkloadError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class GraphError(ReproError):
+    """A query graph is malformed or an operation on it is invalid."""
+
+
+class DisconnectedGraphError(GraphError):
+    """The query graph is not connected.
+
+    Every algorithm in the paper assumes a connected query graph; a
+    disconnected graph would force cross products, which the paper's
+    search space explicitly excludes.
+    """
+
+
+class UnknownRelationError(GraphError):
+    """A relation name or index does not exist in the graph/catalog."""
+
+
+class PlanError(ReproError):
+    """A join tree violates a structural invariant."""
+
+
+class CrossProductError(PlanError):
+    """A join tree contains a join with no connecting predicate."""
+
+
+class OptimizerError(ReproError):
+    """An optimizer was invoked with invalid inputs or configuration."""
+
+
+class EmptyQueryError(OptimizerError):
+    """An optimizer was asked to order a query with no relations."""
+
+
+class CatalogError(ReproError):
+    """Catalog statistics are missing or inconsistent."""
+
+
+class WorkloadError(ReproError):
+    """A synthetic workload specification is invalid."""

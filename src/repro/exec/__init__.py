@@ -1,0 +1,22 @@
+"""Execution substrate: run plans on synthetic data.
+
+The paper treats cardinalities and selectivities as optimizer inputs;
+this subpackage closes the loop by actually *executing* join trees
+over synthetic tables generated to honor the catalog:
+
+* :mod:`repro.exec.data` — deterministic table generation where each
+  join edge gets a shared join attribute whose domain size realizes
+  the edge's selectivity in expectation.
+* :mod:`repro.exec.executor` — a hash-join interpreter for
+  :class:`~repro.plans.jointree.JoinTree` plans, reporting actual
+  intermediate cardinalities next to the optimizer's estimates.
+
+This is what lets the repository demonstrate, not just assume, that
+the C_out model orders plans sensibly: cheaper plans process fewer
+actual rows (see ``examples/execution_validation.py``).
+"""
+
+from repro.exec.data import generate_tables
+from repro.exec.executor import ExecutionReport, execute_plan
+
+__all__ = ["generate_tables", "execute_plan", "ExecutionReport"]

@@ -1,0 +1,150 @@
+"""A hash-join interpreter for join-tree plans.
+
+Executes a :class:`~repro.plans.jointree.JoinTree` over tables from
+:func:`repro.exec.data.generate_tables`. Tuples in flight map relation
+index -> base row, so arbitrary bushy shapes compose without column
+renaming. Each join node hash-partitions its smaller input on the join
+attributes of the edges crossing the two sides (falling back to a
+nested cross product when no edge crosses, for DPall plans).
+
+The point is validation, not speed: the returned
+:class:`ExecutionReport` lists, per join, the optimizer's estimated
+cardinality next to the actual row count, plus the totals that make
+C_out comparable to reality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import bitset
+from repro.errors import ReproError
+from repro.exec.data import edge_column
+from repro.graph.querygraph import QueryGraph
+from repro.plans.jointree import JoinTree
+
+__all__ = ["JoinObservation", "ExecutionReport", "execute_plan"]
+
+#: A tuple in flight: relation index -> base-table row.
+Tuple = dict[int, dict[str, int]]
+
+
+@dataclass(frozen=True, slots=True)
+class JoinObservation:
+    """Estimated vs. actual output size of one join node."""
+
+    relations: int
+    operator: str
+    estimated: float
+    actual: int
+
+    @property
+    def q_error(self) -> float:
+        """max(est/act, act/est) — the standard estimation error measure."""
+        estimated = max(self.estimated, 1e-12)
+        actual = max(float(self.actual), 1e-12)
+        return max(estimated / actual, actual / estimated)
+
+
+@dataclass(slots=True)
+class ExecutionReport:
+    """Everything one plan execution produced (besides the rows)."""
+
+    observations: list[JoinObservation]
+    result_rows: int
+
+    @property
+    def total_intermediate_actual(self) -> int:
+        """Actual C_out: sum of real intermediate result sizes."""
+        return sum(observation.actual for observation in self.observations)
+
+    @property
+    def total_intermediate_estimated(self) -> float:
+        """The optimizer's C_out for the same plan."""
+        return sum(observation.estimated for observation in self.observations)
+
+    @property
+    def max_q_error(self) -> float:
+        """Worst per-join estimation error."""
+        if not self.observations:
+            return 1.0
+        return max(observation.q_error for observation in self.observations)
+
+
+def execute_plan(
+    plan: JoinTree,
+    graph: QueryGraph,
+    tables: list[list[dict[str, int]]],
+) -> ExecutionReport:
+    """Execute ``plan`` over ``tables``; return the validation report."""
+    if len(tables) != graph.n_relations:
+        raise ReproError(
+            f"got {len(tables)} tables for {graph.n_relations} relations"
+        )
+    observations: list[JoinObservation] = []
+
+    def run(node: JoinTree) -> list[Tuple]:
+        if node.is_leaf:
+            index = node.relation_index
+            return [{index: row} for row in tables[index]]
+        assert node.left is not None and node.right is not None
+        left_tuples = run(node.left)
+        right_tuples = run(node.right)
+        joined = _hash_join(
+            graph, node.left.relations, node.right.relations,
+            left_tuples, right_tuples,
+        )
+        observations.append(
+            JoinObservation(
+                relations=node.relations,
+                operator=node.operator,
+                estimated=node.cardinality,
+                actual=len(joined),
+            )
+        )
+        return joined
+
+    result = run(plan)
+    return ExecutionReport(observations=observations, result_rows=len(result))
+
+
+def _hash_join(
+    graph: QueryGraph,
+    left_mask: int,
+    right_mask: int,
+    left_tuples: list[Tuple],
+    right_tuples: list[Tuple],
+) -> list[Tuple]:
+    """Join two tuple streams on all crossing edges (or cross product)."""
+    keys: list[tuple[int, int, str]] = []  # (left_rel, right_rel, column)
+    for position, edge in enumerate(graph.edges):
+        left_end, right_end = edge.endpoints
+        column = edge_column(position)
+        if bitset.bit(left_end) & left_mask and bitset.bit(right_end) & right_mask:
+            keys.append((left_end, right_end, column))
+        elif bitset.bit(right_end) & left_mask and bitset.bit(left_end) & right_mask:
+            keys.append((right_end, left_end, column))
+
+    if not keys:  # cross product (DPall plans)
+        return [
+            {**left, **right} for left in left_tuples for right in right_tuples
+        ]
+
+    build_side, probe_side = left_tuples, right_tuples
+    build_extract = [(rel, column) for rel, _other, column in keys]
+    probe_extract = [(other, column) for _rel, other, column in keys]
+    swapped = len(build_side) > len(probe_side)
+    if swapped:
+        build_side, probe_side = probe_side, build_side
+        build_extract, probe_extract = probe_extract, build_extract
+
+    table: dict[tuple[int, ...], list[Tuple]] = {}
+    for item in build_side:
+        key = tuple(item[rel][column] for rel, column in build_extract)
+        table.setdefault(key, []).append(item)
+    joined: list[Tuple] = []
+    for item in probe_side:
+        key = tuple(item[rel][column] for rel, column in probe_extract)
+        for match in table.get(key, ()):
+            joined.append({**match, **item})
+    return joined

@@ -1,0 +1,5 @@
+"""Text frontend: parse SQL-ish join queries into graph + catalog."""
+
+from repro.frontend.parser import parse_query
+
+__all__ = ["parse_query"]

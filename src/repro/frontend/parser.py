@@ -1,0 +1,158 @@
+"""A small SQL-ish parser for conjunctive join queries.
+
+Grammar (case-insensitive keywords, whitespace-insensitive)::
+
+    query     := SELECT select FROM tables [WHERE predicates]
+    select    := anything up to FROM (ignored — join ordering does not
+                 depend on the projection)
+    tables    := table ("," table)*
+    table     := name [alias] ["(" cardinality ")"]
+    predicates:= predicate (AND predicate)*
+    predicate := ref "=" ref ["[" selectivity "]"]
+    ref       := alias "." column
+    selectivity := float | "1/" number
+
+Example::
+
+    SELECT * FROM orders o (1500000), customer c (150000)
+    WHERE o.custkey = c.custkey [1/150000]
+
+:func:`parse_query` returns ``(QueryGraph, Catalog)`` ready for any
+optimizer. Predicates without an explicit selectivity get
+``default_selectivity``; tables without a cardinality get
+``default_cardinality``. Only equi-join predicates between two
+*different* relations are supported — local filters belong in the
+cardinalities/selectivities, as in the paper's model.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.catalog.catalog import Catalog
+from repro.errors import ReproError
+from repro.graph.builder import QueryGraphBuilder
+from repro.graph.querygraph import QueryGraph
+
+__all__ = ["parse_query", "QueryParseError"]
+
+
+class QueryParseError(ReproError):
+    """The query text does not match the supported grammar."""
+
+
+_TABLE_PATTERN = re.compile(
+    r"""^\s*
+        (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+        (?:\s+(?P<alias>(?!where\b)[A-Za-z_][A-Za-z_0-9]*))?
+        (?:\s*\(\s*(?P<cardinality>\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)\s*\))?
+        \s*$""",
+    re.VERBOSE | re.IGNORECASE,
+)
+
+_PREDICATE_PATTERN = re.compile(
+    r"""^\s*
+        (?P<left_rel>[A-Za-z_][A-Za-z_0-9]*)\s*\.\s*(?P<left_col>[A-Za-z_][A-Za-z_0-9]*)
+        \s*=\s*
+        (?P<right_rel>[A-Za-z_][A-Za-z_0-9]*)\s*\.\s*(?P<right_col>[A-Za-z_][A-Za-z_0-9]*)
+        (?:\s*\[\s*(?P<selectivity>1\s*/\s*\d+(?:\.\d+)?|\d*\.?\d+(?:[eE][+-]?\d+)?)\s*\])?
+        \s*$""",
+    re.VERBOSE,
+)
+
+
+def parse_query(
+    text: str,
+    default_cardinality: float = 1000.0,
+    default_selectivity: float = 0.1,
+) -> tuple[QueryGraph, Catalog]:
+    """Parse a SQL-ish join query into ``(QueryGraph, Catalog)``.
+
+    Raises:
+        QueryParseError: with a message pointing at the offending
+            clause when the text does not fit the grammar.
+    """
+    stripped = text.strip().rstrip(";")
+    match = re.match(
+        r"select\b(?P<select>.*?)\bfrom\b(?P<rest>.*)$",
+        stripped,
+        re.IGNORECASE | re.DOTALL,
+    )
+    if not match:
+        raise QueryParseError("expected 'SELECT ... FROM ...'")
+    rest = match.group("rest")
+    where_split = re.split(r"\bwhere\b", rest, maxsplit=1, flags=re.IGNORECASE)
+    from_clause = where_split[0]
+    where_clause = where_split[1] if len(where_split) > 1 else ""
+
+    builder = QueryGraphBuilder()
+    alias_of: dict[str, str] = {}
+    for raw_table in from_clause.split(","):
+        table = _TABLE_PATTERN.match(raw_table)
+        if not table:
+            raise QueryParseError(
+                f"cannot parse FROM item {raw_table.strip()!r}; expected "
+                "'name [alias] [(cardinality)]'"
+            )
+        name = table.group("name")
+        alias = table.group("alias") or name
+        cardinality = (
+            float(table.group("cardinality"))
+            if table.group("cardinality")
+            else default_cardinality
+        )
+        if alias in alias_of:
+            raise QueryParseError(f"duplicate table alias {alias!r}")
+        alias_of[alias] = name
+        builder.relation(alias, cardinality=cardinality)
+
+    if where_clause.strip():
+        for raw_predicate in re.split(r"\band\b", where_clause, flags=re.IGNORECASE):
+            predicate = _PREDICATE_PATTERN.match(raw_predicate)
+            if not predicate:
+                raise QueryParseError(
+                    f"cannot parse predicate {raw_predicate.strip()!r}; "
+                    "expected 'a.col = b.col [selectivity]'"
+                )
+            left = predicate.group("left_rel")
+            right = predicate.group("right_rel")
+            for alias in (left, right):
+                if alias not in alias_of:
+                    raise QueryParseError(
+                        f"predicate references unknown table alias {alias!r}"
+                    )
+            if left == right:
+                raise QueryParseError(
+                    f"local filter on {left!r} is not a join predicate; "
+                    "fold filters into the table cardinality instead"
+                )
+            selectivity = _parse_selectivity(
+                predicate.group("selectivity"), default_selectivity
+            )
+            builder.join(
+                left,
+                right,
+                selectivity=selectivity,
+                predicate=(
+                    f"{left}.{predicate.group('left_col')} = "
+                    f"{right}.{predicate.group('right_col')}"
+                ),
+            )
+    return builder.build()
+
+
+def _parse_selectivity(token: str | None, default: float) -> float:
+    if token is None:
+        return default
+    compact = token.replace(" ", "")
+    if compact.startswith("1/"):
+        denominator = float(compact[2:])
+        if denominator <= 0:
+            raise QueryParseError(f"bad selectivity {token!r}")
+        return min(1.0, 1.0 / denominator)
+    value = float(compact)
+    if not 0.0 < value <= 1.0:
+        raise QueryParseError(
+            f"selectivity {token!r} must lie in (0, 1]"
+        )
+    return value

@@ -1,0 +1,70 @@
+"""Query graph substrate: graphs, generators, and subgraph enumeration.
+
+A *query graph* has one node per base relation and one edge per join
+predicate. Everything in the paper — the DP algorithms, the search-space
+analysis, and the csg-cmp-pair enumeration — is defined over this
+structure.
+"""
+
+from repro.graph.builder import QueryGraphBuilder
+from repro.graph.counting import (
+    count_ccp,
+    count_ccp_brute_force,
+    count_csg,
+    count_csg_brute_force,
+)
+from repro.graph.generators import (
+    chain_graph,
+    clique_graph,
+    cycle_graph,
+    grid_graph,
+    random_connected_graph,
+    random_tree_graph,
+    star_graph,
+)
+from repro.graph.properties import (
+    GraphShape,
+    classify_shape,
+    density,
+    is_chain,
+    is_clique,
+    is_cycle,
+    is_star,
+    is_tree,
+)
+from repro.graph.querygraph import JoinEdge, QueryGraph
+from repro.graph.subgraphs import (
+    enumerate_cmp,
+    enumerate_csg,
+    enumerate_csg_cmp_pairs,
+    enumerate_csg_rec,
+)
+
+__all__ = [
+    "JoinEdge",
+    "QueryGraph",
+    "QueryGraphBuilder",
+    "chain_graph",
+    "cycle_graph",
+    "star_graph",
+    "clique_graph",
+    "grid_graph",
+    "random_tree_graph",
+    "random_connected_graph",
+    "enumerate_csg",
+    "enumerate_csg_rec",
+    "enumerate_cmp",
+    "enumerate_csg_cmp_pairs",
+    "count_csg",
+    "count_ccp",
+    "count_csg_brute_force",
+    "count_ccp_brute_force",
+    "GraphShape",
+    "classify_shape",
+    "density",
+    "is_chain",
+    "is_cycle",
+    "is_star",
+    "is_clique",
+    "is_tree",
+]

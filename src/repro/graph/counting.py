@@ -1,0 +1,98 @@
+"""Counting connected subsets and csg-cmp-pairs (paper §2.3).
+
+Two independent implementations of each count:
+
+* ``count_*`` — fast, via the paper's own enumerators
+  (:mod:`repro.graph.subgraphs`); linear in the number of objects
+  counted.
+* ``count_*_brute_force`` — ground truth via a full powerset scan,
+  O(2^n) and O(4^n) respectively; used by the test suite to validate
+  the enumerators and the closed-form formulas.
+
+Conventions (see DESIGN.md): ``#csg`` counts non-empty connected
+subsets. ``#ccp`` here is the *symmetric* count including both
+orientations (paper §2.3.1); the Ono-Lohman count in Figure 3 is
+``#ccp / 2``.
+"""
+
+from __future__ import annotations
+
+from repro import bitset
+from repro.errors import GraphError
+from repro.graph.querygraph import QueryGraph
+from repro.graph.subgraphs import enumerate_csg, enumerate_csg_cmp_pairs
+
+__all__ = [
+    "count_csg",
+    "count_ccp",
+    "count_csg_brute_force",
+    "count_ccp_brute_force",
+]
+
+
+def _bfs_numbered(graph: QueryGraph) -> QueryGraph:
+    """Return a BFS-numbered twin (counts are numbering-invariant)."""
+    if graph.is_bfs_numbered():
+        return graph
+    renumbered, _order = graph.bfs_renumbered()
+    return renumbered
+
+
+def count_csg(graph: QueryGraph) -> int:
+    """Number of non-empty connected subsets, via ``EnumerateCsg``."""
+    if not graph.is_connected:
+        raise GraphError("#csg is defined for connected query graphs")
+    numbered = _bfs_numbered(graph)
+    return sum(1 for _subset in enumerate_csg(numbered, trust_numbering=True))
+
+
+def count_ccp(graph: QueryGraph) -> int:
+    """Symmetric csg-cmp-pair count, via the DPccp pair stream.
+
+    The stream yields each unordered pair once, so the symmetric count
+    is twice the number of emitted pairs.
+    """
+    if not graph.is_connected:
+        raise GraphError("#ccp is defined for connected query graphs")
+    numbered = _bfs_numbered(graph)
+    unordered = sum(
+        1 for _pair in enumerate_csg_cmp_pairs(numbered, trust_numbering=True)
+    )
+    return 2 * unordered
+
+
+def count_csg_brute_force(graph: QueryGraph) -> int:
+    """Ground-truth ``#csg`` by scanning all ``2^n - 1`` non-empty subsets."""
+    if not graph.is_connected:
+        raise GraphError("#csg is defined for connected query graphs")
+    total = 0
+    for subset in range(1, graph.all_relations + 1):
+        if graph.is_connected_set(subset):
+            total += 1
+    return total
+
+
+def count_ccp_brute_force(graph: QueryGraph) -> int:
+    """Ground-truth symmetric ``#ccp`` by scanning subset pairs.
+
+    For every connected ``S`` and every non-empty strict subset ``S1``
+    of ``S`` with connected complement ``S2 = S \\ S1`` joined to
+    ``S1``, counts the ordered pair ``(S1, S2)``. This mirrors the
+    definition in paper §2.3.1 directly and independently of the
+    enumerators.
+    """
+    if not graph.is_connected:
+        raise GraphError("#ccp is defined for connected query graphs")
+    total = 0
+    for whole in range(1, graph.all_relations + 1):
+        if not graph.is_connected_set(whole):
+            continue
+        for left in bitset.iter_subsets(whole):
+            right = whole & ~left
+            if (
+                graph.is_connected_set(left)
+                and graph.is_connected_set(right)
+                and graph.are_connected(left, right)
+            ):
+                total += 1
+    return total

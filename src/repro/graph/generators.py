@@ -1,0 +1,230 @@
+"""Query graph generators for the paper's workloads and for testing.
+
+The paper evaluates on four graph families — chain, cycle, star and
+clique — each uniquely determined by the number of relations ``n``
+(paper §2.3.1: "for a given kind of query graph, every n uniquely
+determines a query graph"). Grid and random generators are added for
+property-based testing and for workloads beyond the paper.
+
+All generators accept an optional ``selectivity`` (uniform on all edges)
+or a seeded random number generator for per-edge selectivities, so the
+same topology can be reused for counter experiments (selectivities
+irrelevant) and cost experiments (selectivities matter).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Sequence
+
+from repro.errors import WorkloadError
+from repro.graph.querygraph import JoinEdge, QueryGraph
+
+__all__ = [
+    "chain_graph",
+    "cycle_graph",
+    "star_graph",
+    "clique_graph",
+    "grid_graph",
+    "random_tree_graph",
+    "random_connected_graph",
+    "PAPER_TOPOLOGIES",
+    "graph_for_topology",
+]
+
+
+def _selectivity_source(
+    selectivity: float | None, rng: random.Random | None
+) -> Callable[[], float]:
+    """Build a per-edge selectivity supplier.
+
+    Precedence: explicit uniform value, then seeded RNG (uniform in
+    ``[0.001, 0.5]``, a realistic join-predicate range), then 1.0.
+    """
+    if selectivity is not None:
+        if not 0.0 < selectivity <= 1.0:
+            raise WorkloadError(f"selectivity must be in (0, 1], got {selectivity}")
+        return lambda: selectivity
+    if rng is not None:
+        return lambda: rng.uniform(0.001, 0.5)
+    return lambda: 1.0
+
+
+def _require_size(n: int, minimum: int, kind: str) -> None:
+    if n < minimum:
+        raise WorkloadError(f"a {kind} query graph needs n >= {minimum}, got {n}")
+
+
+def chain_graph(
+    n: int,
+    selectivity: float | None = None,
+    rng: random.Random | None = None,
+) -> QueryGraph:
+    """Chain query graph: ``R0 - R1 - ... - R{n-1}``.
+
+    The classic pipeline-of-joins shape (e.g. a foreign-key path
+    through a normalized schema).
+    """
+    _require_size(n, 1, "chain")
+    next_selectivity = _selectivity_source(selectivity, rng)
+    edges = [JoinEdge(i, i + 1, next_selectivity()) for i in range(n - 1)]
+    return QueryGraph(n, edges)
+
+
+def cycle_graph(
+    n: int,
+    selectivity: float | None = None,
+    rng: random.Random | None = None,
+) -> QueryGraph:
+    """Cycle query graph: a chain with an extra edge closing the loop.
+
+    Requires ``n >= 3``; a "cycle" of two nodes would duplicate the
+    chain edge.
+    """
+    _require_size(n, 3, "cycle")
+    next_selectivity = _selectivity_source(selectivity, rng)
+    edges = [JoinEdge(i, i + 1, next_selectivity()) for i in range(n - 1)]
+    edges.append(JoinEdge(n - 1, 0, next_selectivity()))
+    return QueryGraph(n, edges)
+
+
+def star_graph(
+    n: int,
+    selectivity: float | None = None,
+    rng: random.Random | None = None,
+    hub: int = 0,
+) -> QueryGraph:
+    """Star query graph: a hub relation joined to ``n - 1`` satellites.
+
+    The data-warehouse shape the paper highlights ("star queries are of
+    high practical importance in data warehouses", §4). ``hub`` selects
+    which index is the center (default 0, which is also BFS-numbered).
+    """
+    _require_size(n, 1, "star")
+    if not 0 <= hub < n:
+        raise WorkloadError(f"hub index {hub} out of range for n={n}")
+    next_selectivity = _selectivity_source(selectivity, rng)
+    edges = [
+        JoinEdge(hub, i, next_selectivity()) for i in range(n) if i != hub
+    ]
+    return QueryGraph(n, edges)
+
+
+def clique_graph(
+    n: int,
+    selectivity: float | None = None,
+    rng: random.Random | None = None,
+) -> QueryGraph:
+    """Clique query graph: every pair of relations is joined.
+
+    The densest possible search space; the paper uses it as the
+    worst case for DPsize and the best case for DPsub.
+    """
+    _require_size(n, 1, "clique")
+    next_selectivity = _selectivity_source(selectivity, rng)
+    edges = [
+        JoinEdge(i, j, next_selectivity())
+        for i in range(n)
+        for j in range(i + 1, n)
+    ]
+    return QueryGraph(n, edges)
+
+
+def grid_graph(
+    rows: int,
+    cols: int,
+    selectivity: float | None = None,
+    rng: random.Random | None = None,
+) -> QueryGraph:
+    """Grid query graph: ``rows x cols`` lattice.
+
+    Not in the paper, but a standard "moderately cyclic" stress shape
+    between chain and clique; useful for ablation benchmarks.
+    """
+    if rows < 1 or cols < 1:
+        raise WorkloadError(f"grid needs positive dimensions, got {rows}x{cols}")
+    next_selectivity = _selectivity_source(selectivity, rng)
+    edges = []
+    for row in range(rows):
+        for col in range(cols):
+            node = row * cols + col
+            if col + 1 < cols:
+                edges.append(JoinEdge(node, node + 1, next_selectivity()))
+            if row + 1 < rows:
+                edges.append(JoinEdge(node, node + cols, next_selectivity()))
+    return QueryGraph(rows * cols, edges)
+
+
+def random_tree_graph(
+    n: int,
+    rng: random.Random,
+    selectivity: float | None = None,
+) -> QueryGraph:
+    """Uniform-ish random spanning tree on ``n`` relations.
+
+    Each node ``i > 0`` attaches to a uniformly chosen earlier node, a
+    simple random recursive tree. Acyclic graphs are the common case in
+    real schemas (foreign-key joins), so property tests lean on this.
+    """
+    _require_size(n, 1, "random tree")
+    next_selectivity = _selectivity_source(selectivity, rng)
+    edges = [
+        JoinEdge(rng.randrange(i), i, next_selectivity()) for i in range(1, n)
+    ]
+    return QueryGraph(n, edges)
+
+
+def random_connected_graph(
+    n: int,
+    rng: random.Random,
+    extra_edge_probability: float = 0.2,
+    selectivity: float | None = None,
+) -> QueryGraph:
+    """Random connected graph: random tree plus random extra edges.
+
+    ``extra_edge_probability`` is applied independently to every
+    non-tree pair, interpolating between tree (0.0) and clique (1.0).
+    """
+    _require_size(n, 1, "random connected")
+    if not 0.0 <= extra_edge_probability <= 1.0:
+        raise WorkloadError(
+            f"extra_edge_probability must be in [0, 1], got {extra_edge_probability}"
+        )
+    next_selectivity = _selectivity_source(selectivity, rng)
+    tree = {(rng.randrange(i), i) for i in range(1, n)}
+    edges = [JoinEdge(a, b, next_selectivity()) for a, b in sorted(tree)]
+    for i in range(n):
+        for j in range(i + 1, n):
+            if (i, j) not in tree and rng.random() < extra_edge_probability:
+                edges.append(JoinEdge(i, j, next_selectivity()))
+    return QueryGraph(n, edges)
+
+
+#: The four topologies evaluated in the paper, in presentation order.
+PAPER_TOPOLOGIES: tuple[str, ...] = ("chain", "cycle", "star", "clique")
+
+
+def graph_for_topology(
+    topology: str,
+    n: int,
+    selectivity: float | None = None,
+    rng: random.Random | None = None,
+) -> QueryGraph:
+    """Dispatch to one of the paper's four generators by name.
+
+    Accepted names: ``chain``, ``cycle``, ``star``, ``clique``.
+    """
+    generators: dict[str, Callable[..., QueryGraph]] = {
+        "chain": chain_graph,
+        "cycle": cycle_graph,
+        "star": star_graph,
+        "clique": clique_graph,
+    }
+    try:
+        generator = generators[topology]
+    except KeyError:
+        known = ", ".join(sorted(generators))
+        raise WorkloadError(
+            f"unknown topology {topology!r}; expected one of: {known}"
+        ) from None
+    return generator(n, selectivity=selectivity, rng=rng)

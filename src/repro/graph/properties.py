@@ -1,0 +1,117 @@
+"""Structural classification of query graphs.
+
+Recognisers for the paper's four topologies plus generic measures
+(density, tree test). The adaptive optimizer and the benchmark harness
+use these to label workloads; the test suite uses them as oracles for
+the generators.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.graph.querygraph import QueryGraph
+
+__all__ = [
+    "GraphShape",
+    "classify_shape",
+    "density",
+    "is_chain",
+    "is_cycle",
+    "is_star",
+    "is_clique",
+    "is_tree",
+]
+
+
+class GraphShape(enum.Enum):
+    """The paper's named topologies, plus catch-alls."""
+
+    CHAIN = "chain"
+    CYCLE = "cycle"
+    STAR = "star"
+    CLIQUE = "clique"
+    TREE = "tree"
+    GENERAL = "general"
+
+
+def density(graph: QueryGraph) -> float:
+    """Edge density: edges divided by edges of the complete graph.
+
+    A single-relation graph has density 0.0 by convention.
+    """
+    n = graph.n_relations
+    if n < 2:
+        return 0.0
+    return len(graph.edges) / (n * (n - 1) / 2)
+
+
+def is_chain(graph: QueryGraph) -> bool:
+    """True for a simple path through all relations.
+
+    Degenerate cases: a single relation and a single edge both count
+    as chains (matching :func:`repro.graph.generators.chain_graph`).
+    """
+    n = graph.n_relations
+    if not graph.is_connected or len(graph.edges) != n - 1:
+        return False
+    degrees = [graph.degree(i) for i in range(n)]
+    if n == 1:
+        return True
+    return sorted(degrees)[:2] == [1, 1] and max(degrees) <= 2
+
+
+def is_cycle(graph: QueryGraph) -> bool:
+    """True for a single simple cycle through all relations (n >= 3)."""
+    n = graph.n_relations
+    if n < 3 or not graph.is_connected or len(graph.edges) != n:
+        return False
+    return all(graph.degree(i) == 2 for i in range(n))
+
+
+def is_star(graph: QueryGraph) -> bool:
+    """True for a hub joined to all other relations, with no other edges.
+
+    Degenerate cases: n == 1 and n == 2 count as stars (they are also
+    chains; :func:`classify_shape` prefers the chain label there).
+    """
+    n = graph.n_relations
+    if not graph.is_connected or len(graph.edges) != n - 1:
+        return False
+    if n <= 2:
+        return True
+    degrees = [graph.degree(i) for i in range(n)]
+    return degrees.count(n - 1) == 1 and degrees.count(1) == n - 1
+
+
+def is_clique(graph: QueryGraph) -> bool:
+    """True when every pair of relations is joined."""
+    n = graph.n_relations
+    return len(graph.edges) == n * (n - 1) // 2 and (n == 1 or graph.is_connected)
+
+
+def is_tree(graph: QueryGraph) -> bool:
+    """True for any connected acyclic graph (chains and stars included)."""
+    return graph.is_connected and len(graph.edges) == graph.n_relations - 1
+
+
+def classify_shape(graph: QueryGraph) -> GraphShape:
+    """Classify into the most specific matching :class:`GraphShape`.
+
+    Preference order on overlaps: clique before cycle (a triangle is
+    both), chain before star (n <= 2 is both), star/chain before
+    generic tree.
+    """
+    if is_clique(graph) and graph.n_relations >= 3:
+        return GraphShape.CLIQUE
+    if is_chain(graph):
+        return GraphShape.CHAIN
+    if is_cycle(graph):
+        return GraphShape.CYCLE
+    if is_star(graph):
+        return GraphShape.STAR
+    if is_tree(graph):
+        return GraphShape.TREE
+    if is_clique(graph):
+        return GraphShape.CLIQUE
+    return GraphShape.GENERAL

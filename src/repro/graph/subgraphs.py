@@ -1,0 +1,192 @@
+"""Connected-subgraph and csg-cmp-pair enumeration (paper §3.2-3.3).
+
+These are the paper's three routines, transcribed faithfully:
+
+* :func:`enumerate_csg` — emit every connected subset of the query
+  graph, each exactly once, subsets before supersets (Lemmas 8, 10, 12).
+* :func:`enumerate_csg_rec` — the shared recursive expansion step.
+* :func:`enumerate_cmp` — for a connected ``S1``, emit every ``S2`` such
+  that ``(S1, S2)`` is a csg-cmp-pair, each pair in exactly one
+  orientation (Theorem 2).
+
+:func:`enumerate_csg_cmp_pairs` combines them into the pair stream that
+drives DPccp. The graph must be BFS-numbered (paper §3.4.1 precondition);
+:meth:`QueryGraph.is_bfs_numbered` checks this and
+:meth:`QueryGraph.bfs_renumbered` establishes it. DPccp handles the
+renumbering transparently; call these directly only on BFS-numbered
+graphs (they raise otherwise unless ``trust_numbering=True``).
+
+All sets are bitsets. ``B_i`` from the paper (the nodes with label at
+most ``i``) is the bitmask ``(1 << (i + 1)) - 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro import bitset
+from repro.errors import GraphError
+from repro.graph.querygraph import QueryGraph
+
+__all__ = [
+    "enumerate_csg",
+    "enumerate_csg_rec",
+    "enumerate_cmp",
+    "enumerate_csg_cmp_pairs",
+]
+
+
+def _check_numbering(graph: QueryGraph, trust_numbering: bool) -> None:
+    if not trust_numbering and not graph.is_bfs_numbered():
+        raise GraphError(
+            "EnumerateCsg/EnumerateCmp require a BFS-numbered connected "
+            "graph (paper §3.4.1); use QueryGraph.bfs_renumbered() first"
+        )
+
+
+def enumerate_csg_rec(
+    graph: QueryGraph,
+    subset: int,
+    excluded: int,
+    max_size: int | None = None,
+) -> Iterator[int]:
+    """``EnumerateCsgRec(G, S, X)``: grow ``subset`` into larger connected sets.
+
+    Emits ``S ∪ S'`` for every non-empty ``S'`` of the usable
+    neighborhood ``N = N(S) \\ X`` (subsets first), then recurses into
+    each expansion with ``X ∪ N`` excluded — exactly the paper's two
+    consecutive loops, which together guarantee duplicate-freeness and
+    a subsets-before-supersets emission order.
+
+    ``max_size`` prunes the enumeration to sets of at most that many
+    nodes (used by bounded DP such as IDP); growth is monotone, so
+    pruning loses exactly the over-sized sets and nothing else.
+    """
+    neighborhood = graph.neighborhood(subset) & ~excluded
+    if neighborhood == 0:
+        return
+    if max_size is None:
+        for grow in bitset.iter_all_subsets(neighborhood):
+            yield subset | grow
+        for grow in bitset.iter_all_subsets(neighborhood):
+            yield from enumerate_csg_rec(
+                graph, subset | grow, excluded | neighborhood
+            )
+        return
+    headroom = max_size - bitset.popcount(subset)
+    if headroom <= 0:
+        return
+    for grow in bitset.iter_all_subsets(neighborhood):
+        if bitset.popcount(grow) <= headroom:
+            yield subset | grow
+    for grow in bitset.iter_all_subsets(neighborhood):
+        if bitset.popcount(grow) < headroom:
+            yield from enumerate_csg_rec(
+                graph, subset | grow, excluded | neighborhood, max_size
+            )
+
+
+def enumerate_csg(
+    graph: QueryGraph,
+    trust_numbering: bool = False,
+    max_size: int | None = None,
+) -> Iterator[int]:
+    """``EnumerateCsg(G)``: emit every connected subset exactly once.
+
+    Iterates start nodes ``v_i`` in descending index order; the
+    enumeration from ``v_i`` excludes all nodes with a smaller label
+    (``B_i``), so each connected set is produced exactly once, from its
+    minimum-label node (Lemma 9). Emission order is valid for dynamic
+    programming: every connected set appears after all its connected
+    subsets (Lemma 12). ``max_size`` restricts emissions to sets of at
+    most that many nodes.
+    """
+    _check_numbering(graph, trust_numbering)
+    if max_size is not None and max_size < 1:
+        return
+    for start in range(graph.n_relations - 1, -1, -1):
+        start_mask = bitset.bit(start)
+        yield start_mask
+        lower_or_equal = (start_mask << 1) - 1  # B_i = {v_j | j <= i}
+        yield from enumerate_csg_rec(graph, start_mask, lower_or_equal, max_size)
+
+
+def enumerate_cmp(
+    graph: QueryGraph,
+    subset: int,
+    trust_numbering: bool = False,
+    max_size: int | None = None,
+) -> Iterator[int]:
+    """``EnumerateCmp(G, S1)``: emit all complements forming csg-cmp-pairs.
+
+    For a connected ``subset`` (= ``S1``), yields every connected
+    ``S2`` disjoint from ``S1``, joined to ``S1`` by at least one edge,
+    containing only nodes with labels greater than ``min(S1)`` — the
+    ordering restriction that makes the combined enumeration emit each
+    csg-cmp-pair in exactly one orientation.
+    """
+    _check_numbering(graph, trust_numbering)
+    if subset == 0:
+        raise GraphError("EnumerateCmp requires a non-empty S1")
+    min_mask = subset & -subset
+    lower_or_equal = (min_mask << 1) - 1  # B_{min(S1)}
+    excluded = lower_or_equal | subset
+    neighborhood = graph.neighborhood(subset) & ~excluded
+    # Descending node order, per the paper's "for all v_i in N by
+    # descending i". Each start node v_i excludes X ∪ B_i(N) — the
+    # lower-numbered neighbors, which produce the supersets containing
+    # them from their own iterations. (The paper defines B_i(W) for
+    # exactly this; transcriptions that exclude all of N here lose
+    # every complement spanning two first-generation neighbors, e.g.
+    # ({0},{1,2}) on a triangle.)
+    if max_size is not None and max_size < 1:
+        return
+    for start in _descending_bits(neighborhood):
+        start_mask = bitset.bit(start)
+        yield start_mask
+        lower_neighbors = ((start_mask << 1) - 1) & neighborhood  # B_i(N)
+        yield from enumerate_csg_rec(
+            graph, start_mask, excluded | lower_neighbors, max_size
+        )
+
+
+def _descending_bits(mask: int) -> Iterator[int]:
+    """Indices of set bits in descending order."""
+    while mask:
+        index = mask.bit_length() - 1
+        yield index
+        mask ^= 1 << index
+
+
+def enumerate_csg_cmp_pairs(
+    graph: QueryGraph,
+    trust_numbering: bool = False,
+    max_union_size: int | None = None,
+) -> Iterator[tuple[int, int]]:
+    """Stream all csg-cmp-pairs ``(S1, S2)`` in a DP-valid order.
+
+    Each unordered pair ``{S1, S2}`` is emitted exactly once, in the
+    orientation chosen by the ordering of the underlying enumerators
+    (``min(S1) < min(S2)``). When a pair is emitted, the optimal plans
+    of all connected subsets of ``S1`` and of ``S2`` are already
+    computable from previously emitted pairs — the property DPccp
+    needs (paper §3.1).
+
+    ``max_union_size`` restricts the stream to pairs with
+    ``|S1| + |S2| <= max_union_size``, pruning the enumeration itself
+    (not just filtering) — the bounded-DP mode IDP uses.
+    """
+    _check_numbering(graph, trust_numbering)
+    if max_union_size is None:
+        for left in enumerate_csg(graph, trust_numbering=True):
+            for right in enumerate_cmp(graph, left, trust_numbering=True):
+                yield left, right
+        return
+    for left in enumerate_csg(
+        graph, trust_numbering=True, max_size=max_union_size - 1
+    ):
+        headroom = max_union_size - bitset.popcount(left)
+        for right in enumerate_cmp(
+            graph, left, trust_numbering=True, max_size=headroom
+        ):
+            yield left, right

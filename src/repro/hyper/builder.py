@@ -1,0 +1,103 @@
+"""Fluent construction of hypergraph queries from named relations.
+
+The hypergraph counterpart of
+:class:`repro.graph.builder.QueryGraphBuilder`:
+
+>>> from repro.hyper.builder import HypergraphBuilder
+>>> hypergraph, catalog = (
+...     HypergraphBuilder()
+...     .relation("orders", cardinality=1_000_000)
+...     .relation("rates", cardinality=500)
+...     .relation("currency", cardinality=30)
+...     .join(["orders"], ["rates"], selectivity=1 / 500)
+...     .join(["orders", "rates"], ["currency"], selectivity=0.001)
+...     .build()
+... )
+>>> len(hypergraph.complex_edges)
+1
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro import bitset
+from repro.catalog.catalog import Catalog, RelationStats
+from repro.errors import GraphError, UnknownRelationError
+from repro.hyper.hypergraph import Hyperedge, Hypergraph
+
+__all__ = ["HypergraphBuilder"]
+
+
+class HypergraphBuilder:
+    """Accumulates relations and (hyper)join predicates."""
+
+    def __init__(self) -> None:
+        self._names: list[str] = []
+        self._cardinalities: list[float] = []
+        self._index: dict[str, int] = {}
+        self._edges: list[Hyperedge] = []
+
+    def relation(self, name: str, cardinality: float = 1000.0) -> "HypergraphBuilder":
+        """Declare a base relation."""
+        if name in self._index:
+            raise GraphError(f"relation {name!r} declared twice")
+        if cardinality <= 0:
+            raise GraphError(
+                f"cardinality of {name!r} must be positive, got {cardinality}"
+            )
+        self._index[name] = len(self._names)
+        self._names.append(name)
+        self._cardinalities.append(float(cardinality))
+        return self
+
+    def join(
+        self,
+        left: Sequence[str],
+        right: Sequence[str],
+        selectivity: float = 0.1,
+        predicate: str | None = None,
+    ) -> "HypergraphBuilder":
+        """Declare a predicate between two groups of relations.
+
+        Singleton groups give ordinary binary joins; larger groups give
+        complex hyperedges (the predicate needs every relation of a
+        group assembled before it can be evaluated against the other).
+        """
+        left_mask = self._mask_of(left)
+        right_mask = self._mask_of(right)
+        if predicate is None:
+            predicate = f"({', '.join(left)}) ⨝ ({', '.join(right)})"
+        self._edges.append(
+            Hyperedge(left_mask, right_mask, selectivity, predicate)
+        )
+        return self
+
+    def _mask_of(self, names: Sequence[str]) -> int:
+        if not names:
+            raise GraphError("a join side needs at least one relation")
+        mask = 0
+        for name in names:
+            try:
+                mask |= bitset.bit(self._index[name])
+            except KeyError:
+                raise UnknownRelationError(
+                    f"join references undeclared relation {name!r}"
+                ) from None
+        return mask
+
+    @property
+    def n_relations(self) -> int:
+        """Number of relations declared so far."""
+        return len(self._names)
+
+    def build(self) -> tuple[Hypergraph, Catalog]:
+        """Build the hypergraph and its aligned catalog."""
+        if not self._names:
+            raise GraphError("cannot build a hypergraph with no relations")
+        hypergraph = Hypergraph(len(self._names), self._edges)
+        catalog = Catalog(
+            RelationStats(name=name, cardinality=cardinality)
+            for name, cardinality in zip(self._names, self._cardinalities)
+        )
+        return hypergraph, catalog

@@ -1,0 +1,140 @@
+"""Exhaustive reference optimizer for hypergraph queries.
+
+Independent of DPhyp's enumeration: top-down memoized recursion over
+all partitions of each hyper-connected set, using the hypergraph's own
+connectivity and applicability tests. Used by the tests as the
+optimality oracle and as ground truth for the csg-cmp-pair count.
+"""
+
+from __future__ import annotations
+
+from repro import bitset
+from repro.catalog.catalog import Catalog
+from repro.errors import DisconnectedGraphError, OptimizerError
+from repro.hyper.cost import HyperCoutModel
+from repro.hyper.hypergraph import Hypergraph
+from repro.plans.jointree import JoinTree
+
+__all__ = ["ExhaustiveHyperOptimizer", "count_hyper_ccp"]
+
+
+class ExhaustiveHyperOptimizer:
+    """Brute-force optimal bushy tree over a hypergraph."""
+
+    name = "hyper-exhaustive"
+
+    def optimize(
+        self,
+        hypergraph: Hypergraph,
+        cost_model: HyperCoutModel | None = None,
+        catalog: Catalog | None = None,
+    ) -> JoinTree:
+        """Return the optimal plan (just the tree; this is a test oracle)."""
+        if not hypergraph.is_connected:
+            raise DisconnectedGraphError("hypergraph is disconnected")
+        if cost_model is None:
+            cost_model = HyperCoutModel(hypergraph, catalog)
+        memo: dict[int, JoinTree | None] = {
+            bitset.bit(index): cost_model.leaf(index)
+            for index in range(hypergraph.n_relations)
+        }
+
+        def best(mask: int) -> JoinTree | None:
+            """Optimal plan for ``mask``, or ``None`` if unplannable.
+
+            Hypergraph subtlety: a set can be hyper-*connected* (via a
+            hyperedge whose nodes span it) yet admit no csg-cmp
+            partition, because the hyperedge's sides are not
+            themselves internally connected. Such sets are simply not
+            plannable without cross products; DPhyp never tables them
+            either.
+            """
+            if mask in memo:
+                return memo[mask]
+            champion: JoinTree | None = None
+            anchor = mask & -mask
+            free = mask ^ anchor
+            grow = 0
+            while True:
+                left = anchor | grow
+                right = mask ^ left
+                if right != 0 and (
+                    hypergraph.is_connected_set(left)
+                    and hypergraph.is_connected_set(right)
+                    and hypergraph.are_connected(left, right)
+                ):
+                    plan_left = best(left)
+                    plan_right = best(right)
+                    if plan_left is not None and plan_right is not None:
+                        for first, second in (
+                            (plan_left, plan_right),
+                            (plan_right, plan_left),
+                        ):
+                            candidate = cost_model.join(first, second)
+                            if champion is None or candidate.cost < champion.cost:
+                                champion = candidate
+                if grow == free:
+                    break
+                grow = (grow - free) & free
+            memo[mask] = champion
+            return champion
+
+        plan = best(hypergraph.all_relations)
+        if plan is None:
+            raise OptimizerError(
+                "no cross-product-free join tree exists for this hypergraph"
+            )
+        return plan
+
+
+def plannable_sets(hypergraph: Hypergraph) -> list[bool]:
+    """Which relation sets admit a cross-product-free bushy tree.
+
+    Indexed by bitset. Singletons are plannable; a larger set is
+    plannable iff it splits into two plannable sides joined by an
+    applicable hyperedge. On simple graphs this coincides with
+    connectedness; on hypergraphs it is strictly stronger (see
+    :class:`ExhaustiveHyperOptimizer`).
+    """
+    total = 1 << hypergraph.n_relations
+    plannable = [False] * total
+    for index in range(hypergraph.n_relations):
+        plannable[1 << index] = True
+    for mask in range(1, total):
+        if plannable[mask] or bitset.only_bit(mask):
+            continue
+        for left in bitset.iter_subsets(mask):
+            right = mask ^ left
+            if left > right:
+                break  # halves mirror; every unordered split seen
+            if (
+                plannable[left]
+                and plannable[right]
+                and hypergraph.are_connected(left, right)
+            ):
+                plannable[mask] = True
+                break
+    return plannable
+
+
+def count_hyper_ccp(hypergraph: Hypergraph) -> int:
+    """Unordered csg-cmp-pair count by full powerset scan (ground truth).
+
+    Counts pairs of *plannable* sides — exactly the pairs any correct
+    hypergraph DP evaluates (a hyper-connected but unplannable set
+    never enters the table).
+    """
+    plannable = plannable_sets(hypergraph)
+    total = 0
+    for whole in range(1, hypergraph.all_relations + 1):
+        for left in bitset.iter_subsets(whole):
+            right = whole ^ left
+            if left > right:
+                continue  # each unordered pair once
+            if (
+                plannable[left]
+                and plannable[right]
+                and hypergraph.are_connected(left, right)
+            ):
+                total += 1
+    return total

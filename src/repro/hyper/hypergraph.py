@@ -1,0 +1,252 @@
+"""Query hypergraphs: join predicates between *sets* of relations.
+
+A hyperedge ``(u, w)`` states that a join predicate references the
+relations in ``u`` on one side and those in ``w`` on the other; it
+becomes applicable at a join ``(S1, S2)`` only once ``u ⊆ S1`` and
+``w ⊆ S2`` (or vice versa). Simple binary predicates are the special
+case ``|u| = |w| = 1``.
+
+All sets are bitsets, as in :mod:`repro.graph`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterable
+
+from repro import bitset
+from repro.errors import GraphError
+from repro.graph.querygraph import QueryGraph
+
+__all__ = ["Hyperedge", "Hypergraph"]
+
+
+@dataclass(frozen=True, slots=True)
+class Hyperedge:
+    """An undirected hyperedge between two disjoint relation sets.
+
+    Attributes:
+        left: bitset of relations on one side (non-empty).
+        right: bitset of relations on the other side (non-empty,
+            disjoint from ``left``).
+        selectivity: predicate selectivity in ``(0, 1]``.
+        predicate: optional descriptive text.
+    """
+
+    left: int
+    right: int
+    selectivity: float = 1.0
+    predicate: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.left == 0 or self.right == 0:
+            raise GraphError("hyperedge sides must be non-empty")
+        if self.left & self.right:
+            raise GraphError(
+                "hyperedge sides must be disjoint, got overlap "
+                f"{bitset.format_bits(self.left & self.right)}"
+            )
+        if not 0.0 < self.selectivity <= 1.0:
+            raise GraphError(
+                f"selectivity must be in (0, 1], got {self.selectivity}"
+            )
+
+    @property
+    def nodes(self) -> int:
+        """All relations the edge references."""
+        return self.left | self.right
+
+    @property
+    def is_simple(self) -> bool:
+        """True when both sides are single relations."""
+        return bitset.only_bit(self.left) and bitset.only_bit(self.right)
+
+    def normalized(self) -> "Hyperedge":
+        """Canonical orientation: smaller minimum element first."""
+        if bitset.lowest_bit_index(self.left) <= bitset.lowest_bit_index(self.right):
+            return self
+        return Hyperedge(self.right, self.left, self.selectivity, self.predicate)
+
+
+class Hypergraph:
+    """An immutable query hypergraph.
+
+    Args:
+        n_relations: number of relations, indexed ``0..n-1``.
+        edges: hyperedges; simple duplicates are kept (they multiply
+            independently in the cardinality model).
+    """
+
+    __slots__ = ("_n", "_edges", "_simple_neighbors", "__dict__")
+
+    def __init__(self, n_relations: int, edges: Iterable[Hyperedge]) -> None:
+        if n_relations <= 0:
+            raise GraphError(
+                f"a hypergraph needs at least one relation, got {n_relations}"
+            )
+        self._n = n_relations
+        normalized = []
+        for edge in edges:
+            if edge.nodes & ~((1 << n_relations) - 1):
+                raise GraphError(
+                    f"hyperedge {bitset.format_bits(edge.nodes)} references "
+                    f"a relation >= {n_relations}"
+                )
+            normalized.append(edge.normalized())
+        self._edges: tuple[Hyperedge, ...] = tuple(normalized)
+
+        simple = [0] * n_relations
+        for edge in self._edges:
+            if edge.is_simple:
+                left_index = bitset.lowest_bit_index(edge.left)
+                right_index = bitset.lowest_bit_index(edge.right)
+                simple[left_index] |= edge.right
+                simple[right_index] |= edge.left
+        self._simple_neighbors = tuple(simple)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_query_graph(cls, graph: QueryGraph) -> "Hypergraph":
+        """Embed a simple query graph (every edge becomes ``({a},{b})``)."""
+        return cls(
+            graph.n_relations,
+            (
+                Hyperedge(
+                    bitset.bit(edge.left),
+                    bitset.bit(edge.right),
+                    edge.selectivity,
+                    edge.predicate,
+                )
+                for edge in graph.edges
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def n_relations(self) -> int:
+        """Number of relations."""
+        return self._n
+
+    @property
+    def edges(self) -> tuple[Hyperedge, ...]:
+        """All hyperedges (canonical orientation)."""
+        return self._edges
+
+    @property
+    def all_relations(self) -> int:
+        """Bitset of every relation."""
+        return (1 << self._n) - 1
+
+    @property
+    def complex_edges(self) -> tuple[Hyperedge, ...]:
+        """The hyperedges with a non-singleton side."""
+        return tuple(edge for edge in self._edges if not edge.is_simple)
+
+    # ------------------------------------------------------------------
+    # Connectivity (hyperedge-aware)
+    # ------------------------------------------------------------------
+
+    def are_connected(self, left: int, right: int) -> bool:
+        """True iff some hyperedge is applicable at the join (left, right)."""
+        if left == 0 or right == 0:
+            return False
+        for edge in self._edges:
+            if (
+                bitset.is_subset(edge.left, left)
+                and bitset.is_subset(edge.right, right)
+            ) or (
+                bitset.is_subset(edge.left, right)
+                and bitset.is_subset(edge.right, left)
+            ):
+                return True
+        return False
+
+    def is_connected_set(self, mask: int) -> bool:
+        """True iff ``mask`` is connected using edges contained in it.
+
+        An edge contributes connectivity only when *both* sides lie
+        entirely inside ``mask`` (a half-contained hyperedge cannot be
+        evaluated within the set). Connectivity then means: merging
+        the node groups of all contained edges links every relation of
+        ``mask`` together.
+        """
+        if mask == 0:
+            return False
+        if bitset.only_bit(mask):
+            return True
+        reached = mask & -mask
+        changed = True
+        while changed:
+            changed = False
+            for edge in self._edges:
+                nodes = edge.nodes
+                if bitset.is_subset(nodes, mask) and nodes & reached:
+                    union = reached | nodes
+                    if union != reached:
+                        reached = union
+                        changed = True
+        return reached == mask
+
+    @cached_property
+    def is_connected(self) -> bool:
+        """Whether the whole hypergraph is connected."""
+        return self.is_connected_set(self.all_relations)
+
+    # ------------------------------------------------------------------
+    # DPhyp neighborhood
+    # ------------------------------------------------------------------
+
+    def neighborhood(self, subset: int, excluded: int) -> int:
+        """DPhyp's ``N(S, X)``: representative neighbors of ``subset``.
+
+        Simple edges contribute the adjacent node; a complex hyperedge
+        ``(u, w)`` with ``u ⊆ S`` and ``w`` untouched by ``S ∪ X``
+        contributes only ``min(w)`` — the *representative* trick that
+        keeps the neighborhood small; the rest of ``w`` is reached by
+        the recursive expansion, and emission is gated on the DP table
+        so no disconnected set ever forms a pair.
+        """
+        forbidden = subset | excluded
+        result = 0
+        remaining = subset
+        while remaining:
+            low = remaining & -remaining
+            remaining ^= low
+            result |= self._simple_neighbors[low.bit_length() - 1]
+        result &= ~forbidden
+        for edge in self._edges:
+            if edge.is_simple:
+                continue
+            if bitset.is_subset(edge.left, subset) and not edge.right & forbidden:
+                result |= edge.right & -edge.right  # min(w) as a bit
+            if bitset.is_subset(edge.right, subset) and not edge.left & forbidden:
+                result |= edge.left & -edge.left
+        return result
+
+    def crossing_selectivity(self, left: int, right: int) -> float:
+        """Product of selectivities of hyperedges applicable at (left, right)."""
+        result = 1.0
+        for edge in self._edges:
+            if (
+                bitset.is_subset(edge.left, left)
+                and bitset.is_subset(edge.right, right)
+            ) or (
+                bitset.is_subset(edge.left, right)
+                and bitset.is_subset(edge.right, left)
+            ):
+                result *= edge.selectivity
+        return result
+
+    def __repr__(self) -> str:
+        complex_count = len(self.complex_edges)
+        return (
+            f"Hypergraph(n_relations={self._n}, edges={len(self._edges)}, "
+            f"complex={complex_count})"
+        )

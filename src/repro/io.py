@@ -1,0 +1,182 @@
+"""JSON-safe (de)serialization of graphs, catalogs, plans and results.
+
+Round-trippable plain-dict views for persisting workloads and
+optimizer outputs — the benchmark harness and downstream tooling can
+archive experiments without pickling:
+
+>>> from repro import chain_graph
+>>> from repro.io import graph_to_dict, graph_from_dict
+>>> graph = chain_graph(3, selectivity=0.5)
+>>> graph_from_dict(graph_to_dict(graph)) == graph
+True
+
+Plans serialize structurally (leaves by relation index); costs and
+cardinalities are stored, not recomputed, so a deserialized plan
+reports exactly what the original optimizer estimated.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.catalog.catalog import Catalog, RelationStats
+from repro.core.base import OptimizationResult
+from repro.errors import ReproError
+from repro.graph.querygraph import JoinEdge, QueryGraph
+from repro.plans.jointree import JoinTree
+
+__all__ = [
+    "SerializationError",
+    "graph_to_dict",
+    "graph_from_dict",
+    "catalog_to_dict",
+    "catalog_from_dict",
+    "plan_to_dict",
+    "plan_from_dict",
+    "result_to_dict",
+]
+
+
+class SerializationError(ReproError):
+    """A dict does not describe a valid object of the requested kind."""
+
+
+def graph_to_dict(graph: QueryGraph) -> dict[str, Any]:
+    """Plain-dict view of a query graph."""
+    return {
+        "kind": "query_graph",
+        "n_relations": graph.n_relations,
+        "names": list(graph.names),
+        "edges": [
+            {
+                "left": edge.left,
+                "right": edge.right,
+                "selectivity": edge.selectivity,
+                "predicate": edge.predicate,
+            }
+            for edge in graph.edges
+        ],
+    }
+
+
+def graph_from_dict(data: dict[str, Any]) -> QueryGraph:
+    """Inverse of :func:`graph_to_dict`."""
+    _expect_kind(data, "query_graph")
+    try:
+        edges = [
+            JoinEdge(
+                entry["left"],
+                entry["right"],
+                entry.get("selectivity", 1.0),
+                entry.get("predicate"),
+            )
+            for entry in data["edges"]
+        ]
+        return QueryGraph(data["n_relations"], edges, names=data.get("names"))
+    except (KeyError, TypeError) as error:
+        raise SerializationError(f"malformed query_graph dict: {error}") from error
+
+
+def catalog_to_dict(catalog: Catalog) -> dict[str, Any]:
+    """Plain-dict view of a catalog."""
+    return {
+        "kind": "catalog",
+        "relations": [
+            {
+                "name": entry.name,
+                "cardinality": entry.cardinality,
+                "tuple_bytes": entry.tuple_bytes,
+                "pages": entry.pages,
+            }
+            for entry in catalog
+        ],
+    }
+
+
+def catalog_from_dict(data: dict[str, Any]) -> Catalog:
+    """Inverse of :func:`catalog_to_dict`."""
+    _expect_kind(data, "catalog")
+    try:
+        return Catalog(
+            RelationStats(
+                name=entry["name"],
+                cardinality=entry["cardinality"],
+                tuple_bytes=entry.get("tuple_bytes", 100),
+                pages=entry.get("pages", 0),
+            )
+            for entry in data["relations"]
+        )
+    except (KeyError, TypeError) as error:
+        raise SerializationError(f"malformed catalog dict: {error}") from error
+
+
+def plan_to_dict(plan: JoinTree) -> dict[str, Any]:
+    """Plain-dict (nested) view of a join tree."""
+    if plan.is_leaf:
+        return {
+            "kind": "leaf",
+            "relation": plan.relation_index,
+            "name": plan.name,
+            "cardinality": plan.cardinality,
+            "cost": plan.cost,
+        }
+    assert plan.left is not None and plan.right is not None
+    return {
+        "kind": "join",
+        "operator": plan.operator,
+        "cardinality": plan.cardinality,
+        "cost": plan.cost,
+        "left": plan_to_dict(plan.left),
+        "right": plan_to_dict(plan.right),
+    }
+
+
+def plan_from_dict(data: dict[str, Any]) -> JoinTree:
+    """Inverse of :func:`plan_to_dict`."""
+    kind = data.get("kind")
+    try:
+        if kind == "leaf":
+            return JoinTree.leaf(
+                data["relation"],
+                cardinality=data["cardinality"],
+                cost=data.get("cost", 0.0),
+                name=data.get("name"),
+            )
+        if kind == "join":
+            return JoinTree.join(
+                plan_from_dict(data["left"]),
+                plan_from_dict(data["right"]),
+                cardinality=data["cardinality"],
+                cost=data["cost"],
+                operator=data.get("operator", "Join"),
+            )
+    except (KeyError, TypeError) as error:
+        raise SerializationError(f"malformed plan dict: {error}") from error
+    raise SerializationError(f"unknown plan node kind {kind!r}")
+
+
+def result_to_dict(result: OptimizationResult) -> dict[str, Any]:
+    """Plain-dict view of a full optimization result (one-way).
+
+    Results are archives, not inputs, so no inverse is provided; the
+    plan inside round-trips via :func:`plan_from_dict`.
+    """
+    return {
+        "kind": "optimization_result",
+        "algorithm": result.algorithm,
+        "n_relations": result.n_relations,
+        "cost": result.cost,
+        "table_size": result.table_size,
+        "elapsed_seconds": result.elapsed_seconds,
+        "counters": result.counters.as_dict(),
+        "plan": plan_to_dict(result.plan),
+    }
+
+
+def _expect_kind(data: dict[str, Any], kind: str) -> None:
+    if not isinstance(data, dict) or data.get("kind") != kind:
+        raise SerializationError(
+            f"expected a {kind!r} dict, got kind={data.get('kind')!r}"
+            if isinstance(data, dict)
+            else f"expected a dict, got {type(data).__name__}"
+        )

@@ -1,0 +1,38 @@
+"""Join trees (plans) and tooling over them."""
+
+from repro.plans.dot import graph_to_dot, plan_to_dot
+from repro.plans.jointree import JoinTree
+from repro.plans.metrics import (
+    PlanShape,
+    bushiness,
+    classify_plan_shape,
+    depth,
+    intermediate_cardinalities,
+    join_count,
+)
+from repro.plans.visitors import (
+    iter_joins,
+    iter_leaves,
+    iter_nodes,
+    render_indented,
+    render_inline,
+    validate_plan,
+)
+
+__all__ = [
+    "JoinTree",
+    "plan_to_dot",
+    "graph_to_dot",
+    "iter_nodes",
+    "iter_leaves",
+    "iter_joins",
+    "render_inline",
+    "render_indented",
+    "validate_plan",
+    "PlanShape",
+    "classify_plan_shape",
+    "bushiness",
+    "depth",
+    "join_count",
+    "intermediate_cardinalities",
+]

@@ -1,0 +1,82 @@
+"""Graphviz DOT rendering of join trees and query graphs.
+
+Pure text generation — no graphviz dependency. Feed the output to
+``dot -Tsvg`` (or any renderer) to visualize plans and query graphs:
+
+>>> from repro import DPccp, chain_graph
+>>> from repro.plans.dot import plan_to_dot
+>>> result = DPccp().optimize(chain_graph(4, selectivity=0.1))
+>>> print(plan_to_dot(result.plan))  # doctest: +ELLIPSIS
+digraph plan {
+...
+"""
+
+from __future__ import annotations
+
+from repro.graph.querygraph import QueryGraph
+from repro.plans.jointree import JoinTree
+
+__all__ = ["plan_to_dot", "graph_to_dot"]
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def plan_to_dot(plan: JoinTree, title: str | None = None) -> str:
+    """Render a join tree as a DOT digraph.
+
+    Join nodes show operator, estimated cardinality and cost; leaves
+    show the relation name and cardinality.
+    """
+    lines = ["digraph plan {"]
+    if title:
+        lines.append(f'  label="{_escape(title)}";')
+        lines.append("  labelloc=t;")
+    lines.append("  node [shape=box, fontname=monospace];")
+
+    counter = 0
+
+    def visit(node: JoinTree) -> str:
+        nonlocal counter
+        name = f"n{counter}"
+        counter += 1
+        if node.is_leaf:
+            label = f"{node.name}\\ncard={node.cardinality:g}"
+            lines.append(f'  {name} [label="{label}", style=filled, fillcolor=lightgrey];')
+        else:
+            label = (
+                f"{node.operator}\\ncard={node.cardinality:g}"
+                f"\\ncost={node.cost:g}"
+            )
+            lines.append(f'  {name} [label="{label}"];')
+            assert node.left is not None and node.right is not None
+            left_name = visit(node.left)
+            right_name = visit(node.right)
+            lines.append(f"  {name} -> {left_name};")
+            lines.append(f"  {name} -> {right_name};")
+        return name
+
+    visit(plan)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def graph_to_dot(graph: QueryGraph, title: str | None = None) -> str:
+    """Render a query graph as a DOT (undirected) graph.
+
+    Edges are labelled with their selectivities.
+    """
+    lines = ["graph query {"]
+    if title:
+        lines.append(f'  label="{_escape(title)}";')
+        lines.append("  labelloc=t;")
+    lines.append("  node [shape=ellipse, fontname=monospace];")
+    for index in range(graph.n_relations):
+        lines.append(f'  r{index} [label="{_escape(graph.name_of(index))}"];')
+    for edge in graph.edges:
+        lines.append(
+            f'  r{edge.left} -- r{edge.right} [label="{edge.selectivity:g}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""Immutable join trees — the plans the optimizers produce.
+
+A :class:`JoinTree` is either a *leaf* (one base relation) or an inner
+*join* node over two subtrees. Every node carries the bitset of
+relations it covers, its estimated output cardinality, and its
+accumulated cost under the cost model that built it. Nodes are immutable
+and freely shared between plans, which is what makes the dynamic
+programming tables cheap: ``BestPlan(S1 ∪ S2)`` references the existing
+``BestPlan(S1)`` and ``BestPlan(S2)`` trees rather than copying them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro import bitset
+from repro.errors import PlanError
+
+__all__ = ["JoinTree"]
+
+
+@dataclass(frozen=True, slots=True)
+class JoinTree:
+    """One node of a join tree.
+
+    Use the :meth:`leaf` and :meth:`join` constructors; the raw
+    constructor performs only cheap validation.
+
+    Attributes:
+        relations: bitset of base relations covered by this subtree.
+        cardinality: estimated output rows of this subtree.
+        cost: accumulated plan cost under the building cost model.
+        left: left child, or ``None`` for a leaf.
+        right: right child, or ``None`` for a leaf.
+        operator: physical/logical operator label (``"Scan"`` for
+            leaves; e.g. ``"Join"``, ``"HashJoin"`` for inner nodes).
+        name: relation name for leaves, ``None`` for joins.
+    """
+
+    relations: int
+    cardinality: float
+    cost: float
+    left: Optional["JoinTree"] = None
+    right: Optional["JoinTree"] = None
+    operator: str = "Join"
+    name: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.relations == 0:
+            raise PlanError("a join tree must cover at least one relation")
+        if self.cardinality < 0:
+            raise PlanError(f"negative cardinality {self.cardinality}")
+        if self.cost < 0:
+            raise PlanError(f"negative cost {self.cost}")
+        has_left = self.left is not None
+        has_right = self.right is not None
+        if has_left != has_right:
+            raise PlanError("a join node needs both children; a leaf has none")
+        if has_left and self.left is not None and self.right is not None:
+            if self.left.relations & self.right.relations:
+                raise PlanError(
+                    "children overlap: "
+                    f"{bitset.format_bits(self.left.relations)} and "
+                    f"{bitset.format_bits(self.right.relations)}"
+                )
+            if self.left.relations | self.right.relations != self.relations:
+                raise PlanError("join node relations != union of children")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def leaf(
+        cls,
+        index: int,
+        cardinality: float,
+        cost: float = 0.0,
+        name: str | None = None,
+    ) -> "JoinTree":
+        """Build a base-relation leaf."""
+        return cls(
+            relations=bitset.bit(index),
+            cardinality=cardinality,
+            cost=cost,
+            operator="Scan",
+            name=name if name is not None else f"R{index}",
+        )
+
+    @classmethod
+    def join(
+        cls,
+        left: "JoinTree",
+        right: "JoinTree",
+        cardinality: float,
+        cost: float,
+        operator: str = "Join",
+    ) -> "JoinTree":
+        """Build an inner join node over two disjoint subtrees."""
+        return cls(
+            relations=left.relations | right.relations,
+            cardinality=cardinality,
+            cost=cost,
+            left=left,
+            right=right,
+            operator=operator,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def is_leaf(self) -> bool:
+        """True for base-relation leaves."""
+        return self.left is None
+
+    @property
+    def relation_index(self) -> int:
+        """For a leaf, the index of its base relation."""
+        if not self.is_leaf:
+            raise PlanError("relation_index is defined only for leaves")
+        return bitset.lowest_bit_index(self.relations)
+
+    @property
+    def size(self) -> int:
+        """Number of base relations covered (the paper's plan 'size')."""
+        return bitset.popcount(self.relations)
+
+    def covers(self, mask: int) -> bool:
+        """True if this subtree covers every relation in ``mask``."""
+        return bitset.is_subset(mask, self.relations)
+
+    def __str__(self) -> str:
+        from repro.plans.visitors import render_inline
+
+        return render_inline(self)

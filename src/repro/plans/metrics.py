@@ -1,0 +1,106 @@
+"""Shape metrics over join trees.
+
+The paper's search space is the set of *bushy* trees; these helpers
+quantify where in that space a particular plan lies (left-deep, bushy,
+zig-zag), how deep it is, and what intermediate results it produces —
+useful for examples and ablation benchmarks comparing search-space
+restrictions.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.plans.jointree import JoinTree
+from repro.plans.visitors import iter_joins
+
+__all__ = [
+    "PlanShape",
+    "classify_plan_shape",
+    "bushiness",
+    "depth",
+    "join_count",
+    "intermediate_cardinalities",
+]
+
+
+class PlanShape(enum.Enum):
+    """Coarse join-tree shapes from the optimizer literature."""
+
+    LEAF = "leaf"
+    LEFT_DEEP = "left-deep"
+    RIGHT_DEEP = "right-deep"
+    ZIGZAG = "zigzag"
+    BUSHY = "bushy"
+
+
+def classify_plan_shape(plan: JoinTree) -> PlanShape:
+    """Classify a join tree.
+
+    * left-deep: every join's right input is a base relation;
+    * right-deep: every join's left input is a base relation;
+    * zigzag: every join has at least one base-relation input;
+    * bushy: some join combines two composite inputs.
+
+    A two-way join counts as left-deep (the conventional tie-break).
+    """
+    if plan.is_leaf:
+        return PlanShape.LEAF
+    all_right_leaf = True
+    all_left_leaf = True
+    any_inner_inner = False
+    for node in iter_joins(plan):
+        assert node.left is not None and node.right is not None
+        left_leaf = node.left.is_leaf
+        right_leaf = node.right.is_leaf
+        all_right_leaf &= right_leaf
+        all_left_leaf &= left_leaf
+        any_inner_inner |= not left_leaf and not right_leaf
+    if any_inner_inner:
+        return PlanShape.BUSHY
+    if all_right_leaf:
+        return PlanShape.LEFT_DEEP
+    if all_left_leaf:
+        return PlanShape.RIGHT_DEEP
+    return PlanShape.ZIGZAG
+
+
+def bushiness(plan: JoinTree) -> float:
+    """Fraction of joins whose inputs are both composite.
+
+    0.0 for left-deep/zigzag plans, approaching 1/2 for perfectly
+    balanced trees on many relations.
+    """
+    joins = list(iter_joins(plan))
+    if not joins:
+        return 0.0
+    inner_inner = sum(
+        1
+        for node in joins
+        if node.left is not None
+        and node.right is not None
+        and not node.left.is_leaf
+        and not node.right.is_leaf
+    )
+    return inner_inner / len(joins)
+
+
+def depth(plan: JoinTree) -> int:
+    """Longest root-to-leaf path length in edges (0 for a leaf)."""
+    if plan.is_leaf:
+        return 0
+    assert plan.left is not None and plan.right is not None
+    return 1 + max(depth(plan.left), depth(plan.right))
+
+
+def join_count(plan: JoinTree) -> int:
+    """Number of join operators (= number of relations - 1)."""
+    return sum(1 for _node in iter_joins(plan))
+
+
+def intermediate_cardinalities(plan: JoinTree) -> list[float]:
+    """Output cardinalities of all joins, in post-order.
+
+    The sum of this list is exactly the C_out cost of the plan.
+    """
+    return [node.cardinality for node in iter_joins(plan)]

@@ -1,0 +1,121 @@
+"""Traversal, rendering and validation of join trees."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro import bitset
+from repro.errors import CrossProductError, PlanError
+from repro.graph.querygraph import QueryGraph
+from repro.plans.jointree import JoinTree
+
+__all__ = [
+    "iter_nodes",
+    "iter_leaves",
+    "iter_joins",
+    "render_inline",
+    "render_indented",
+    "validate_plan",
+]
+
+
+def iter_nodes(plan: JoinTree) -> Iterator[JoinTree]:
+    """Yield every node in post-order (children before parents)."""
+    stack: list[tuple[JoinTree, bool]] = [(plan, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded or node.is_leaf:
+            yield node
+            continue
+        stack.append((node, True))
+        if node.right is not None:
+            stack.append((node.right, False))
+        if node.left is not None:
+            stack.append((node.left, False))
+
+
+def iter_leaves(plan: JoinTree) -> Iterator[JoinTree]:
+    """Yield the base-relation leaves, left to right."""
+    for node in iter_nodes(plan):
+        if node.is_leaf:
+            yield node
+
+
+def iter_joins(plan: JoinTree) -> Iterator[JoinTree]:
+    """Yield the inner join nodes in post-order."""
+    for node in iter_nodes(plan):
+        if not node.is_leaf:
+            yield node
+
+
+def render_inline(plan: JoinTree) -> str:
+    """Single-line rendering, e.g. ``((R0 ⨝ R1) ⨝ R2)``."""
+    if plan.is_leaf:
+        return plan.name or f"R{plan.relation_index}"
+    assert plan.left is not None and plan.right is not None
+    return f"({render_inline(plan.left)} ⨝ {render_inline(plan.right)})"
+
+
+def render_indented(plan: JoinTree, indent: str = "  ") -> str:
+    """Multi-line EXPLAIN-style rendering with cost and cardinality."""
+    lines: list[str] = []
+
+    def visit(node: JoinTree, depth: int) -> None:
+        prefix = indent * depth
+        if node.is_leaf:
+            lines.append(
+                f"{prefix}{node.operator} {node.name}"
+                f"  [card={node.cardinality:g}]"
+            )
+        else:
+            lines.append(
+                f"{prefix}{node.operator} {bitset.format_bits(node.relations)}"
+                f"  [card={node.cardinality:g} cost={node.cost:g}]"
+            )
+            assert node.left is not None and node.right is not None
+            visit(node.left, depth + 1)
+            visit(node.right, depth + 1)
+
+    visit(plan, 0)
+    return "\n".join(lines)
+
+
+def validate_plan(
+    plan: JoinTree,
+    graph: QueryGraph,
+    require_all_relations: bool = True,
+    forbid_cross_products: bool = True,
+) -> None:
+    """Check the structural invariants the paper's search space demands.
+
+    Raises:
+        PlanError: a relation appears twice or (with
+            ``require_all_relations``) is missing.
+        CrossProductError: with ``forbid_cross_products``, some join has
+            no connecting edge between its inputs.
+    """
+    seen = 0
+    for leaf in iter_leaves(plan):
+        if leaf.relations & seen:
+            raise PlanError(
+                f"relation {bitset.format_bits(leaf.relations)} appears twice"
+            )
+        if leaf.relation_index >= graph.n_relations:
+            raise PlanError(
+                f"leaf references unknown relation index {leaf.relation_index}"
+            )
+        seen |= leaf.relations
+    if require_all_relations and seen != graph.all_relations:
+        missing = graph.all_relations & ~seen
+        raise PlanError(
+            f"plan does not cover relations {bitset.format_bits(missing)}"
+        )
+    if forbid_cross_products:
+        for node in iter_joins(plan):
+            assert node.left is not None and node.right is not None
+            if not graph.are_connected(node.left.relations, node.right.relations):
+                raise CrossProductError(
+                    "cross product between "
+                    f"{bitset.format_bits(node.left.relations)} and "
+                    f"{bitset.format_bits(node.right.relations)}"
+                )

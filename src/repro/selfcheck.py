@@ -1,0 +1,135 @@
+"""Randomized self-check: cross-validate the optimizers on this machine.
+
+For a released optimizer library, "the tests passed on CI" is weaker
+than "I can fuzz it here, now, against its own oracles". This module
+runs randomized instances through every *exact* algorithm and asserts
+the invariants the test suite pins:
+
+* all exact algorithms (DPsize, DPsub, DPccp, TopDownBB, exhaustive)
+  agree on the optimal cost;
+* every plan is structurally valid and cross-product-free;
+* the csg-cmp-pair counters agree across algorithms and with the
+  brute-force count;
+* heuristics never beat the optimum.
+
+Exposed on the CLI as ``python -m repro selfcheck``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.catalog.synthetic import random_catalog
+from repro.core import (
+    DPall,
+    DPccp,
+    DPsize,
+    DPsub,
+    ExhaustiveOptimizer,
+    GreedyOperatorOrdering,
+    QuickPick,
+    TopDownBB,
+)
+from repro.graph.counting import count_ccp_brute_force
+from repro.graph.generators import random_connected_graph
+from repro.plans.visitors import validate_plan
+
+__all__ = ["SelfCheckReport", "run_selfcheck"]
+
+_EXACT = (DPsize, DPsub, DPccp, TopDownBB, ExhaustiveOptimizer)
+_RELATIVE_TOLERANCE = 1e-9
+
+
+@dataclass(slots=True)
+class SelfCheckReport:
+    """Outcome of one self-check run."""
+
+    instances: int = 0
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every instance passed every invariant."""
+        return not self.failures
+
+    def summary(self) -> str:
+        """One-paragraph human-readable outcome."""
+        if self.ok:
+            return (
+                f"self-check passed: {self.instances} randomized instances, "
+                f"{len(_EXACT)} exact algorithms in agreement"
+            )
+        lines = [
+            f"self-check FAILED on {len(self.failures)} invariant(s) "
+            f"across {self.instances} instances:"
+        ]
+        lines.extend("  " + failure for failure in self.failures[:20])
+        if len(self.failures) > 20:
+            lines.append(f"  ... and {len(self.failures) - 20} more")
+        return "\n".join(lines)
+
+
+def run_selfcheck(
+    instances: int = 25,
+    seed: int | None = None,
+    max_relations: int = 8,
+) -> SelfCheckReport:
+    """Fuzz the optimizers; returns a report rather than raising."""
+    rng = random.Random(seed)
+    report = SelfCheckReport()
+    for index in range(instances):
+        report.instances += 1
+        n = rng.randint(2, max_relations)
+        graph = random_connected_graph(n, rng, rng.random() * 0.8)
+        catalog = random_catalog(n, rng)
+        label = f"instance {index} (n={n}, seed={seed})"
+
+        costs: dict[str, float] = {}
+        pair_counts: dict[str, int] = {}
+        for algorithm_class in _EXACT:
+            result = algorithm_class().optimize(graph, catalog=catalog)
+            costs[algorithm_class.name] = result.cost
+            if algorithm_class in (DPsize, DPsub, DPccp):
+                pair_counts[algorithm_class.name] = (
+                    result.counters.csg_cmp_pair_counter
+                )
+            try:
+                validate_plan(result.plan, graph)
+            except Exception as error:  # noqa: BLE001 - reported, not raised
+                report.failures.append(
+                    f"{label}: {algorithm_class.name} invalid plan: {error}"
+                )
+
+        reference = costs["exhaustive"]
+        for name, cost in costs.items():
+            if abs(cost - reference) > _RELATIVE_TOLERANCE * max(1.0, reference):
+                report.failures.append(
+                    f"{label}: {name} cost {cost!r} != optimal {reference!r}"
+                )
+
+        expected_pairs = count_ccp_brute_force(graph)
+        for name, pairs in pair_counts.items():
+            if pairs != expected_pairs:
+                report.failures.append(
+                    f"{label}: {name} #ccp {pairs} != brute force {expected_pairs}"
+                )
+
+        for heuristic in (
+            GreedyOperatorOrdering(),
+            QuickPick(samples=10, rng=index),
+        ):
+            cost = heuristic.optimize(graph, catalog=catalog).cost
+            if cost < reference * (1 - _RELATIVE_TOLERANCE):
+                report.failures.append(
+                    f"{label}: {heuristic.name} beat the optimum: "
+                    f"{cost!r} < {reference!r}"
+                )
+
+        wider = DPall().optimize(graph, catalog=catalog).cost
+        if wider > reference * (1 + _RELATIVE_TOLERANCE):
+            report.failures.append(
+                f"{label}: DPall (larger space) worse than DPccp: "
+                f"{wider!r} > {reference!r}"
+            )
+    return report

@@ -1,0 +1,102 @@
+"""Unit tests for the asymptotic analysis of paper §2.4."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.asymptotics import (
+    dpsize_overtakes_dpsub_at,
+    dpsub_overtakes_dpsize_at,
+    growth_table,
+    waste_factor,
+)
+from repro.errors import WorkloadError
+
+
+class TestCrossovers:
+    def test_dpsize_dominates_chains_and_cycles(self):
+        """Paper: 'for chain and cycle queries DPsize is highly superior'."""
+        assert dpsub_overtakes_dpsize_at("chain") is None
+        assert dpsub_overtakes_dpsize_at("cycle") is None
+        assert dpsize_overtakes_dpsub_at("chain") is not None
+        assert dpsize_overtakes_dpsub_at("cycle") is not None
+
+    def test_dpsub_dominates_stars_and_cliques_eventually(self):
+        """Paper: 'for star and clique queries DPsub is highly superior'."""
+        star_crossover = dpsub_overtakes_dpsize_at("star")
+        clique_crossover = dpsub_overtakes_dpsize_at("clique")
+        assert star_crossover is not None
+        assert clique_crossover is not None
+        # Figure 3 shows DPsub already ahead at n=10 for both.
+        assert star_crossover <= 10
+        assert clique_crossover <= 10
+
+    def test_crossovers_consistent_with_raw_counters(self):
+        from repro.analysis.formulas import (
+            inner_counter_dpsize,
+            inner_counter_dpsub,
+        )
+
+        n = dpsub_overtakes_dpsize_at("star")
+        assert n is not None
+        assert inner_counter_dpsub(n, "star") < inner_counter_dpsize(n, "star")
+        if n > 2:
+            assert inner_counter_dpsub(n - 1, "star") >= inner_counter_dpsize(
+                n - 1, "star"
+            )
+
+    def test_unknown_topology(self):
+        with pytest.raises(WorkloadError):
+            dpsub_overtakes_dpsize_at("torus")
+
+
+class TestWasteFactor:
+    def test_dpccp_is_one(self):
+        assert waste_factor("DPccp", "star", 15) == 1.0
+
+    def test_clique_dpsub_is_exactly_two(self):
+        """On cliques every DPsub test succeeds; the only 'waste' is
+        visiting both orientations: InnerCounter = #ccp symmetric."""
+        for n in (5, 10, 15):
+            assert waste_factor("DPsub", "clique", n) == pytest.approx(2.0)
+
+    def test_orders_of_magnitude_elsewhere(self):
+        """Paper §2.4: both algorithms far from the bound at n=20."""
+        for topology in ("chain", "cycle", "star"):
+            assert waste_factor("DPsize", topology, 20) > 10
+            assert waste_factor("DPsub", topology, 20) > 10
+
+    def test_trivial_case(self):
+        assert waste_factor("DPsize", "chain", 1) == 1.0
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(WorkloadError):
+            waste_factor("DPmagic", "chain", 5)
+
+
+class TestGrowth:
+    def test_star_growth_separation(self):
+        """DPsize quadruples per relation on stars; #ccp only doubles."""
+        rows = growth_table("star", (18, 19, 20))
+        for row in rows:
+            assert row.dpsize_growth == pytest.approx(4.0, rel=0.1)
+            assert row.ccp_growth == pytest.approx(2.0, rel=0.1)
+            assert row.dpsub_growth == pytest.approx(3.0, rel=0.1)
+
+    def test_clique_growth_separation(self):
+        rows = growth_table("clique", (18, 19, 20))
+        for row in rows:
+            assert row.dpsize_growth == pytest.approx(4.0, rel=0.1)
+            assert row.dpsub_growth == pytest.approx(3.0, rel=0.1)
+            assert row.ccp_growth == pytest.approx(3.0, rel=0.1)
+
+    def test_chain_growth_is_polynomial(self):
+        """Chain counters grow sub-geometrically for DPsize, 2x for DPsub."""
+        rows = growth_table("chain", (19, 20))
+        for row in rows:
+            assert row.dpsize_growth < 1.5
+            assert row.dpsub_growth == pytest.approx(2.0, rel=0.1)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(WorkloadError):
+            growth_table("cycle", (3,))

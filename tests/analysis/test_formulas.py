@@ -1,0 +1,145 @@
+"""Unit tests for the closed-form counter formulas (paper §2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.formulas import (
+    ccp_symmetric,
+    ccp_unordered,
+    csg_count,
+    inner_counter_dpsize,
+    inner_counter_dpsub,
+)
+from repro.errors import WorkloadError
+
+
+class TestValidation:
+    def test_unknown_topology(self):
+        with pytest.raises(WorkloadError):
+            csg_count(5, "hypercube")
+
+    def test_cycle_needs_three(self):
+        with pytest.raises(WorkloadError):
+            ccp_symmetric(2, "cycle")
+
+    @pytest.mark.parametrize("topology", ["chain", "star", "clique"])
+    def test_n1_counters_zero(self, topology):
+        assert inner_counter_dpsize(1, topology) == 0
+        assert inner_counter_dpsub(1, topology) == 0
+        assert ccp_symmetric(1, topology) == 0
+        assert ccp_unordered(1, topology) == 0
+
+    @pytest.mark.parametrize("topology", ["chain", "star", "clique"])
+    def test_n1_csg_is_one(self, topology):
+        assert csg_count(1, topology) == 1
+
+
+class TestKnownSmallValues:
+    """Hand-derivable values, independent of Figure 3."""
+
+    def test_chain_csg(self):
+        # Connected subsets of a chain = contiguous runs: n(n+1)/2.
+        assert csg_count(4, "chain") == 10
+
+    def test_star_csg(self):
+        # n singletons - 1 hub + hub-sets: 2^{n-1} + n - 1.
+        assert csg_count(5, "star") == 20
+
+    def test_clique_csg(self):
+        assert csg_count(4, "clique") == 15
+
+    def test_cycle_csg(self):
+        # Triangle: all 7 non-empty subsets connected.
+        assert csg_count(3, "cycle") == 7
+
+    def test_triangle_equals_clique3(self):
+        for function in (
+            csg_count,
+            ccp_symmetric,
+            inner_counter_dpsub,
+            inner_counter_dpsize,
+        ):
+            assert function(3, "cycle") == function(3, "clique")
+
+    def test_chain2_everything(self):
+        assert ccp_unordered(2, "chain") == 1
+        assert inner_counter_dpsub(2, "chain") == 2
+        assert inner_counter_dpsize(2, "chain") == 1
+
+    def test_star_ccp_by_hand(self):
+        # Star n=5: 4 leaves x 2^3 hub-side subsets = 32 unordered.
+        assert ccp_unordered(5, "star") == 32
+
+    def test_triangle_ccp_by_hand(self):
+        # 3 singleton-singleton + 3 singleton-edge pairs.
+        assert ccp_unordered(3, "cycle") == 6
+
+
+class TestStructuralProperties:
+    @pytest.mark.parametrize("topology", ["chain", "star", "clique"])
+    @pytest.mark.parametrize("n", range(2, 15))
+    def test_symmetric_is_twice_unordered(self, topology, n):
+        assert ccp_symmetric(n, topology) == 2 * ccp_unordered(n, topology)
+
+    @pytest.mark.parametrize("n", range(2, 20))
+    def test_chain_below_cycle_below_clique(self, n):
+        """Denser graphs have more csg-cmp-pairs."""
+        if n >= 3:
+            assert ccp_symmetric(n, "chain") < ccp_symmetric(n, "cycle")
+            assert ccp_symmetric(n, "cycle") <= ccp_symmetric(n, "clique")
+
+    @pytest.mark.parametrize("topology", ["chain", "cycle", "star", "clique"])
+    def test_monotone_in_n(self, topology):
+        start = 3
+        for function in (csg_count, ccp_symmetric, inner_counter_dpsub,
+                         inner_counter_dpsize):
+            values = [function(n, topology) for n in range(start, 16)]
+            assert values == sorted(values)
+            assert len(set(values)) == len(values)
+
+    @pytest.mark.parametrize("n", [5, 10, 15, 20])
+    def test_dpsub_clique_equals_ccp_symmetric(self, n):
+        """On cliques every DPsub inner test succeeds: I = #ccp."""
+        assert inner_counter_dpsub(n, "clique") == ccp_symmetric(n, "clique")
+
+    @pytest.mark.parametrize("topology", ["chain", "cycle", "star", "clique"])
+    @pytest.mark.parametrize("n", [4, 6, 9, 13])
+    def test_inner_counters_at_least_unordered_ccp(self, topology, n):
+        assert inner_counter_dpsize(n, topology) >= ccp_unordered(n, topology)
+        assert inner_counter_dpsub(n, topology) >= ccp_unordered(n, topology)
+
+
+class TestPaperSection24Claims:
+    """The qualitative conclusions of paper §2.4, as assertions."""
+
+    def test_dpsize_beats_dpsub_on_chains(self):
+        for n in (10, 15, 20):
+            assert inner_counter_dpsize(n, "chain") < inner_counter_dpsub(
+                n, "chain"
+            )
+
+    def test_dpsize_beats_dpsub_on_cycles(self):
+        for n in (10, 15, 20):
+            assert inner_counter_dpsize(n, "cycle") < inner_counter_dpsub(
+                n, "cycle"
+            )
+
+    def test_dpsub_beats_dpsize_on_stars(self):
+        for n in (10, 15, 20):
+            assert inner_counter_dpsub(n, "star") < inner_counter_dpsize(
+                n, "star"
+            )
+
+    def test_dpsub_beats_dpsize_on_cliques(self):
+        for n in (10, 15, 20):
+            assert inner_counter_dpsub(n, "clique") < inner_counter_dpsize(
+                n, "clique"
+            )
+
+    def test_both_far_from_lower_bound_except_clique_dpsub(self):
+        """'Except for clique queries, #ccp is orders of magnitude less.'"""
+        for topology in ("chain", "cycle", "star"):
+            bound = ccp_unordered(20, topology)
+            assert inner_counter_dpsize(20, topology) > 10 * bound
+            assert inner_counter_dpsub(20, topology) > 10 * bound

@@ -1,0 +1,125 @@
+"""Unit tests for search-space counting."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import bitset
+from repro.analysis.searchspace import (
+    SearchSpaceSummary,
+    clique_tree_count,
+    count_join_trees,
+    count_join_trees_unordered,
+    search_space_summary,
+)
+from repro.errors import GraphError
+from repro.graph.generators import (
+    chain_graph,
+    clique_graph,
+    cycle_graph,
+    random_connected_graph,
+    star_graph,
+)
+from repro.graph.querygraph import QueryGraph
+
+
+def brute_force_ordered_trees(graph: QueryGraph, mask: int | None = None) -> int:
+    """Independent recursive count of ordered cross-product-free trees."""
+    if mask is None:
+        mask = graph.all_relations
+    if bitset.only_bit(mask):
+        return 1
+    total = 0
+    for left in bitset.iter_subsets(mask):
+        right = mask ^ left
+        if (
+            graph.is_connected_set(left)
+            and graph.is_connected_set(right)
+            and graph.are_connected(left, right)
+        ):
+            total += brute_force_ordered_trees(
+                graph, left
+            ) * brute_force_ordered_trees(graph, right)
+    return total
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            chain_graph(2),
+            chain_graph(5),
+            cycle_graph(5),
+            star_graph(5),
+            clique_graph(5),
+        ],
+        ids=["chain2", "chain5", "cycle5", "star5", "clique5"],
+    )
+    def test_paper_topologies(self, graph):
+        assert count_join_trees(graph) == brute_force_ordered_trees(graph)
+
+    def test_random_graphs(self, rng):
+        for _ in range(10):
+            graph = random_connected_graph(rng.randint(2, 6), rng, rng.random())
+            assert count_join_trees(graph) == brute_force_ordered_trees(graph)
+
+
+class TestClosedForms:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 6])
+    def test_clique_matches_closed_form(self, n):
+        assert count_join_trees(clique_graph(n)) == clique_tree_count(n)
+
+    def test_clique_tree_count_values(self):
+        # (2n-2)!/(n-1)!: 1, 2, 12, 120, 1680 for n = 1..5.
+        assert [clique_tree_count(n) for n in range(1, 6)] == [1, 2, 12, 120, 1680]
+
+    def test_chain_small_values(self):
+        # Chain of 3: shapes ((a b) c) and (a (b c)) plus mirrors: 6
+        # ordered? (R0⨝R1)⨝R2 family: root split {0,1}|{2} and {0}|{1,2}
+        # each with 2 orientations and 2 sub-orientations: 8 ordered...
+        # ground truth via the brute force:
+        assert count_join_trees(chain_graph(3)) == brute_force_ordered_trees(
+            chain_graph(3)
+        )
+
+    def test_single_relation(self):
+        assert count_join_trees(chain_graph(1)) == 1
+        assert count_join_trees_unordered(chain_graph(1)) == 1
+
+
+class TestUnordered:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_unordered_is_ordered_over_orientations(self, n):
+        graph = chain_graph(n)
+        assert count_join_trees_unordered(graph) == (
+            count_join_trees(graph) // 2 ** (n - 1)
+        )
+
+    def test_clique4_unordered(self):
+        # 4 leaves, all trees allowed: 120 ordered? no - n=4:
+        # (2*4-2)!/(4-1)! = 720/6 = 120 ordered; / 2^3 = 15 unordered.
+        assert count_join_trees_unordered(clique_graph(4)) == 15
+
+
+class TestValidationAndSummary:
+    def test_disconnected_rejected(self):
+        with pytest.raises(GraphError):
+            count_join_trees(QueryGraph(3, [(0, 1)]))
+
+    def test_summary_consistency(self):
+        graph = star_graph(5)
+        summary = search_space_summary(graph)
+        assert isinstance(summary, SearchSpaceSummary)
+        assert summary.n_relations == 5
+        assert summary.csg == 20
+        assert summary.ccp_unordered == 32
+        assert summary.trees_ordered == brute_force_ordered_trees(graph)
+        assert summary.pruning_power == pytest.approx(
+            summary.trees_ordered / summary.ccp_unordered
+        )
+
+    def test_clique_dominates_chain(self):
+        # Denser graph, more trees.
+        assert count_join_trees(clique_graph(6)) > count_join_trees(chain_graph(6))

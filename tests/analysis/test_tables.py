@@ -1,0 +1,42 @@
+"""The decisive reproduction test: formulas regenerate Figure 3 exactly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import (
+    FIGURE3_PAPER_VALUES,
+    Figure3Row,
+    figure3_row,
+    figure3_table,
+)
+
+
+class TestFigure3:
+    @pytest.mark.parametrize(
+        "key", sorted(FIGURE3_PAPER_VALUES), ids=lambda key: f"{key[0]}-{key[1]}"
+    )
+    def test_every_printed_cell_regenerated(self, key):
+        topology, n = key
+        assert figure3_row(topology, n) == FIGURE3_PAPER_VALUES[key]
+
+    def test_full_table_shape(self):
+        table = figure3_table()
+        assert len(table) == 20
+        assert all(isinstance(row, Figure3Row) for row in table)
+
+    def test_custom_sizes(self):
+        table = figure3_table(sizes=(3, 4), topologies=("chain",))
+        assert [(row.topology, row.n) for row in table] == [
+            ("chain", 3),
+            ("chain", 4),
+        ]
+
+    def test_largest_cells_digit_for_digit(self):
+        """The most error-prone cells of the paper's table."""
+        star20 = figure3_row("star", 20)
+        assert star20.dpsize == 59_892_991_338
+        assert star20.dpsub == 2_323_474_358
+        clique20 = figure3_row("clique", 20)
+        assert clique20.dpsize == 309_338_182_241
+        assert clique20.ccp == 1_742_343_625

@@ -1,0 +1,48 @@
+"""Unit tests for repro.analysis.validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.validation import (
+    CounterComparison,
+    compare_counters,
+    verify_figure3,
+)
+
+
+class TestCompareCounters:
+    @pytest.mark.parametrize("topology", ["chain", "cycle", "star", "clique"])
+    def test_small_sizes_match(self, topology):
+        comparison = compare_counters(topology, 7)
+        assert comparison.matches, comparison.mismatches()
+
+    def test_cycle_n2_degenerates(self):
+        comparison = compare_counters("cycle", 2)
+        assert comparison.matches
+
+    def test_mismatch_reporting(self):
+        comparison = CounterComparison(
+            topology="chain",
+            n=3,
+            predicted_dpsize=1,
+            measured_dpsize=2,
+            predicted_dpsub=3,
+            measured_dpsub=3,
+            predicted_ccp=4,
+            measured_ccp=4,
+            predicted_csg=5,
+            measured_csg=5,
+        )
+        assert not comparison.matches
+        problems = comparison.mismatches()
+        assert len(problems) == 1
+        assert "I_DPsize" in problems[0]
+
+
+class TestVerifyFigure3:
+    def test_default_slice_all_match(self):
+        comparisons = verify_figure3(sizes=(2, 5))
+        assert len(comparisons) == 8
+        for comparison in comparisons:
+            assert comparison.matches, comparison.mismatches()

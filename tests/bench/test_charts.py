@@ -1,0 +1,74 @@
+"""Unit tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+from repro.bench.charts import render_ascii_chart
+from repro.bench.experiments import RelativeCell, RelativeSeries
+
+
+def series_with(ratios: dict[tuple[str, int], float | None]) -> RelativeSeries:
+    cells = []
+    sizes = sorted({n for _algo, n in ratios})
+    for n in sizes:
+        for algorithm in ("DPsize", "DPsub", "DPccp"):
+            ratio = 1.0 if algorithm == "DPccp" else ratios.get((algorithm, n))
+            cells.append(
+                RelativeCell(
+                    topology="chain",
+                    n=n,
+                    algorithm=algorithm,
+                    seconds=0.001 if ratio is not None else None,
+                    relative_to_dpccp=ratio,
+                    predicted_inner=10,
+                )
+            )
+    return RelativeSeries(figure=8, topology="chain", cells=tuple(cells))
+
+
+class TestRenderAsciiChart:
+    def test_marks_present(self):
+        chart = render_ascii_chart(
+            series_with(
+                {
+                    ("DPsize", 4): 1.0,
+                    ("DPsub", 4): 4.0,
+                    ("DPsize", 5): 1.1,
+                    ("DPsub", 5): 8.0,
+                }
+            )
+        )
+        assert "Z" in chart
+        assert "B" in chart
+        assert "Figure 8" in chart
+        assert "chain" in chart
+
+    def test_baseline_rule_drawn(self):
+        chart = render_ascii_chart(series_with({("DPsub", 4): 2.0}))
+        assert "-" in chart
+
+    def test_higher_ratio_higher_row(self):
+        chart = render_ascii_chart(
+            series_with({("DPsub", 4): 10.0, ("DPsize", 4): 0.9})
+        )
+        body = chart.splitlines()[1:]  # skip the title/legend line
+        b_row = next(i for i, line in enumerate(body) if "B" in line)
+        z_row = next(i for i, line in enumerate(body) if "Z" in line)
+        assert b_row < z_row  # rendered top-down: higher ratio first
+
+    def test_overlap_marked(self):
+        chart = render_ascii_chart(
+            series_with({("DPsub", 4): 5.0, ("DPsize", 4): 5.0})
+        )
+        assert "*" in chart
+
+    def test_empty_series(self):
+        chart = render_ascii_chart(series_with({("DPsub", 4): None}))
+        assert "no measurable cells" in chart
+
+    def test_skipped_cells_ignored(self):
+        chart = render_ascii_chart(
+            series_with({("DPsub", 4): 3.0, ("DPsize", 4): None})
+        )
+        body = "\n".join(chart.splitlines()[1:])
+        assert "B" in body
+        assert "Z" not in body

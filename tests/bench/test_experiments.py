@@ -1,0 +1,64 @@
+"""Unit tests for the per-figure experiment runners (small sizes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import (
+    FIGURE12_PAPER_SECONDS,
+    run_figure3,
+    run_figure12,
+    run_relative_performance,
+)
+from repro.errors import WorkloadError
+
+FAST = {"min_total_seconds": 0.005}
+
+
+class TestFigure3Runner:
+    def test_formulas_and_runs_agree(self):
+        table, comparisons = run_figure3(sizes=(2, 5), verify_up_to=5)
+        assert len(table) == 8
+        assert len(comparisons) == 8
+        assert all(comparison.matches for comparison in comparisons)
+
+    def test_verify_cap_respected(self):
+        _table, comparisons = run_figure3(sizes=(2, 5, 10), verify_up_to=5)
+        assert all(comparison.n <= 5 for comparison in comparisons)
+
+
+class TestRelativeRunner:
+    def test_small_chain_sweep(self):
+        series = run_relative_performance(8, sizes=(4, 6), **FAST)
+        assert series.topology == "chain"
+        assert len(series.cells) == 6  # 2 sizes x 3 algorithms
+        baseline = series.for_algorithm("DPccp")
+        assert all(cell.relative_to_dpccp == pytest.approx(1.0) for cell in baseline)
+        assert all(cell.seconds is not None for cell in series.cells)
+
+    def test_budget_skips_cells(self):
+        series = run_relative_performance(10, sizes=(14,), budget=1000, **FAST)
+        assert all(cell.seconds is None for cell in series.cells)
+        assert all(cell.relative_to_dpccp is None for cell in series.cells)
+        assert all(cell.predicted_inner > 1000 for cell in series.cells)
+
+    def test_unknown_figure(self):
+        with pytest.raises(WorkloadError):
+            run_relative_performance(7)
+
+
+class TestFigure12Runner:
+    def test_small_grid(self):
+        cells = run_figure12(sizes=(5,), **FAST)
+        assert len(cells) == 12  # 4 topologies x 1 size x 3 algorithms
+        assert all(cell.seconds is not None for cell in cells)
+        assert all(cell.paper_seconds is not None for cell in cells)
+
+    def test_paper_values_transcribed_completely(self):
+        # 4 topologies x 4 sizes x 3 algorithms.
+        assert len(FIGURE12_PAPER_SECONDS) == 48
+
+    def test_budget_marks_infeasible(self):
+        cells = run_figure12(sizes=(15,), budget=10_000, **FAST)
+        skipped = [cell for cell in cells if cell.seconds is None]
+        assert skipped, "n=15 has cells over a 10k budget"

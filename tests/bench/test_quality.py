@@ -1,0 +1,50 @@
+"""Unit tests for the plan-quality comparison experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.quality import (
+    QUALITY_WORKLOADS,
+    QualityRow,
+    render_quality,
+    run_quality_comparison,
+)
+
+
+class TestQualityComparison:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_quality_comparison(instances_per_workload=2, seed=3)
+
+    def test_all_workloads_and_algorithms_covered(self, rows):
+        workloads = {row.workload for row in rows}
+        assert workloads == set(QUALITY_WORKLOADS)
+        algorithms = {row.algorithm for row in rows}
+        assert algorithms == {"LeftDeepDP", "GOO", "QuickPick", "IDP-1"}
+
+    def test_ratios_at_least_one(self, rows):
+        for row in rows:
+            assert row.median_ratio >= 1.0 - 1e-9, row
+            assert row.max_ratio >= row.median_ratio - 1e-12, row
+
+    def test_optimal_share_in_unit_interval(self, rows):
+        for row in rows:
+            assert 0.0 <= row.optimal_share <= 1.0
+
+    def test_instance_counts(self, rows):
+        assert all(row.instances == 2 for row in rows)
+
+    def test_deterministic(self):
+        one = run_quality_comparison(instances_per_workload=1, seed=5)
+        two = run_quality_comparison(instances_per_workload=1, seed=5)
+        assert one == two
+
+    def test_render(self, rows):
+        text = render_quality(rows)
+        assert "Plan quality" in text
+        assert "LeftDeepDP" in text
+        assert "%" in text
+
+    def test_row_type(self, rows):
+        assert all(isinstance(row, QualityRow) for row in rows)

@@ -1,0 +1,74 @@
+"""Unit tests for ASCII report rendering."""
+
+from __future__ import annotations
+
+from repro.analysis.tables import figure3_table
+from repro.bench.experiments import (
+    AbsoluteCell,
+    RelativeCell,
+    RelativeSeries,
+    run_relative_performance,
+)
+from repro.bench.reporting import (
+    render_figure3,
+    render_figure12,
+    render_relative_series,
+    render_table,
+)
+
+
+class TestRenderTable:
+    def test_alignment_and_headers(self):
+        text = render_table(["a", "long_header"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "long_header" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_none_rendered_as_dash(self):
+        text = render_table(["x"], [[None]])
+        assert "-" in text.splitlines()[-1]
+
+    def test_float_formats(self):
+        text = render_table(["x"], [[0.00001], [1.5], [12345678.0], [0.0]])
+        assert "1.00e-05" in text
+        assert "1.5" in text
+        assert "1.23e+07" in text
+
+
+class TestFigureRenderers:
+    def test_figure3(self):
+        text = render_figure3(figure3_table(sizes=(2, 5)))
+        assert "chain" in text and "clique" in text
+        assert "#ccp" in text
+
+    def test_relative_series(self):
+        series = RelativeSeries(
+            figure=8,
+            topology="chain",
+            cells=(
+                RelativeCell("chain", 4, "DPsize", 0.001, 0.5, 10),
+                RelativeCell("chain", 4, "DPsub", 0.004, 2.0, 20),
+                RelativeCell("chain", 4, "DPccp", 0.002, 1.0, 5),
+            ),
+        )
+        text = render_relative_series(series)
+        assert "Figure 8" in text
+        assert "DPsize/DPccp" in text
+
+    def test_relative_series_from_runner(self):
+        series = run_relative_performance(
+            8, sizes=(4,), min_total_seconds=0.005
+        )
+        text = render_relative_series(series)
+        assert "chain" in text
+
+    def test_figure12(self):
+        cells = [
+            AbsoluteCell("chain", 5, "DPsize", 0.001, 7.7e-6),
+            AbsoluteCell("star", 20, "DPsize", None, 4791.0),
+        ]
+        text = render_figure12(cells)
+        assert "Figure 12" in text
+        assert "4791" in text
+        assert "-" in text

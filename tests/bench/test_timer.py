@@ -1,0 +1,38 @@
+"""Unit tests for the benchmark timer."""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.timer import measure_seconds
+
+
+class TestMeasureSeconds:
+    def test_fast_action_repeats(self):
+        calls = 0
+
+        def action():
+            nonlocal calls
+            calls += 1
+
+        seconds = measure_seconds(action, min_total_seconds=0.01, max_repeats=50)
+        assert seconds >= 0.0
+        assert calls > 1
+
+    def test_slow_action_runs_once(self):
+        calls = 0
+
+        def action():
+            nonlocal calls
+            calls += 1
+            time.sleep(0.03)
+
+        seconds = measure_seconds(action, min_total_seconds=0.02)
+        assert calls == 1
+        assert seconds >= 0.02
+
+    def test_returns_plausible_magnitude(self):
+        seconds = measure_seconds(
+            lambda: time.sleep(0.005), min_total_seconds=0.02
+        )
+        assert 0.004 <= seconds <= 0.1

@@ -1,0 +1,61 @@
+"""Unit tests for the benchmark sweep definitions and budgeting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.formulas import (
+    ccp_unordered,
+    inner_counter_dpsize,
+    inner_counter_dpsub,
+)
+from repro.bench.workloads import (
+    FIGURE_SWEEPS,
+    predicted_inner_counter,
+)
+from repro.errors import WorkloadError
+
+
+class TestPredictions:
+    def test_dpsize_prediction(self):
+        assert predicted_inner_counter("DPsize", "chain", 10) == (
+            inner_counter_dpsize(10, "chain")
+        )
+
+    def test_dpsub_prediction_includes_outer_scan(self):
+        assert predicted_inner_counter("DPsub", "chain", 10) == (
+            inner_counter_dpsub(10, "chain") + 2**10
+        )
+
+    def test_dpccp_prediction_is_ccp(self):
+        assert predicted_inner_counter("DPccp", "star", 10) == (
+            ccp_unordered(10, "star")
+        )
+
+    def test_cycle_n2_degenerates(self):
+        assert predicted_inner_counter("DPsize", "cycle", 2) == (
+            inner_counter_dpsize(2, "chain")
+        )
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(WorkloadError):
+            predicted_inner_counter("DPmagic", "chain", 5)
+
+
+class TestSweeps:
+    def test_four_figures_defined(self):
+        assert sorted(FIGURE_SWEEPS) == [8, 9, 10, 11]
+
+    def test_topologies_match_paper(self):
+        assert FIGURE_SWEEPS[8].topology == "chain"
+        assert FIGURE_SWEEPS[9].topology == "cycle"
+        assert FIGURE_SWEEPS[10].topology == "star"
+        assert FIGURE_SWEEPS[11].topology == "clique"
+
+    def test_sweeps_reach_twenty(self):
+        for sweep in FIGURE_SWEEPS.values():
+            assert max(sweep.sizes) == 20
+
+    def test_dpccp_is_baseline_last(self):
+        for sweep in FIGURE_SWEEPS.values():
+            assert sweep.algorithms[-1] == "DPccp"

@@ -1,0 +1,84 @@
+"""Unit tests for repro.catalog.catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.catalog import Catalog, RelationStats
+from repro.errors import CatalogError
+
+
+class TestRelationStats:
+    def test_basic(self):
+        stats = RelationStats(name="t", cardinality=500.0)
+        assert stats.cardinality == 500.0
+        assert stats.tuple_bytes > 0
+
+    def test_pages_derived(self):
+        stats = RelationStats(name="t", cardinality=10_000, tuple_bytes=100)
+        assert stats.pages == pytest.approx(10_000 * 100 / 8192, abs=1)
+
+    def test_explicit_pages_kept(self):
+        stats = RelationStats(name="t", cardinality=10, pages=7)
+        assert stats.pages == 7
+
+    def test_nonpositive_cardinality_rejected(self):
+        with pytest.raises(CatalogError):
+            RelationStats(name="t", cardinality=0)
+
+    def test_negative_pages_rejected(self):
+        with pytest.raises(CatalogError):
+            RelationStats(name="t", cardinality=10, pages=-1)
+
+    def test_nonpositive_width_rejected(self):
+        with pytest.raises(CatalogError):
+            RelationStats(name="t", cardinality=10, tuple_bytes=0)
+
+
+class TestCatalog:
+    def test_from_cardinalities(self):
+        catalog = Catalog.from_cardinalities([10, 20, 30])
+        assert len(catalog) == 3
+        assert catalog.cardinality(1) == 20
+        assert catalog.cardinalities() == (10, 20, 30)
+
+    def test_from_cardinalities_with_names(self):
+        catalog = Catalog.from_cardinalities([10, 20], names=["a", "b"])
+        assert catalog.by_name("b").cardinality == 20
+
+    def test_name_count_mismatch(self):
+        with pytest.raises(CatalogError):
+            Catalog.from_cardinalities([10], names=["a", "b"])
+
+    def test_uniform(self):
+        catalog = Catalog.uniform(4, 99.0)
+        assert all(entry.cardinality == 99.0 for entry in catalog)
+
+    def test_empty_rejected(self):
+        with pytest.raises(CatalogError):
+            Catalog([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(CatalogError):
+            Catalog(
+                [
+                    RelationStats(name="x", cardinality=1),
+                    RelationStats(name="x", cardinality=2),
+                ]
+            )
+
+    def test_index_out_of_range(self):
+        catalog = Catalog.uniform(2)
+        with pytest.raises(CatalogError):
+            catalog[5]
+
+    def test_unknown_name(self):
+        with pytest.raises(CatalogError):
+            Catalog.uniform(2).by_name("missing")
+
+    def test_iteration(self):
+        catalog = Catalog.from_cardinalities([1, 2])
+        assert [entry.cardinality for entry in catalog] == [1, 2]
+
+    def test_repr(self):
+        assert "2" in repr(Catalog.uniform(2))

@@ -1,0 +1,99 @@
+"""Unit tests for the ready-made schema workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.schemas import (
+    snowflake_query,
+    star_schema_query,
+    tpch_like_query,
+)
+from repro.core import DPccp
+from repro.errors import WorkloadError
+from repro.graph.properties import GraphShape, classify_shape, is_star, is_tree
+from repro.plans.visitors import validate_plan
+
+
+class TestStarSchema:
+    def test_shape_is_star(self):
+        graph, catalog = star_schema_query(6, rng=1)
+        assert is_star(graph)
+        assert len(catalog) == 7
+        assert catalog.by_name("fact").cardinality == 10_000_000
+
+    def test_deterministic_by_seed(self):
+        one, _ = star_schema_query(5, rng=42)
+        two, _ = star_schema_query(5, rng=42)
+        assert one == two
+
+    def test_selectivities_in_range(self):
+        graph, _ = star_schema_query(8, rng=3)
+        assert all(0 < edge.selectivity <= 1 for edge in graph.edges)
+
+    def test_optimizable(self):
+        graph, catalog = star_schema_query(6, rng=2)
+        result = DPccp().optimize(graph, catalog=catalog)
+        validate_plan(result.plan, graph)
+
+    def test_zero_dimensions_rejected(self):
+        with pytest.raises(WorkloadError):
+            star_schema_query(0)
+
+
+class TestSnowflake:
+    def test_shape_is_tree(self):
+        graph, catalog = snowflake_query(4, depth=2, rng=1)
+        assert is_tree(graph)
+        assert graph.n_relations == 1 + 4 * 2
+        assert len(catalog) == graph.n_relations
+
+    def test_depth_one_is_star(self):
+        graph, _ = snowflake_query(5, depth=1, rng=1)
+        assert is_star(graph)
+
+    def test_chain_levels_shrink(self):
+        graph, catalog = snowflake_query(1, depth=3, rng=7)
+        sizes = [
+            catalog.by_name(f"dim0_{level}").cardinality for level in range(3)
+        ]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_optimizable(self):
+        graph, catalog = snowflake_query(3, depth=2, rng=5)
+        result = DPccp().optimize(graph, catalog=catalog)
+        validate_plan(result.plan, graph)
+
+    @pytest.mark.parametrize("kwargs", [{"n_dimensions": 0}, {"n_dimensions": 2, "depth": 0}])
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(WorkloadError):
+            snowflake_query(**kwargs)
+
+
+class TestTpchLike:
+    def test_eight_relations_cyclic(self):
+        graph, catalog = tpch_like_query()
+        assert graph.n_relations == 8
+        assert graph.is_connected
+        # Both branches reach nation: the graph contains a cycle
+        # (lineitem-orders-customer-nation-supplier-partsupp-lineitem).
+        assert not is_tree(graph)
+        assert classify_shape(graph) == GraphShape.GENERAL
+        assert catalog.by_name("lineitem").cardinality == 6_000_000
+
+    def test_scale_factor(self):
+        _graph, catalog = tpch_like_query(scale=0.1)
+        assert catalog.by_name("lineitem").cardinality == pytest.approx(600_000)
+        # Tiny fixed tables do not scale.
+        assert catalog.by_name("region").cardinality == 5
+
+    def test_optimal_plan_filters_early(self):
+        graph, catalog = tpch_like_query()
+        result = DPccp().optimize(graph, catalog=catalog)
+        validate_plan(result.plan, graph)
+        # FK chains keep every intermediate at most lineitem-sized.
+        assert result.cost < 8 * 6_000_000
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(WorkloadError):
+            tpch_like_query(scale=0)

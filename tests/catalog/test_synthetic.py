@@ -1,0 +1,79 @@
+"""Unit tests for repro.catalog.synthetic."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.catalog.synthetic import random_catalog, uniform_catalog, zipfian_catalog
+from repro.errors import WorkloadError
+
+
+class TestUniform:
+    def test_basic(self):
+        catalog = uniform_catalog(5, 77.0)
+        assert len(catalog) == 5
+        assert all(entry.cardinality == 77.0 for entry in catalog)
+
+    def test_zero_relations_rejected(self):
+        with pytest.raises(WorkloadError):
+            uniform_catalog(0)
+
+
+class TestRandom:
+    def test_within_bounds(self):
+        catalog = random_catalog(50, rng=3, low=10, high=1000)
+        for entry in catalog:
+            assert 10 <= entry.cardinality <= 1000 * 1.0001
+
+    def test_deterministic_by_seed(self):
+        assert random_catalog(5, rng=11).cardinalities() == random_catalog(
+            5, rng=11
+        ).cardinalities()
+
+    def test_accepts_random_instance(self):
+        catalog = random_catalog(3, rng=random.Random(2))
+        assert len(catalog) == 3
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(WorkloadError):
+            random_catalog(3, rng=0, low=100, high=10)
+        with pytest.raises(WorkloadError):
+            random_catalog(3, rng=0, low=0, high=10)
+
+    def test_zero_relations_rejected(self):
+        with pytest.raises(WorkloadError):
+            random_catalog(0)
+
+
+class TestZipfian:
+    def test_descending_profile(self):
+        catalog = zipfian_catalog(6, base_cardinality=1000.0, skew=1.0)
+        cards = catalog.cardinalities()
+        assert cards[0] == 1000.0
+        assert all(a >= b for a, b in zip(cards, cards[1:]))
+        assert cards[3] == pytest.approx(250.0)
+
+    def test_floor_at_one(self):
+        catalog = zipfian_catalog(10, base_cardinality=2.0, skew=3.0)
+        assert min(catalog.cardinalities()) == 1.0
+
+    def test_zero_skew_uniform(self):
+        catalog = zipfian_catalog(4, base_cardinality=500.0, skew=0.0)
+        assert set(catalog.cardinalities()) == {500.0}
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"base_cardinality": 0.0},
+            {"skew": -1.0},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(WorkloadError):
+            zipfian_catalog(3, **kwargs)
+
+    def test_zero_relations_rejected(self):
+        with pytest.raises(WorkloadError):
+            zipfian_catalog(0)

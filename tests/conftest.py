@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph.generators import (
+    chain_graph,
+    clique_graph,
+    cycle_graph,
+    star_graph,
+)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """Deterministic RNG; reseeded per test."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture(params=["chain", "cycle", "star", "clique"])
+def paper_topology(request: pytest.FixtureRequest) -> str:
+    """Each of the paper's four topologies in turn."""
+    return request.param
+
+
+def graph_of(topology: str, n: int, selectivity: float | None = None):
+    """Build a paper-topology graph, degrading 2-cycles to chains."""
+    if topology == "cycle" and n < 3:
+        topology = "chain"
+    builders = {
+        "chain": chain_graph,
+        "cycle": cycle_graph,
+        "star": star_graph,
+        "clique": clique_graph,
+    }
+    return builders[topology](n, selectivity=selectivity)

@@ -1,0 +1,56 @@
+"""Unit tests for the adaptive dispatcher."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.adaptive import AdaptiveOptimizer
+from repro.core.dpccp import DPccp
+from repro.core.dpsub import DPsub
+from repro.graph.generators import (
+    chain_graph,
+    clique_graph,
+    cycle_graph,
+    star_graph,
+)
+from repro.plans.visitors import validate_plan
+
+
+class TestChoice:
+    def test_clique_goes_to_dpsub(self):
+        assert isinstance(AdaptiveOptimizer().choose(clique_graph(8)), DPsub)
+
+    @pytest.mark.parametrize(
+        "graph",
+        [chain_graph(8), cycle_graph(8), star_graph(8)],
+        ids=["chain", "cycle", "star"],
+    )
+    def test_sparse_goes_to_dpccp(self, graph):
+        assert isinstance(AdaptiveOptimizer().choose(graph), DPccp)
+
+    def test_large_clique_goes_to_dpccp(self):
+        adaptive = AdaptiveOptimizer(dense_size_limit=10)
+        assert isinstance(adaptive.choose(clique_graph(12)), DPccp)
+
+    def test_threshold_override_forces_dpccp(self):
+        adaptive = AdaptiveOptimizer(dense_threshold=1.1)
+        assert isinstance(adaptive.choose(clique_graph(6)), DPccp)
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveOptimizer(dense_threshold=0.0)
+
+
+class TestOptimize:
+    def test_result_names_delegate(self):
+        result = AdaptiveOptimizer().optimize(clique_graph(5, selectivity=0.1))
+        assert result.algorithm == "adaptive->DPsub"
+        result = AdaptiveOptimizer().optimize(chain_graph(5, selectivity=0.1))
+        assert result.algorithm == "adaptive->DPccp"
+
+    def test_same_cost_as_direct_algorithms(self):
+        graph = star_graph(6, selectivity=0.05)
+        adaptive = AdaptiveOptimizer().optimize(graph)
+        direct = DPccp().optimize(graph)
+        assert adaptive.cost == pytest.approx(direct.cost)
+        validate_plan(adaptive.plan, graph)

@@ -1,0 +1,112 @@
+"""Unit tests for repro.core.base: PlanTable, CounterSet, JoinOrderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.core.base import CounterSet, PlanTable
+from repro.core.dpccp import DPccp
+from repro.cost.cout import CoutModel
+from repro.errors import (
+    DisconnectedGraphError,
+    OptimizerError,
+)
+from repro.graph.generators import chain_graph
+from repro.graph.querygraph import QueryGraph
+from repro.plans.jointree import JoinTree
+
+
+class TestCounterSet:
+    def test_defaults_zero(self):
+        counters = CounterSet()
+        assert counters.inner_counter == 0
+        assert counters.csg_cmp_pair_counter == 0
+        assert counters.ono_lohman_counter == 0
+        assert counters.create_join_tree_calls == 0
+
+    def test_as_dict(self):
+        counters = CounterSet(inner_counter=5, csg_cmp_pair_counter=4)
+        as_dict = counters.as_dict()
+        assert as_dict["inner_counter"] == 5
+        assert as_dict["csg_cmp_pair_counter"] == 4
+        assert set(as_dict) == {
+            "inner_counter",
+            "csg_cmp_pair_counter",
+            "ono_lohman_counter",
+            "create_join_tree_calls",
+            "connectivity_check_failures",
+        }
+
+
+class TestPlanTable:
+    def test_register_new(self):
+        table = PlanTable()
+        plan = JoinTree.leaf(0, 10.0, cost=5.0)
+        assert table.register(plan)
+        assert table.get(0b1) is plan
+        assert 0b1 in table
+        assert len(table) == 1
+
+    def test_register_cheaper_replaces(self):
+        table = PlanTable()
+        table.register(JoinTree.leaf(0, 10.0, cost=5.0))
+        cheaper = JoinTree.leaf(0, 10.0, cost=1.0)
+        assert table.register(cheaper)
+        assert table.get(0b1) is cheaper
+
+    def test_register_costlier_keeps_incumbent(self):
+        table = PlanTable()
+        incumbent = JoinTree.leaf(0, 10.0, cost=1.0)
+        table.register(incumbent)
+        assert not table.register(JoinTree.leaf(0, 10.0, cost=2.0))
+        assert table.get(0b1) is incumbent
+
+    def test_ties_keep_incumbent(self):
+        table = PlanTable()
+        incumbent = JoinTree.leaf(0, 10.0, cost=1.0)
+        table.register(incumbent)
+        assert not table.register(JoinTree.leaf(0, 99.0, cost=1.0))
+        assert table.get(0b1) is incumbent
+
+    def test_missing_lookup_raises(self):
+        table = PlanTable()
+        with pytest.raises(OptimizerError):
+            table[0b1]
+        assert table.get(0b1) is None
+
+    def test_masks(self):
+        table = PlanTable()
+        table.register(JoinTree.leaf(0, 1.0))
+        table.register(JoinTree.leaf(2, 1.0))
+        assert sorted(table.masks()) == [0b001, 0b100]
+
+
+class TestJoinOrdererValidation:
+    def test_disconnected_rejected(self):
+        graph = QueryGraph(3, [(0, 1)])
+        with pytest.raises(DisconnectedGraphError):
+            DPccp().optimize(graph)
+
+    def test_single_relation(self):
+        result = DPccp().optimize(chain_graph(1))
+        assert result.plan.is_leaf
+        assert result.counters.inner_counter == 0
+        assert result.table_size == 1
+        assert result.cost == 0.0
+
+    def test_cost_model_and_catalog_mutually_exclusive(self):
+        graph = chain_graph(2)
+        model = CoutModel(graph)
+        with pytest.raises(OptimizerError):
+            DPccp().optimize(graph, cost_model=model, catalog=Catalog.uniform(2))
+
+    def test_result_metadata(self):
+        result = DPccp().optimize(chain_graph(4))
+        assert result.algorithm == "DPccp"
+        assert result.n_relations == 4
+        assert result.table_size == 10  # #csg(chain, 4)
+        assert result.elapsed_seconds >= 0.0
+
+    def test_repr(self):
+        assert repr(DPccp()) == "DPccp()"

@@ -1,0 +1,110 @@
+"""Cross-validation: all optimal algorithms agree on every instance.
+
+The strongest correctness evidence in the suite: DPsize, DPsub and DPccp
+must return plans with exactly the cost of the exhaustive reference, on
+randomized topologies, catalogs, and both cost models. Any enumeration
+bug (missed pair, wrong DP order) surfaces here as a cost mismatch.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.catalog.synthetic import random_catalog
+from repro.core import DPccp, DPsize, DPsub, ExhaustiveOptimizer
+from repro.cost.cout import CoutModel
+from repro.cost.disk import DiskCostModel
+from repro.graph.generators import (
+    graph_for_topology,
+    grid_graph,
+    random_connected_graph,
+)
+from repro.plans.visitors import validate_plan
+
+OPTIMAL_ALGORITHMS = [DPsize, DPsub, DPccp, ExhaustiveOptimizer]
+
+
+def all_costs(graph, cost_model_factory):
+    costs = {}
+    for algorithm_class in OPTIMAL_ALGORITHMS:
+        result = algorithm_class().optimize(graph, cost_model=cost_model_factory())
+        validate_plan(result.plan, graph)
+        costs[algorithm_class.name] = result.cost
+    return costs
+
+
+class TestAgreementCout:
+    @pytest.mark.parametrize("topology", ["chain", "cycle", "star", "clique"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_paper_topologies(self, topology, seed):
+        rng = random.Random(seed)
+        n = rng.randint(4, 7)
+        graph = graph_for_topology(topology, n, rng=rng)
+        catalog = random_catalog(n, rng)
+        costs = all_costs(graph, lambda: CoutModel(graph, catalog))
+        reference = costs["exhaustive"]
+        for name, cost in costs.items():
+            assert cost == pytest.approx(reference), name
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_graphs(self, seed):
+        rng = random.Random(1000 + seed)
+        n = rng.randint(2, 8)
+        graph = random_connected_graph(n, rng, rng.random() * 0.7)
+        catalog = random_catalog(n, rng)
+        costs = all_costs(graph, lambda: CoutModel(graph, catalog))
+        reference = costs["exhaustive"]
+        for name, cost in costs.items():
+            assert cost == pytest.approx(reference), name
+
+    def test_grid(self):
+        rng = random.Random(77)
+        graph = grid_graph(2, 4, rng=rng)
+        catalog = random_catalog(8, rng)
+        costs = all_costs(graph, lambda: CoutModel(graph, catalog))
+        reference = costs["exhaustive"]
+        for name, cost in costs.items():
+            assert cost == pytest.approx(reference), name
+
+
+class TestAgreementDisk:
+    """The asymmetric disk model exercises the both-join-orders paths."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_graphs(self, seed):
+        rng = random.Random(2000 + seed)
+        n = rng.randint(2, 7)
+        graph = random_connected_graph(n, rng, rng.random() * 0.6)
+        catalog = random_catalog(n, rng)
+        costs = all_costs(graph, lambda: DiskCostModel(graph, catalog))
+        reference = costs["exhaustive"]
+        for name, cost in costs.items():
+            assert cost == pytest.approx(reference), name
+
+
+class TestCounterInvariants:
+    """Paper §2.3.1: CsgCmpPairCounter identical across all algorithms."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_csg_cmp_pair_counter_identical(self, seed):
+        rng = random.Random(3000 + seed)
+        n = rng.randint(2, 7)
+        graph = random_connected_graph(n, rng, rng.random() * 0.8)
+        counts = {
+            cls.name: cls().optimize(graph).counters.csg_cmp_pair_counter
+            for cls in (DPsize, DPsub, DPccp)
+        }
+        assert len(set(counts.values())) == 1, counts
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_inner_counter_lower_bound(self, seed):
+        """InnerCounter >= #ccp for DPsize/DPsub; == for DPccp."""
+        rng = random.Random(4000 + seed)
+        n = rng.randint(2, 7)
+        graph = random_connected_graph(n, rng, rng.random() * 0.8)
+        dpccp = DPccp().optimize(graph).counters
+        for cls in (DPsize, DPsub):
+            counters = cls().optimize(graph).counters
+            assert counters.inner_counter >= dpccp.inner_counter

@@ -1,0 +1,93 @@
+"""Unit tests for DPall (bushy trees with cross products)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.synthetic import random_catalog
+from repro.core import DPall, DPccp
+from repro.errors import OptimizerError
+from repro.graph.generators import chain_graph, random_connected_graph
+from repro.graph.querygraph import QueryGraph
+from repro.plans.visitors import validate_plan
+
+
+class TestCounters:
+    @pytest.mark.parametrize("n", [2, 3, 5, 7, 9])
+    def test_inner_counter_graph_independent(self, paper_topology, n):
+        """All splits of all subsets: 3^n - 2^{n+1} + 1, any topology."""
+        if paper_topology == "cycle" and n == 2:
+            pytest.skip("2-cycle degenerates to chain")
+        from tests.conftest import graph_of
+
+        graph = graph_of(paper_topology, n)
+        result = DPall().optimize(graph)
+        assert result.counters.inner_counter == 3**n - 2 ** (n + 1) + 1
+
+    @pytest.mark.parametrize("n", [2, 4, 6, 8])
+    def test_table_covers_all_subsets(self, n):
+        result = DPall().optimize(chain_graph(n))
+        assert result.table_size == 2**n - 1
+
+    def test_size_guard(self):
+        from repro.core.dpsub import MAX_RELATIONS
+
+        with pytest.raises(OptimizerError):
+            DPall().optimize(chain_graph(MAX_RELATIONS + 1))
+
+
+class TestSearchSpaceRelation:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_never_worse_than_cross_product_free(self, seed):
+        """The larger space can only help: DPall.cost <= DPccp.cost."""
+        rng = random.Random(seed)
+        n = rng.randint(2, 8)
+        graph = random_connected_graph(n, rng, rng.random() * 0.6)
+        catalog = random_catalog(n, rng)
+        with_cross = DPall().optimize(graph, catalog=catalog)
+        without = DPccp().optimize(graph, catalog=catalog)
+        assert with_cross.cost <= without.cost * (1 + 1e-12)
+
+    def test_cross_product_can_win(self):
+        """The classic instance: tiny relations at opposite chain ends.
+
+        Chain t1 - big - t2 with |t1| = |t2| = 2 and |big| = 1e6 and
+        weak selectivities: crossing t1 x t2 first (4 rows) then
+        joining big once beats any connected order.
+        """
+        graph = QueryGraph(3, [(0, 1, 0.5), (1, 2, 0.5)])
+        catalog = Catalog.from_cardinalities([2, 1_000_000, 2])
+        with_cross = DPall().optimize(graph, catalog=catalog)
+        without = DPccp().optimize(graph, catalog=catalog)
+        assert with_cross.cost < without.cost
+        validate_plan(
+            with_cross.plan, graph, forbid_cross_products=False
+        )
+
+    def test_fk_chain_needs_no_cross_products(self):
+        """On foreign-key chains the optima coincide."""
+        graph = chain_graph(6, selectivity=0.001)
+        catalog = Catalog.from_cardinalities([1000] * 6)
+        assert DPall().optimize(graph, catalog=catalog).cost == pytest.approx(
+            DPccp().optimize(graph, catalog=catalog).cost
+        )
+
+
+class TestDisconnectedGraphs:
+    def test_handles_disconnected_graph(self):
+        """DPall is the only algorithm that can plan disconnected queries."""
+        graph = QueryGraph(4, [(0, 1, 0.1), (2, 3, 0.1)])
+        assert not graph.is_connected
+        result = DPall().optimize(graph, catalog=Catalog.uniform(4, 100.0))
+        validate_plan(result.plan, graph, forbid_cross_products=False)
+        assert result.plan.size == 4
+
+    def test_plan_valid_modulo_cross_products(self, rng):
+        for _ in range(6):
+            n = rng.randint(2, 7)
+            graph = random_connected_graph(n, rng, rng.random() * 0.5)
+            result = DPall().optimize(graph, catalog=random_catalog(n, rng))
+            validate_plan(result.plan, graph, forbid_cross_products=False)

@@ -1,0 +1,117 @@
+"""Unit tests for DPccp (paper Figure 4)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.formulas import ccp_unordered, csg_count
+from repro.core.dpccp import DPccp
+from repro.core.exhaustive import ExhaustiveOptimizer
+from repro.graph.counting import count_ccp_brute_force
+from repro.graph.generators import (
+    chain_graph,
+    graph_for_topology,
+    grid_graph,
+    random_connected_graph,
+)
+from repro.graph.querygraph import QueryGraph
+from repro.plans.visitors import validate_plan
+from tests.conftest import graph_of
+
+
+class TestCounters:
+    """DPccp's InnerCounter meets the Ono-Lohman lower bound exactly."""
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12])
+    def test_inner_counter_equals_ccp(self, paper_topology, n):
+        if paper_topology == "cycle" and n == 2:
+            pytest.skip("2-cycle degenerates to chain")
+        graph = graph_of(paper_topology, n)
+        result = DPccp().optimize(graph)
+        assert result.counters.inner_counter == ccp_unordered(n, paper_topology)
+        assert result.counters.ono_lohman_counter == result.counters.inner_counter
+        assert result.counters.csg_cmp_pair_counter == (
+            2 * result.counters.inner_counter
+        )
+
+    def test_inner_counter_on_general_graph(self, rng):
+        """On arbitrary graphs the bound is the brute-force pair count."""
+        for _ in range(10):
+            graph = random_connected_graph(rng.randint(2, 7), rng, 0.4)
+            result = DPccp().optimize(graph)
+            assert result.counters.csg_cmp_pair_counter == (
+                count_ccp_brute_force(graph)
+            )
+
+    @pytest.mark.parametrize("n", [3, 5, 8])
+    def test_table_size_is_csg_count(self, paper_topology, n):
+        graph = graph_of(paper_topology, n)
+        result = DPccp().optimize(graph)
+        assert result.table_size == csg_count(n, paper_topology)
+
+    def test_create_join_tree_once_per_pair_when_symmetric(self):
+        result = DPccp().optimize(chain_graph(6))
+        assert result.counters.create_join_tree_calls == (
+            result.counters.inner_counter
+        )
+
+    def test_create_join_tree_twice_per_pair_when_asymmetric(self):
+        from repro.cost.disk import DiskCostModel
+
+        graph = chain_graph(6, selectivity=0.1)
+        result = DPccp().optimize(graph, cost_model=DiskCostModel(graph))
+        assert result.counters.create_join_tree_calls == (
+            2 * result.counters.inner_counter
+        )
+
+
+class TestPlans:
+    @pytest.mark.parametrize("topology", ["chain", "cycle", "star", "clique"])
+    def test_plan_is_valid(self, topology):
+        graph = graph_for_topology(topology, 6, selectivity=0.1)
+        result = DPccp().optimize(graph)
+        validate_plan(result.plan, graph)
+
+    def test_grid_plan_is_valid(self):
+        graph = grid_graph(3, 3, selectivity=0.05)
+        result = DPccp().optimize(graph)
+        validate_plan(result.plan, graph)
+
+
+class TestRenumbering:
+    """DPccp must be correct on graphs that are not BFS-numbered."""
+
+    def test_off_center_star(self):
+        graph = QueryGraph(
+            4, [(2, 0, 0.1), (2, 1, 0.2), (2, 3, 0.3)]
+        )
+        assert not graph.is_bfs_numbered()
+        result = DPccp().optimize(graph)
+        validate_plan(result.plan, graph)
+        assert result.counters.inner_counter == ccp_unordered(4, "star")
+
+    def test_permuted_graphs_same_cost(self, rng):
+        """Cost of the optimum is invariant under relabelling."""
+        for _ in range(8):
+            n = rng.randint(3, 7)
+            graph = random_connected_graph(n, rng, 0.4)
+            permutation = list(range(n))
+            rng.shuffle(permutation)
+            relabelled = graph.relabelled(permutation)
+            original = DPccp().optimize(graph)
+            shuffled = DPccp().optimize(relabelled)
+            assert original.cost == pytest.approx(shuffled.cost)
+            assert (
+                original.counters.inner_counter
+                == shuffled.counters.inner_counter
+            )
+
+    def test_matches_exhaustive_on_non_bfs_graph(self):
+        rng = random.Random(5)
+        graph = random_connected_graph(7, rng, 0.35)
+        permuted = graph.relabelled([6, 5, 4, 3, 2, 1, 0])
+        dpccp = DPccp().optimize(permuted)
+        reference = ExhaustiveOptimizer().optimize(permuted)
+        assert dpccp.cost == pytest.approx(reference.cost)

@@ -1,0 +1,77 @@
+"""Unit tests for DPsize (paper Figure 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.formulas import ccp_symmetric, csg_count, inner_counter_dpsize
+from repro.core.dpsize import DPsize
+from repro.graph.generators import graph_for_topology
+from repro.plans.visitors import validate_plan
+from tests.conftest import graph_of
+
+
+class TestCounters:
+    """Terminal counter values equal the paper's I_DPsize formulas."""
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6, 7, 8, 9, 10, 11])
+    def test_inner_counter(self, paper_topology, n):
+        if paper_topology == "cycle" and n == 2:
+            pytest.skip("2-cycle degenerates to chain")
+        graph = graph_of(paper_topology, n)
+        result = DPsize().optimize(graph)
+        assert result.counters.inner_counter == inner_counter_dpsize(
+            n, paper_topology
+        )
+
+    @pytest.mark.parametrize("n", [2, 4, 5, 7, 8])
+    def test_csg_cmp_pair_counter_is_algorithm_independent(
+        self, paper_topology, n
+    ):
+        if paper_topology == "cycle" and n == 2:
+            pytest.skip("2-cycle degenerates to chain")
+        graph = graph_of(paper_topology, n)
+        result = DPsize().optimize(graph)
+        assert result.counters.csg_cmp_pair_counter == ccp_symmetric(
+            n, paper_topology
+        )
+        assert result.counters.ono_lohman_counter * 2 == (
+            result.counters.csg_cmp_pair_counter
+        )
+
+    @pytest.mark.parametrize("n", [3, 5, 8])
+    def test_table_size_is_csg_count(self, paper_topology, n):
+        graph = graph_of(paper_topology, n)
+        result = DPsize().optimize(graph)
+        assert result.table_size == csg_count(n, paper_topology)
+
+
+class TestPlans:
+    @pytest.mark.parametrize("topology", ["chain", "cycle", "star", "clique"])
+    def test_plan_is_valid(self, topology):
+        graph = graph_for_topology(topology, 6, selectivity=0.1)
+        result = DPsize().optimize(graph)
+        validate_plan(result.plan, graph)
+
+    def test_two_relations(self):
+        graph = graph_of("chain", 2, selectivity=0.5)
+        result = DPsize().optimize(graph)
+        assert result.plan.size == 2
+        assert result.counters.inner_counter == 1
+
+    def test_create_join_tree_once_per_pair_when_symmetric(self):
+        """C_out is symmetric: one CreateJoinTree per unordered pair."""
+        graph = graph_of("chain", 4)
+        result = DPsize().optimize(graph)
+        assert result.counters.create_join_tree_calls == (
+            result.counters.ono_lohman_counter
+        )
+
+    def test_create_join_tree_both_orders_when_asymmetric(self):
+        from repro.cost.disk import DiskCostModel
+
+        graph = graph_of("chain", 4, selectivity=0.1)
+        result = DPsize().optimize(graph, cost_model=DiskCostModel(graph))
+        assert result.counters.create_join_tree_calls == (
+            result.counters.csg_cmp_pair_counter
+        )

@@ -1,0 +1,78 @@
+"""Unit tests for DPsub (paper Figure 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.formulas import ccp_symmetric, csg_count, inner_counter_dpsub
+from repro.core.dpsub import MAX_RELATIONS, DPsub
+from repro.errors import OptimizerError
+from repro.graph.generators import chain_graph, graph_for_topology
+from repro.graph.querygraph import QueryGraph
+from repro.plans.visitors import validate_plan
+from tests.conftest import graph_of
+
+
+class TestCounters:
+    """Terminal counter values equal the paper's I_DPsub formulas."""
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12])
+    def test_inner_counter(self, paper_topology, n):
+        if paper_topology == "cycle" and n == 2:
+            pytest.skip("2-cycle degenerates to chain")
+        graph = graph_of(paper_topology, n)
+        result = DPsub().optimize(graph)
+        assert result.counters.inner_counter == inner_counter_dpsub(
+            n, paper_topology
+        )
+
+    @pytest.mark.parametrize("n", [2, 4, 5, 7, 8])
+    def test_csg_cmp_pair_counter_is_algorithm_independent(
+        self, paper_topology, n
+    ):
+        if paper_topology == "cycle" and n == 2:
+            pytest.skip("2-cycle degenerates to chain")
+        graph = graph_of(paper_topology, n)
+        result = DPsub().optimize(graph)
+        assert result.counters.csg_cmp_pair_counter == ccp_symmetric(
+            n, paper_topology
+        )
+
+    def test_ono_lohman_is_half(self):
+        result = DPsub().optimize(chain_graph(6))
+        counters = result.counters
+        assert counters.ono_lohman_counter == counters.csg_cmp_pair_counter // 2
+
+    @pytest.mark.parametrize("n", [3, 5, 8])
+    def test_table_size_is_csg_count(self, paper_topology, n):
+        graph = graph_of(paper_topology, n)
+        result = DPsub().optimize(graph)
+        assert result.table_size == csg_count(n, paper_topology)
+
+    def test_create_join_tree_once_per_orientation(self):
+        """DPsub meets each pair in both orientations, one join each."""
+        result = DPsub().optimize(chain_graph(5))
+        assert result.counters.create_join_tree_calls == (
+            result.counters.csg_cmp_pair_counter
+        )
+
+
+class TestPlans:
+    @pytest.mark.parametrize("topology", ["chain", "cycle", "star", "clique"])
+    def test_plan_is_valid(self, topology):
+        graph = graph_for_topology(topology, 6, selectivity=0.1)
+        result = DPsub().optimize(graph)
+        validate_plan(result.plan, graph)
+
+    def test_non_bfs_numbered_graph(self):
+        """DPsub needs no numbering precondition at all."""
+        graph = QueryGraph(4, [(2, 0, 0.1), (2, 1, 0.1), (2, 3, 0.1)])
+        result = DPsub().optimize(graph)
+        validate_plan(result.plan, graph)
+
+
+class TestLimits:
+    def test_size_guard(self):
+        graph = chain_graph(MAX_RELATIONS + 1)
+        with pytest.raises(OptimizerError):
+            DPsub().optimize(graph)

@@ -1,0 +1,44 @@
+"""Unit tests for the exhaustive reference optimizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exhaustive import ExhaustiveOptimizer
+from repro.graph.generators import chain_graph, clique_graph, star_graph
+from repro.plans.visitors import validate_plan
+
+
+class TestExhaustive:
+    def test_trivial_sizes(self):
+        assert ExhaustiveOptimizer().optimize(chain_graph(1)).plan.is_leaf
+        result = ExhaustiveOptimizer().optimize(chain_graph(2, selectivity=0.5))
+        assert result.plan.size == 2
+
+    @pytest.mark.parametrize("topology_graph", [
+        chain_graph(6, selectivity=0.1),
+        star_graph(6, selectivity=0.1),
+        clique_graph(5, selectivity=0.1),
+    ], ids=["chain", "star", "clique"])
+    def test_plans_valid(self, topology_graph):
+        result = ExhaustiveOptimizer().optimize(topology_graph)
+        validate_plan(result.plan, topology_graph)
+
+    def test_ono_lohman_counter_matches_dp(self):
+        """The reference also visits each unordered pair exactly once."""
+        from repro.analysis.formulas import ccp_unordered
+
+        graph = chain_graph(6)
+        result = ExhaustiveOptimizer().optimize(graph)
+        assert result.counters.ono_lohman_counter == ccp_unordered(6, "chain")
+
+    def test_chain_optimal_cost_closed_form(self):
+        """On a uniform chain, joining cheapest-first is optimal.
+
+        Chain of 3 relations, card 1000 each, selectivity 0.001: every
+        pairwise join yields 1000 rows; the final join yields 1000.
+        C_out of the best plan = 1000 + 1000.
+        """
+        graph = chain_graph(3, selectivity=0.001)
+        result = ExhaustiveOptimizer().optimize(graph)
+        assert result.cost == pytest.approx(2000.0)

@@ -1,0 +1,61 @@
+"""Unit tests for the GOO greedy baseline."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.catalog.synthetic import random_catalog
+from repro.core.dpccp import DPccp
+from repro.core.greedy import GreedyOperatorOrdering
+from repro.graph.generators import (
+    chain_graph,
+    random_connected_graph,
+    star_graph,
+)
+from repro.plans.visitors import validate_plan
+
+
+class TestGreedy:
+    def test_plan_is_valid(self):
+        graph = star_graph(7, selectivity=0.05)
+        result = GreedyOperatorOrdering().optimize(graph)
+        validate_plan(result.plan, graph)
+
+    def test_never_beats_optimal(self, rng):
+        """Greedy cost >= DP-optimal cost, always."""
+        for _ in range(15):
+            n = rng.randint(2, 8)
+            graph = random_connected_graph(n, rng, rng.random() * 0.6)
+            catalog = random_catalog(n, rng)
+            greedy = GreedyOperatorOrdering().optimize(graph, catalog=catalog)
+            optimal = DPccp().optimize(graph, catalog=catalog)
+            assert greedy.cost >= optimal.cost - 1e-9 * max(1.0, optimal.cost)
+
+    def test_suboptimal_instance_exists(self):
+        """GOO is a heuristic: some instance must show a real gap.
+
+        (If greedy were always optimal the baseline would be useless as
+        a comparison point in the examples.)
+        """
+        rng = random.Random(1234)
+        gaps = []
+        for _ in range(40):
+            n = rng.randint(4, 8)
+            graph = random_connected_graph(n, rng, rng.random() * 0.6)
+            catalog = random_catalog(n, rng)
+            greedy = GreedyOperatorOrdering().optimize(graph, catalog=catalog)
+            optimal = DPccp().optimize(graph, catalog=catalog)
+            gaps.append(greedy.cost / optimal.cost)
+        assert max(gaps) > 1.001
+
+    def test_single_relation(self):
+        result = GreedyOperatorOrdering().optimize(chain_graph(1))
+        assert result.plan.is_leaf
+
+    def test_two_relations_optimal(self):
+        graph = chain_graph(2, selectivity=0.1)
+        greedy = GreedyOperatorOrdering().optimize(graph)
+        optimal = DPccp().optimize(graph)
+        assert greedy.cost == pytest.approx(optimal.cost)

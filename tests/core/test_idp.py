@@ -1,0 +1,113 @@
+"""Unit tests for IDP-1 (iterative dynamic programming)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.catalog.synthetic import random_catalog
+from repro.core.dpccp import DPccp
+from repro.core.idp import IterativeDP
+from repro.cost.disk import DiskCostModel
+from repro.errors import OptimizerError
+from repro.graph.generators import (
+    chain_graph,
+    clique_graph,
+    random_connected_graph,
+    star_graph,
+)
+from repro.plans.visitors import iter_leaves, validate_plan
+
+
+class TestExactDegeneration:
+    """k >= n must reproduce the exact optimum."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_equals_dpccp_when_k_covers_query(self, seed):
+        rng = random.Random(7000 + seed)
+        n = rng.randint(2, 8)
+        graph = random_connected_graph(n, rng, rng.random() * 0.6)
+        catalog = random_catalog(n, rng)
+        exact = DPccp().optimize(graph, catalog=catalog)
+        idp = IterativeDP(k=n).optimize(graph, catalog=catalog)
+        assert idp.cost == pytest.approx(exact.cost)
+
+    def test_k_larger_than_n(self):
+        graph = chain_graph(5, selectivity=0.1)
+        exact = DPccp().optimize(graph)
+        idp = IterativeDP(k=20).optimize(graph)
+        assert idp.cost == pytest.approx(exact.cost)
+
+
+class TestHeuristicQuality:
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_never_beats_the_optimum(self, k, seed):
+        rng = random.Random(7100 + seed)
+        n = rng.randint(4, 8)
+        graph = random_connected_graph(n, rng, rng.random() * 0.6)
+        catalog = random_catalog(n, rng)
+        exact = DPccp().optimize(graph, catalog=catalog)
+        idp = IterativeDP(k=k).optimize(graph, catalog=catalog)
+        assert idp.cost >= exact.cost - 1e-9 * max(1.0, exact.cost)
+
+    @pytest.mark.parametrize("k", [2, 3, 5])
+    def test_plans_are_valid(self, k, rng):
+        for _ in range(6):
+            n = rng.randint(4, 10)
+            graph = random_connected_graph(n, rng, rng.random() * 0.5)
+            catalog = random_catalog(n, rng)
+            result = IterativeDP(k=k).optimize(graph, catalog=catalog)
+            validate_plan(result.plan, graph)
+            leaves = sorted(leaf.relation_index for leaf in iter_leaves(result.plan))
+            assert leaves == list(range(n))
+
+    def test_asymmetric_cost_model(self, rng):
+        graph = random_connected_graph(7, rng, 0.4)
+        catalog = random_catalog(7, rng)
+        result = IterativeDP(k=3).optimize(
+            graph, cost_model=DiskCostModel(graph, catalog)
+        )
+        validate_plan(result.plan, graph)
+
+
+class TestScalability:
+    def test_large_clique_completes(self):
+        """Exact DP on a 16-clique needs ~21M pairs; IDP(k=4) is quick."""
+        graph = clique_graph(16, selectivity=0.05)
+        result = IterativeDP(k=4).optimize(graph)
+        validate_plan(result.plan, graph)
+        # Bounded slices stay far below the exact pair count.
+        assert result.counters.inner_counter < 100_000
+
+    def test_long_chain_is_near_instant(self):
+        graph = chain_graph(40, selectivity=0.1)
+        result = IterativeDP(k=5).optimize(graph)
+        validate_plan(result.plan, graph)
+
+    def test_star_with_many_satellites(self):
+        graph = star_graph(18, selectivity=0.01)
+        result = IterativeDP(k=6).optimize(graph)
+        validate_plan(result.plan, graph)
+
+
+class TestConfiguration:
+    def test_bad_k_rejected(self):
+        with pytest.raises(OptimizerError):
+            IterativeDP(k=1)
+
+    def test_k_property(self):
+        assert IterativeDP(k=9).k == 9
+
+    def test_registry_name(self):
+        from repro.core import make_algorithm
+
+        assert make_algorithm("idp").name == "IDP-1"
+
+    def test_deterministic(self, rng):
+        graph = random_connected_graph(9, rng, 0.4)
+        catalog = random_catalog(9, rng)
+        one = IterativeDP(k=3).optimize(graph, catalog=catalog)
+        two = IterativeDP(k=3).optimize(graph, catalog=catalog)
+        assert one.cost == two.cost

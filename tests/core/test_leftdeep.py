@@ -1,0 +1,100 @@
+"""Unit tests for LeftDeepDP (exact optimal left-deep trees)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.catalog.synthetic import random_catalog
+from repro.core import DPccp, IKKBZ, LeftDeepDP
+from repro.cost.cout import CoutModel
+from repro.cost.disk import DiskCostModel
+from repro.errors import OptimizerError
+from repro.graph.generators import (
+    chain_graph,
+    cycle_graph,
+    random_connected_graph,
+    random_tree_graph,
+)
+from repro.graph.querygraph import QueryGraph
+from repro.plans.metrics import PlanShape, classify_plan_shape
+from repro.plans.visitors import validate_plan
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_ikkbz_on_trees_with_cout(self, seed):
+        """Two independent optimal-left-deep algorithms must agree."""
+        rng = random.Random(seed)
+        n = rng.randint(2, 9)
+        graph = random_tree_graph(n, rng)
+        catalog = random_catalog(n, rng)
+        dp = LeftDeepDP().optimize(graph, cost_model=CoutModel(graph, catalog))
+        ikkbz = IKKBZ().optimize(graph, cost_model=CoutModel(graph, catalog))
+        assert dp.cost == pytest.approx(ikkbz.cost)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_never_beats_bushy(self, seed):
+        rng = random.Random(100 + seed)
+        n = rng.randint(2, 8)
+        graph = random_connected_graph(n, rng, rng.random() * 0.7)
+        catalog = random_catalog(n, rng)
+        left_deep = LeftDeepDP().optimize(graph, catalog=catalog)
+        bushy = DPccp().optimize(graph, catalog=catalog)
+        assert left_deep.cost >= bushy.cost - 1e-9 * max(1.0, bushy.cost)
+
+    def test_bushy_strictly_better_somewhere(self):
+        """The chain instance where a bushy plan wins (middle blow-up)."""
+        from repro.catalog.catalog import Catalog
+
+        graph = QueryGraph(4, [(0, 1, 1e-6), (1, 2, 0.9), (2, 3, 1e-6)])
+        catalog = Catalog.from_cardinalities([1e6] * 4)
+        left_deep = LeftDeepDP().optimize(
+            graph, cost_model=CoutModel(graph, catalog)
+        )
+        bushy = DPccp().optimize(graph, cost_model=CoutModel(graph, catalog))
+        assert bushy.cost < left_deep.cost
+
+
+class TestPlans:
+    def test_plans_are_left_deep(self, rng):
+        for _ in range(8):
+            n = rng.randint(2, 8)
+            graph = random_connected_graph(n, rng, rng.random() * 0.6)
+            result = LeftDeepDP().optimize(graph, catalog=random_catalog(n, rng))
+            validate_plan(result.plan, graph)
+            assert classify_plan_shape(result.plan) == PlanShape.LEFT_DEEP
+
+    def test_works_on_cyclic_graphs(self):
+        """Where IKKBZ refuses, LeftDeepDP still optimizes exactly."""
+        graph = cycle_graph(6, selectivity=0.1)
+        with pytest.raises(OptimizerError):
+            IKKBZ().optimize(graph)
+        result = LeftDeepDP().optimize(graph)
+        validate_plan(result.plan, graph)
+
+    def test_asymmetric_cost_model(self, rng):
+        graph = random_connected_graph(6, rng, 0.4)
+        catalog = random_catalog(6, rng)
+        result = LeftDeepDP().optimize(
+            graph, cost_model=DiskCostModel(graph, catalog)
+        )
+        validate_plan(result.plan, graph)
+        assert classify_plan_shape(result.plan) == PlanShape.LEFT_DEEP
+
+
+class TestLimits:
+    def test_size_guard(self):
+        from repro.core.dpsub import MAX_RELATIONS
+
+        with pytest.raises(OptimizerError):
+            LeftDeepDP().optimize(chain_graph(MAX_RELATIONS + 1))
+
+    def test_connectivity_failures_counted(self):
+        result = LeftDeepDP().optimize(chain_graph(6))
+        from repro.analysis.formulas import csg_count
+
+        assert result.counters.connectivity_check_failures == (
+            2**6 - csg_count(6, "chain") - 1
+        )

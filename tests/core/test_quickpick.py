@@ -1,0 +1,84 @@
+"""Unit tests for the QuickPick sampling baseline."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.catalog.synthetic import random_catalog
+from repro.core import DPccp, QuickPick
+from repro.errors import OptimizerError
+from repro.graph.generators import (
+    chain_graph,
+    clique_graph,
+    random_connected_graph,
+)
+from repro.plans.visitors import iter_leaves, validate_plan
+
+
+class TestSampling:
+    def test_plans_are_valid_and_cross_product_free(self, rng):
+        for _ in range(8):
+            n = rng.randint(2, 9)
+            graph = random_connected_graph(n, rng, rng.random() * 0.6)
+            result = QuickPick(samples=20, rng=1).optimize(
+                graph, catalog=random_catalog(n, rng)
+            )
+            validate_plan(result.plan, graph)
+            leaves = sorted(leaf.relation_index for leaf in iter_leaves(result.plan))
+            assert leaves == list(range(n))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_never_beats_the_optimum(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(2, 8)
+        graph = random_connected_graph(n, rng, rng.random() * 0.6)
+        catalog = random_catalog(n, rng)
+        sampled = QuickPick(samples=50, rng=seed).optimize(graph, catalog=catalog)
+        exact = DPccp().optimize(graph, catalog=catalog)
+        assert sampled.cost >= exact.cost - 1e-9 * max(1.0, exact.cost)
+
+    def test_more_samples_never_hurt_with_shared_stream(self):
+        """min over a prefix of the same sample stream can only improve."""
+        graph = clique_graph(7, rng=random.Random(3))
+        catalog = random_catalog(7, rng=3)
+        few = QuickPick(samples=5, rng=9).optimize(graph, catalog=catalog)
+        many = QuickPick(samples=200, rng=9).optimize(graph, catalog=catalog)
+        assert many.cost <= few.cost
+
+    def test_single_sample_on_tree_is_exactly_the_tree(self):
+        """A tree has one spanning structure: any sample covers all."""
+        graph = chain_graph(5, selectivity=0.1)
+        result = QuickPick(samples=1, rng=4).optimize(graph)
+        assert result.plan.size == 5
+
+    def test_deterministic_given_seed(self):
+        graph = clique_graph(6, rng=random.Random(5))
+        catalog = random_catalog(6, rng=5)
+        one = QuickPick(samples=30, rng=8).optimize(graph, catalog=catalog)
+        two = QuickPick(samples=30, rng=8).optimize(graph, catalog=catalog)
+        assert one.cost == two.cost
+
+    def test_often_finds_the_optimum_on_small_queries(self):
+        """With many samples on a 5-relation query, QuickPick ~always wins."""
+        rng = random.Random(12)
+        graph = random_connected_graph(5, rng, 0.4)
+        catalog = random_catalog(5, rng)
+        sampled = QuickPick(samples=500, rng=2).optimize(graph, catalog=catalog)
+        exact = DPccp().optimize(graph, catalog=catalog)
+        assert sampled.cost == pytest.approx(exact.cost)
+
+
+class TestConfiguration:
+    def test_bad_samples_rejected(self):
+        with pytest.raises(OptimizerError):
+            QuickPick(samples=0)
+
+    def test_samples_property(self):
+        assert QuickPick(samples=7).samples == 7
+
+    def test_registry(self):
+        from repro.core import make_algorithm
+
+        assert make_algorithm("quickpick").name == "QuickPick"

@@ -1,0 +1,32 @@
+"""Unit tests for the algorithm registry and optimize() convenience."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ALGORITHMS, make_algorithm, optimize
+from repro.errors import OptimizerError
+from repro.graph.generators import chain_graph
+
+
+class TestRegistry:
+    def test_all_names_constructible(self):
+        for name in ALGORITHMS:
+            algorithm = make_algorithm(name)
+            assert algorithm.name
+
+    def test_case_insensitive(self):
+        assert make_algorithm("DPCCP").name == "DPccp"
+
+    def test_unknown_name(self):
+        with pytest.raises(OptimizerError):
+            make_algorithm("quantum")
+
+    def test_optimize_convenience(self):
+        result = optimize(chain_graph(4, selectivity=0.1), algorithm="dpsize")
+        assert result.algorithm == "DPsize"
+        assert result.plan.size == 4
+
+    def test_optimize_default_is_dpccp(self):
+        result = optimize(chain_graph(3, selectivity=0.1))
+        assert result.algorithm == "DPccp"

@@ -1,0 +1,112 @@
+"""Unit tests for the pseudocode-literal ablation variants."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.formulas import (
+    ccp_symmetric,
+    csg_count,
+    inner_counter_dpsub,
+)
+from repro.catalog.synthetic import random_catalog
+from repro.core import DPccp, DPsub
+from repro.core.variants import DPsizeBasic, DPsubBasic
+from repro.core.dpsize import DPsize
+from repro.errors import OptimizerError
+from repro.graph.generators import (
+    chain_graph,
+    clique_graph,
+    random_connected_graph,
+)
+from repro.plans.visitors import validate_plan
+from tests.conftest import graph_of
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_variants_reach_the_optimum(self, seed):
+        rng = random.Random(500 + seed)
+        n = rng.randint(2, 7)
+        graph = random_connected_graph(n, rng, rng.random() * 0.7)
+        catalog = random_catalog(n, rng)
+        reference = DPccp().optimize(graph, catalog=catalog)
+        for variant in (DPsizeBasic(), DPsubBasic()):
+            result = variant.optimize(graph, catalog=catalog)
+            validate_plan(result.plan, graph)
+            assert result.cost == pytest.approx(reference.cost), variant.name
+
+
+class TestCounters:
+    @pytest.mark.parametrize("n", [2, 4, 6, 8])
+    def test_dpsub_basic_inner_counter_graph_independent(self, paper_topology, n):
+        """Without the (*) filter: I = 3^n - 2^{n+1} + 1, any topology."""
+        if paper_topology == "cycle" and n == 2:
+            pytest.skip("2-cycle degenerates to chain")
+        graph = graph_of(paper_topology, n)
+        result = DPsubBasic().optimize(graph)
+        assert result.counters.inner_counter == 3**n - 2 ** (n + 1) + 1
+
+    @pytest.mark.parametrize("n", [3, 5, 7, 9])
+    def test_dpsub_basic_equals_filtered_on_cliques(self, n):
+        """On cliques every subset is connected: the filter is free."""
+        graph = clique_graph(n)
+        basic = DPsubBasic().optimize(graph)
+        filtered = DPsub().optimize(graph)
+        assert basic.counters.inner_counter == filtered.counters.inner_counter
+        assert basic.counters.inner_counter == inner_counter_dpsub(n, "clique")
+
+    @pytest.mark.parametrize("n", [4, 6, 8, 10])
+    def test_dpsub_filter_saves_work_on_chains(self, n):
+        graph = chain_graph(n)
+        basic = DPsubBasic().optimize(graph)
+        filtered = DPsub().optimize(graph)
+        assert filtered.counters.inner_counter < basic.counters.inner_counter
+
+    @pytest.mark.parametrize("n", [3, 5, 8])
+    def test_dpsize_basic_roughly_doubles_inner_counter(self, paper_topology, n):
+        graph = graph_of(paper_topology, n)
+        basic = DPsizeBasic().optimize(graph)
+        optimized = DPsize().optimize(graph)
+        # Full-range enumeration sees every ordered pair; the optimized
+        # variant sees each unordered pair once (plus it avoids the
+        # equal-size diagonal), so the basic counter is at least 2x-ish.
+        assert basic.counters.inner_counter >= 2 * optimized.counters.inner_counter
+        assert basic.counters.inner_counter <= (
+            2 * optimized.counters.inner_counter + csg_count(n, paper_topology)
+        )
+
+    @pytest.mark.parametrize("n", [4, 7])
+    def test_shared_counters_still_algorithm_independent(self, paper_topology, n):
+        graph = graph_of(paper_topology, n)
+        expected = ccp_symmetric(n, paper_topology)
+        assert DPsizeBasic().optimize(graph).counters.csg_cmp_pair_counter == expected
+        assert DPsubBasic().optimize(graph).counters.csg_cmp_pair_counter == expected
+
+    @pytest.mark.parametrize("n", [4, 6, 9])
+    def test_connectivity_failure_count_formula(self, paper_topology, n):
+        """Paper §2.2: (*) failures = 2^n - #csg(n) - 1."""
+        graph = graph_of(paper_topology, n)
+        result = DPsub().optimize(graph)
+        assert result.counters.connectivity_check_failures == (
+            2**n - csg_count(n, paper_topology) - 1
+        )
+
+    def test_basic_variants_report_no_filter_failures(self):
+        graph = chain_graph(6)
+        assert (
+            DPsubBasic().optimize(graph).counters.connectivity_check_failures == 0
+        )
+        assert (
+            DPsizeBasic().optimize(graph).counters.connectivity_check_failures == 0
+        )
+
+
+class TestLimits:
+    def test_dpsub_basic_size_guard(self):
+        from repro.core.dpsub import MAX_RELATIONS
+
+        with pytest.raises(OptimizerError):
+            DPsubBasic().optimize(chain_graph(MAX_RELATIONS + 1))

@@ -1,0 +1,73 @@
+"""Unit tests for repro.cost.cardinality."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.cost.cardinality import CardinalityEstimator
+from repro.cost.cout import CoutModel
+from repro.errors import CatalogError
+from repro.graph.querygraph import QueryGraph
+
+
+def triangle() -> QueryGraph:
+    return QueryGraph(3, [(0, 1, 0.1), (1, 2, 0.01), (0, 2, 0.5)])
+
+
+class TestEstimator:
+    def test_base_cardinality(self):
+        estimator = CardinalityEstimator(
+            triangle(), Catalog.from_cardinalities([100, 200, 300])
+        )
+        assert estimator.base_cardinality(2) == 300
+
+    def test_default_catalog_uniform(self):
+        estimator = CardinalityEstimator(triangle())
+        assert estimator.base_cardinality(0) == estimator.base_cardinality(2)
+
+    def test_catalog_size_mismatch_rejected(self):
+        with pytest.raises(CatalogError):
+            CardinalityEstimator(triangle(), Catalog.from_cardinalities([1, 2]))
+
+    def test_join_cardinality_single_edge(self):
+        graph = triangle()
+        catalog = Catalog.from_cardinalities([100, 200, 300])
+        model = CoutModel(graph, catalog)
+        left = model.leaf(0)
+        right = model.leaf(1)
+        estimate = model.estimator.join_cardinality(left, right)
+        assert estimate == pytest.approx(100 * 200 * 0.1)
+
+    def test_join_cardinality_multiple_crossing_edges(self):
+        graph = triangle()
+        catalog = Catalog.from_cardinalities([100, 200, 300])
+        model = CoutModel(graph, catalog)
+        pair = model.join(model.leaf(0), model.leaf(1))
+        estimate = model.estimator.join_cardinality(pair, model.leaf(2))
+        # Edges (1,2) sel 0.01 and (0,2) sel 0.5 both cross.
+        assert estimate == pytest.approx(2000 * 300 * 0.01 * 0.5)
+
+    def test_set_cardinality_order_independent(self):
+        graph = triangle()
+        catalog = Catalog.from_cardinalities([100, 200, 300])
+        model = CoutModel(graph, catalog)
+        direct = model.estimator.set_cardinality(0b111)
+        via_01 = model.join(model.join(model.leaf(0), model.leaf(1)), model.leaf(2))
+        via_12 = model.join(model.leaf(0), model.join(model.leaf(1), model.leaf(2)))
+        assert via_01.cardinality == pytest.approx(direct)
+        assert via_12.cardinality == pytest.approx(direct)
+
+    def test_cross_product_degenerates_to_product(self):
+        graph = QueryGraph(3, [(0, 1, 0.1), (1, 2, 0.1)])
+        catalog = Catalog.from_cardinalities([10, 20, 30])
+        estimator = CardinalityEstimator(graph, catalog)
+        model = CoutModel(graph, catalog)
+        estimate = estimator.join_cardinality(model.leaf(0), model.leaf(2))
+        assert estimate == pytest.approx(300)
+
+    def test_graph_and_catalog_accessors(self):
+        graph = triangle()
+        estimator = CardinalityEstimator(graph)
+        assert estimator.graph is graph
+        assert len(estimator.catalog) == 3

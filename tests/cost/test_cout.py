@@ -1,0 +1,53 @@
+"""Unit tests for the C_out cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.cost.cout import CoutModel
+from repro.graph.querygraph import QueryGraph
+from repro.plans.metrics import intermediate_cardinalities
+
+
+def chain3_model() -> CoutModel:
+    graph = QueryGraph(3, [(0, 1, 0.1), (1, 2, 0.2)])
+    return CoutModel(graph, Catalog.from_cardinalities([100, 50, 30]))
+
+
+class TestCout:
+    def test_leaf_is_free(self):
+        model = chain3_model()
+        leaf = model.leaf(0)
+        assert leaf.cost == 0.0
+        assert leaf.cardinality == 100
+
+    def test_join_cost_is_output_cardinality(self):
+        model = chain3_model()
+        pair = model.join(model.leaf(0), model.leaf(1))
+        assert pair.cardinality == pytest.approx(100 * 50 * 0.1)
+        assert pair.cost == pytest.approx(pair.cardinality)
+
+    def test_cost_accumulates(self):
+        model = chain3_model()
+        pair = model.join(model.leaf(0), model.leaf(1))
+        full = model.join(pair, model.leaf(2))
+        assert full.cost == pytest.approx(pair.cardinality + full.cardinality)
+
+    def test_cost_equals_sum_of_intermediates(self):
+        model = chain3_model()
+        full = model.join(model.join(model.leaf(0), model.leaf(1)), model.leaf(2))
+        assert full.cost == pytest.approx(sum(intermediate_cardinalities(full)))
+
+    def test_symmetric_in_inputs(self):
+        model = chain3_model()
+        a, b = model.leaf(0), model.leaf(1)
+        assert model.join(a, b).cost == model.join(b, a).cost
+
+    def test_operator_label(self):
+        model = chain3_model()
+        assert model.join(model.leaf(0), model.leaf(1)).operator == "Join"
+        assert model.leaf(0).operator == "Scan"
+
+    def test_name(self):
+        assert CoutModel.name == "Cout"

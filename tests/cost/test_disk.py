@@ -1,0 +1,60 @@
+"""Unit tests for the disk cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.cost.disk import DiskCostModel
+from repro.graph.querygraph import QueryGraph
+
+
+def graph2(selectivity: float = 0.01) -> QueryGraph:
+    return QueryGraph(2, [(0, 1, selectivity)])
+
+
+class TestDiskModel:
+    def test_leaf_pays_scan(self):
+        model = DiskCostModel(graph2(), Catalog.from_cardinalities([100, 10]))
+        assert model.leaf(0).cost == 100
+
+    def test_cost_exceeds_children(self):
+        model = DiskCostModel(graph2(), Catalog.from_cardinalities([100, 10]))
+        joined = model.join(model.leaf(0), model.leaf(1))
+        assert joined.cost > model.leaf(0).cost + model.leaf(1).cost
+
+    def test_small_inputs_prefer_nested_loop(self):
+        model = DiskCostModel(
+            graph2(), Catalog.from_cardinalities([10, 10]), buffer_pages=100
+        )
+        joined = model.join(model.leaf(0), model.leaf(1))
+        # 10 + 10*10/100 = 11 vs hash 60 vs smj ~86.
+        assert joined.operator == "NestedLoopJoin"
+
+    def test_large_inputs_prefer_hash(self):
+        model = DiskCostModel(
+            graph2(),
+            Catalog.from_cardinalities([100_000, 100_000]),
+            buffer_pages=100,
+        )
+        joined = model.join(model.leaf(0), model.leaf(1))
+        assert joined.operator == "HashJoin"
+
+    def test_asymmetric_in_inputs(self):
+        # Nested loop cost depends on which side is outer.
+        model = DiskCostModel(
+            graph2(), Catalog.from_cardinalities([1000, 10]), buffer_pages=10
+        )
+        left, right = model.leaf(0), model.leaf(1)
+        ab = model.join(left, right)
+        ba = model.join(right, left)
+        assert ab.cost != ba.cost
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            DiskCostModel(graph2(), buffer_pages=0)
+        with pytest.raises(ValueError):
+            DiskCostModel(graph2(), hash_factor=0.0)
+
+    def test_name(self):
+        assert DiskCostModel.name == "disk"

@@ -1,0 +1,74 @@
+"""Unit tests for synthetic table generation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.errors import WorkloadError
+from repro.exec.data import MAX_ROWS_PER_TABLE, edge_column, generate_tables
+from repro.graph.generators import chain_graph, star_graph
+from repro.graph.querygraph import QueryGraph
+
+
+class TestGeneration:
+    def test_row_counts_match_catalog(self):
+        graph = chain_graph(3, selectivity=0.1)
+        catalog = Catalog.from_cardinalities([10, 25, 40])
+        tables = generate_tables(graph, catalog)
+        assert [len(table) for table in tables] == [10, 25, 40]
+
+    def test_join_columns_on_incident_relations_only(self):
+        graph = chain_graph(3, selectivity=0.1)
+        tables = generate_tables(graph, Catalog.from_cardinalities([5, 5, 5]))
+        # Edge 0 joins R0-R1; edge 1 joins R1-R2.
+        assert edge_column(0) in tables[0][0]
+        assert edge_column(0) in tables[1][0]
+        assert edge_column(0) not in tables[2][0]
+        assert edge_column(1) in tables[2][0]
+
+    def test_rowids_sequential(self):
+        graph = chain_graph(2, selectivity=0.5)
+        tables = generate_tables(graph, Catalog.from_cardinalities([4, 4]))
+        assert [row["rowid"] for row in tables[0]] == [0, 1, 2, 3]
+
+    def test_deterministic_by_seed(self):
+        graph = star_graph(4, selectivity=0.05)
+        catalog = Catalog.from_cardinalities([50, 50, 50, 50])
+        one = generate_tables(graph, catalog, rng=3)
+        two = generate_tables(graph, catalog, rng=3)
+        assert one == two
+
+    def test_domain_respects_selectivity(self):
+        graph = QueryGraph(2, [(0, 1, 0.25)])
+        tables = generate_tables(
+            graph, Catalog.from_cardinalities([1000, 10]), rng=1
+        )
+        values = {row[edge_column(0)] for row in tables[0]}
+        assert values <= set(range(4))  # domain size round(1/0.25) = 4
+        assert len(values) == 4
+
+    def test_fractional_cardinality_rounds_to_one(self):
+        graph = chain_graph(2, selectivity=0.5)
+        tables = generate_tables(graph, Catalog.from_cardinalities([0.4, 2]))
+        assert len(tables[0]) == 1
+
+    def test_catalog_mismatch_rejected(self):
+        graph = chain_graph(3, selectivity=0.1)
+        with pytest.raises(WorkloadError):
+            generate_tables(graph, Catalog.from_cardinalities([1, 2]))
+
+    def test_row_cap_enforced(self):
+        graph = chain_graph(2, selectivity=0.5)
+        catalog = Catalog.from_cardinalities([MAX_ROWS_PER_TABLE + 1, 1])
+        with pytest.raises(WorkloadError):
+            generate_tables(graph, catalog)
+
+    def test_accepts_random_instance(self):
+        graph = chain_graph(2, selectivity=0.5)
+        tables = generate_tables(
+            graph, Catalog.from_cardinalities([3, 3]), rng=random.Random(1)
+        )
+        assert len(tables) == 2

@@ -1,0 +1,105 @@
+"""Unit tests for the SQL-ish query parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DPccp
+from repro.frontend import parse_query
+from repro.frontend.parser import QueryParseError
+from repro.plans.visitors import validate_plan
+
+TPCH_ISH = """
+    SELECT o.total, c.name
+    FROM orders o (1500000), customer c (150000), nation n (25)
+    WHERE o.custkey = c.custkey [1/150000]
+      AND c.nationkey = n.nationkey [1/25]
+"""
+
+
+class TestHappyPath:
+    def test_basic_parse(self):
+        graph, catalog = parse_query(TPCH_ISH)
+        assert graph.n_relations == 3
+        assert graph.names == ("o", "c", "n")
+        assert catalog.by_name("o").cardinality == 1_500_000
+        assert len(graph.edges) == 2
+
+    def test_selectivities(self):
+        graph, _catalog = parse_query(TPCH_ISH)
+        by_pair = {edge.endpoints: edge.selectivity for edge in graph.edges}
+        assert by_pair[(0, 1)] == pytest.approx(1 / 150_000)
+        assert by_pair[(1, 2)] == pytest.approx(1 / 25)
+
+    def test_predicate_text_preserved(self):
+        graph, _ = parse_query(TPCH_ISH)
+        predicates = {edge.predicate for edge in graph.edges}
+        assert "o.custkey = c.custkey" in predicates
+
+    def test_optimizable_end_to_end(self):
+        graph, catalog = parse_query(TPCH_ISH)
+        result = DPccp().optimize(graph, catalog=catalog)
+        validate_plan(result.plan, graph)
+
+    def test_no_alias_uses_table_name(self):
+        graph, catalog = parse_query(
+            "SELECT * FROM a (10), b (20) WHERE a.x = b.y [0.5]"
+        )
+        assert graph.names == ("a", "b")
+        assert catalog.by_name("b").cardinality == 20
+
+    def test_defaults_applied(self):
+        graph, catalog = parse_query(
+            "SELECT * FROM a, b WHERE a.x = b.y",
+            default_cardinality=77.0,
+            default_selectivity=0.25,
+        )
+        assert catalog.by_name("a").cardinality == 77.0
+        assert graph.edges[0].selectivity == 0.25
+
+    def test_no_where_clause(self):
+        graph, _ = parse_query("SELECT * FROM solo (42)")
+        assert graph.n_relations == 1
+
+    def test_trailing_semicolon_and_case(self):
+        graph, _ = parse_query(
+            "select * FROM a, b WhErE a.x = b.x [0.5];"
+        )
+        assert len(graph.edges) == 1
+
+    def test_decimal_selectivity(self):
+        graph, _ = parse_query(
+            "SELECT * FROM a, b WHERE a.x = b.x [1e-3]"
+        )
+        assert graph.edges[0].selectivity == pytest.approx(0.001)
+
+    def test_scientific_cardinality(self):
+        _graph, catalog = parse_query("SELECT * FROM big (1.5e6)")
+        assert catalog.by_name("big").cardinality == 1_500_000
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text, fragment",
+        [
+            ("FROM a, b", "SELECT"),
+            ("SELECT * FROM a a a", "FROM item"),
+            ("SELECT * FROM a, a", "duplicate"),
+            ("SELECT * FROM a, b WHERE a.x > b.y", "predicate"),
+            ("SELECT * FROM a, b WHERE a.x = z.y", "unknown table alias"),
+            ("SELECT * FROM a, b WHERE a.x = a.y", "local filter"),
+            ("SELECT * FROM a, b WHERE a.x = b.y [2.0]", "selectivity"),
+            ("SELECT * FROM a, b WHERE a.x = b.y [1/0]", "selectivity"),
+        ],
+    )
+    def test_bad_inputs_rejected_with_context(self, text, fragment):
+        with pytest.raises(QueryParseError) as excinfo:
+            parse_query(text)
+        assert fragment.lower() in str(excinfo.value).lower()
+
+    def test_disconnected_query_surfaces_at_optimize_time(self):
+        from repro.errors import DisconnectedGraphError
+
+        graph, catalog = parse_query("SELECT * FROM a, b")
+        with pytest.raises(DisconnectedGraphError):
+            DPccp().optimize(graph, catalog=catalog)

@@ -1,0 +1,87 @@
+"""Unit tests for repro.graph.builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError, UnknownRelationError
+from repro.graph.builder import QueryGraphBuilder
+
+
+def warehouse_builder() -> QueryGraphBuilder:
+    return (
+        QueryGraphBuilder()
+        .relation("sales", cardinality=1_000_000)
+        .relation("customer", cardinality=50_000)
+        .relation("product", cardinality=2_000)
+    )
+
+
+class TestBuilder:
+    def test_build_graph_and_catalog_aligned(self):
+        graph, catalog = (
+            warehouse_builder()
+            .join("sales", "customer", selectivity=1 / 50_000)
+            .join("sales", "product", selectivity=1 / 2_000)
+            .build()
+        )
+        assert graph.n_relations == 3
+        assert len(catalog) == 3
+        assert graph.name_of(0) == "sales"
+        assert catalog.by_name("sales").cardinality == 1_000_000
+        assert catalog.cardinality(graph.index_of("product")) == 2_000
+
+    def test_duplicate_relation_rejected(self):
+        builder = QueryGraphBuilder().relation("t")
+        with pytest.raises(GraphError):
+            builder.relation("t")
+
+    def test_nonpositive_cardinality_rejected(self):
+        with pytest.raises(GraphError):
+            QueryGraphBuilder().relation("t", cardinality=0)
+
+    def test_join_unknown_relation_rejected(self):
+        builder = warehouse_builder()
+        with pytest.raises(UnknownRelationError):
+            builder.join("sales", "nonexistent")
+        with pytest.raises(UnknownRelationError):
+            builder.join("nonexistent", "sales")
+
+    def test_foreign_key_selectivity(self):
+        graph, _catalog = (
+            warehouse_builder()
+            .foreign_key("sales", "customer")
+            .foreign_key("sales", "product")
+            .build()
+        )
+        by_pair = {edge.endpoints: edge for edge in graph.edges}
+        assert by_pair[(0, 1)].selectivity == pytest.approx(1 / 50_000)
+        assert by_pair[(0, 2)].selectivity == pytest.approx(1 / 2_000)
+
+    def test_foreign_key_unknown_target(self):
+        with pytest.raises(UnknownRelationError):
+            warehouse_builder().foreign_key("sales", "nope")
+
+    def test_default_predicate_text(self):
+        graph, _ = (
+            warehouse_builder().join("sales", "customer").build()
+        )
+        assert "sales" in (graph.edges[0].predicate or "")
+
+    def test_empty_builder_rejected(self):
+        with pytest.raises(GraphError):
+            QueryGraphBuilder().build()
+
+    def test_n_relations_property(self):
+        assert warehouse_builder().n_relations == 3
+
+    def test_disconnected_build_allowed(self):
+        # Connectivity is the optimizer's concern, not the builder's.
+        graph, _ = warehouse_builder().build()
+        assert not graph.is_connected
+
+    def test_fluent_chaining_returns_self(self):
+        builder = QueryGraphBuilder()
+        assert builder.relation("a") is builder
+        builder.relation("b")
+        assert builder.join("a", "b") is builder

@@ -1,0 +1,94 @@
+"""Unit tests for repro.graph.counting: #csg and #ccp."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.formulas import ccp_symmetric, csg_count
+from repro.errors import GraphError
+from repro.graph.counting import (
+    count_ccp,
+    count_ccp_brute_force,
+    count_csg,
+    count_csg_brute_force,
+)
+from repro.graph.generators import (
+    chain_graph,
+    clique_graph,
+    cycle_graph,
+    grid_graph,
+    random_connected_graph,
+    star_graph,
+)
+from repro.graph.querygraph import QueryGraph
+
+
+class TestAgainstFormulas:
+    """Enumerator counts == brute force == paper Eqs. 5-12."""
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6, 8])
+    def test_chain(self, n):
+        graph = chain_graph(n)
+        assert count_csg(graph) == csg_count(n, "chain")
+        assert count_ccp(graph) == ccp_symmetric(n, "chain")
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 6, 8])
+    def test_cycle(self, n):
+        graph = cycle_graph(n)
+        assert count_csg(graph) == csg_count(n, "cycle")
+        assert count_ccp(graph) == ccp_symmetric(n, "cycle")
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6, 8])
+    def test_star(self, n):
+        graph = star_graph(n)
+        assert count_csg(graph) == csg_count(n, "star")
+        assert count_ccp(graph) == ccp_symmetric(n, "star")
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6, 8])
+    def test_clique(self, n):
+        graph = clique_graph(n)
+        assert count_csg(graph) == csg_count(n, "clique")
+        assert count_ccp(graph) == ccp_symmetric(n, "clique")
+
+
+class TestBruteForceAgreement:
+    def test_random_graphs(self, rng):
+        for _ in range(12):
+            n = rng.randint(2, 7)
+            graph = random_connected_graph(n, rng, rng.random() * 0.6)
+            assert count_csg(graph) == count_csg_brute_force(graph)
+            assert count_ccp(graph) == count_ccp_brute_force(graph)
+
+    def test_grid(self):
+        graph = grid_graph(2, 3)
+        assert count_csg(graph) == count_csg_brute_force(graph)
+        assert count_ccp(graph) == count_ccp_brute_force(graph)
+
+    def test_non_bfs_numbered_graph(self):
+        """Counts are invariant under relabelling (internal renumbering)."""
+        graph = QueryGraph(4, [(2, 0), (2, 1), (2, 3)])  # star, hub=2
+        assert count_csg(graph) == csg_count(4, "star")
+        assert count_ccp(graph) == ccp_symmetric(4, "star")
+
+
+class TestEdgeCases:
+    def test_single_relation(self):
+        graph = chain_graph(1)
+        assert count_csg(graph) == 1
+        assert count_ccp(graph) == 0
+
+    def test_disconnected_rejected(self):
+        graph = QueryGraph(3, [(0, 1)])
+        for counter in (
+            count_csg,
+            count_ccp,
+            count_csg_brute_force,
+            count_ccp_brute_force,
+        ):
+            with pytest.raises(GraphError):
+                counter(graph)
+
+    def test_ccp_always_even(self, rng):
+        for _ in range(8):
+            graph = random_connected_graph(rng.randint(2, 7), rng, 0.3)
+            assert count_ccp(graph) % 2 == 0

@@ -1,0 +1,157 @@
+"""Unit tests for repro.graph.generators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.graph.generators import (
+    PAPER_TOPOLOGIES,
+    chain_graph,
+    clique_graph,
+    cycle_graph,
+    graph_for_topology,
+    grid_graph,
+    random_connected_graph,
+    random_tree_graph,
+    star_graph,
+)
+from repro.graph.properties import (
+    is_chain,
+    is_clique,
+    is_cycle,
+    is_star,
+    is_tree,
+)
+
+
+class TestChain:
+    def test_shape(self):
+        graph = chain_graph(6)
+        assert is_chain(graph)
+        assert len(graph.edges) == 5
+
+    def test_single_relation(self):
+        assert chain_graph(1).n_relations == 1
+
+    def test_zero_rejected(self):
+        with pytest.raises(WorkloadError):
+            chain_graph(0)
+
+    def test_uniform_selectivity(self):
+        graph = chain_graph(4, selectivity=0.2)
+        assert all(edge.selectivity == 0.2 for edge in graph.edges)
+
+    def test_bad_selectivity_rejected(self):
+        with pytest.raises(WorkloadError):
+            chain_graph(4, selectivity=0.0)
+
+    def test_rng_selectivities_deterministic(self):
+        one = chain_graph(5, rng=random.Random(1))
+        two = chain_graph(5, rng=random.Random(1))
+        assert [e.selectivity for e in one.edges] == [
+            e.selectivity for e in two.edges
+        ]
+
+
+class TestCycle:
+    def test_shape(self):
+        graph = cycle_graph(5)
+        assert is_cycle(graph)
+        assert len(graph.edges) == 5
+
+    def test_minimum_size(self):
+        with pytest.raises(WorkloadError):
+            cycle_graph(2)
+
+    def test_every_degree_two(self):
+        graph = cycle_graph(7)
+        assert all(graph.degree(i) == 2 for i in range(7))
+
+
+class TestStar:
+    def test_shape(self):
+        graph = star_graph(6)
+        assert is_star(graph)
+        assert graph.degree(0) == 5
+
+    def test_custom_hub(self):
+        graph = star_graph(5, hub=2)
+        assert graph.degree(2) == 4
+        assert is_star(graph)
+
+    def test_hub_out_of_range(self):
+        with pytest.raises(WorkloadError):
+            star_graph(4, hub=4)
+
+    def test_single_relation(self):
+        assert star_graph(1).n_relations == 1
+
+
+class TestClique:
+    def test_shape(self):
+        graph = clique_graph(5)
+        assert is_clique(graph)
+        assert len(graph.edges) == 10
+
+    def test_every_subset_connected(self):
+        graph = clique_graph(4)
+        for mask in range(1, 16):
+            assert graph.is_connected_set(mask)
+
+
+class TestGrid:
+    def test_shape(self):
+        graph = grid_graph(2, 3)
+        assert graph.n_relations == 6
+        assert len(graph.edges) == 7  # 3 vertical + 4 horizontal
+        assert graph.is_connected
+
+    def test_degenerate_1xn_is_chain(self):
+        assert is_chain(grid_graph(1, 5))
+
+    def test_bad_dimensions(self):
+        with pytest.raises(WorkloadError):
+            grid_graph(0, 3)
+
+
+class TestRandomGraphs:
+    def test_tree_is_tree(self, rng):
+        for n in (1, 2, 5, 12):
+            assert is_tree(random_tree_graph(n, rng))
+
+    def test_connected_graph_is_connected(self, rng):
+        for _ in range(10):
+            graph = random_connected_graph(8, rng, extra_edge_probability=0.3)
+            assert graph.is_connected
+
+    def test_extra_probability_one_gives_clique(self, rng):
+        graph = random_connected_graph(6, rng, extra_edge_probability=1.0)
+        assert is_clique(graph)
+
+    def test_extra_probability_zero_gives_tree(self, rng):
+        graph = random_connected_graph(6, rng, extra_edge_probability=0.0)
+        assert is_tree(graph)
+
+    def test_bad_probability(self, rng):
+        with pytest.raises(WorkloadError):
+            random_connected_graph(4, rng, extra_edge_probability=1.5)
+
+    def test_determinism(self):
+        one = random_connected_graph(7, random.Random(9), 0.4)
+        two = random_connected_graph(7, random.Random(9), 0.4)
+        assert one == two
+
+
+class TestDispatch:
+    def test_all_paper_topologies(self):
+        for topology in PAPER_TOPOLOGIES:
+            graph = graph_for_topology(topology, 5)
+            assert graph.n_relations == 5
+            assert graph.is_connected
+
+    def test_unknown_topology(self):
+        with pytest.raises(WorkloadError):
+            graph_for_topology("torus", 5)

@@ -1,0 +1,102 @@
+"""Unit tests for repro.graph.properties."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.generators import (
+    chain_graph,
+    clique_graph,
+    cycle_graph,
+    grid_graph,
+    star_graph,
+)
+from repro.graph.properties import (
+    GraphShape,
+    classify_shape,
+    density,
+    is_chain,
+    is_clique,
+    is_cycle,
+    is_star,
+    is_tree,
+)
+from repro.graph.querygraph import QueryGraph
+
+
+class TestRecognisers:
+    def test_chain(self):
+        assert is_chain(chain_graph(5))
+        assert not is_chain(star_graph(5))
+        assert not is_chain(cycle_graph(5))
+
+    def test_chain_degenerates(self):
+        assert is_chain(chain_graph(1))
+        assert is_chain(chain_graph(2))
+
+    def test_cycle(self):
+        assert is_cycle(cycle_graph(4))
+        assert not is_cycle(chain_graph(4))
+        # Triangle is simultaneously cycle and clique.
+        assert is_cycle(cycle_graph(3))
+
+    def test_star(self):
+        assert is_star(star_graph(5))
+        assert is_star(star_graph(5, hub=3)), "hub position must not matter"
+        assert not is_star(chain_graph(5))
+
+    def test_clique(self):
+        assert is_clique(clique_graph(4))
+        assert is_clique(clique_graph(1))
+        assert not is_clique(cycle_graph(4))
+
+    def test_tree(self):
+        assert is_tree(chain_graph(5))
+        assert is_tree(star_graph(5))
+        assert not is_tree(cycle_graph(5))
+        # A chain with one extra relation missing its edge: disconnected.
+        assert not is_tree(QueryGraph(3, [(0, 1)]))
+
+    def test_path_disguised_as_star(self):
+        # n=3 star with hub 0 is a path 1-0-2: both chain and star.
+        graph = star_graph(3)
+        assert is_star(graph)
+        assert is_chain(graph)
+
+
+class TestClassify:
+    @pytest.mark.parametrize(
+        "graph, shape",
+        [
+            (chain_graph(5), GraphShape.CHAIN),
+            (cycle_graph(5), GraphShape.CYCLE),
+            (star_graph(5), GraphShape.STAR),
+            (clique_graph(5), GraphShape.CLIQUE),
+            (grid_graph(2, 3), GraphShape.GENERAL),
+        ],
+        ids=["chain", "cycle", "star", "clique", "grid"],
+    )
+    def test_paper_shapes(self, graph, shape):
+        assert classify_shape(graph) == shape
+
+    def test_triangle_prefers_clique(self):
+        assert classify_shape(cycle_graph(3)) == GraphShape.CLIQUE
+
+    def test_two_relations_prefers_chain(self):
+        assert classify_shape(chain_graph(2)) == GraphShape.CHAIN
+
+    def test_generic_tree(self):
+        # A "broom": path 0-1-2 plus leaves 3,4 on node 2.
+        graph = QueryGraph(5, [(0, 1), (1, 2), (2, 3), (2, 4)])
+        assert classify_shape(graph) == GraphShape.TREE
+
+
+class TestDensity:
+    def test_clique_density_one(self):
+        assert density(clique_graph(6)) == pytest.approx(1.0)
+
+    def test_chain_density(self):
+        assert density(chain_graph(5)) == pytest.approx(4 / 10)
+
+    def test_single_relation(self):
+        assert density(chain_graph(1)) == 0.0

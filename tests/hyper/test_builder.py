@@ -1,0 +1,72 @@
+"""Unit tests for HypergraphBuilder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError, UnknownRelationError
+from repro.hyper import DPhyp, HyperCoutModel, HypergraphBuilder
+
+
+def currency_builder() -> HypergraphBuilder:
+    return (
+        HypergraphBuilder()
+        .relation("orders", cardinality=1_000_000)
+        .relation("rates", cardinality=500)
+        .relation("currency", cardinality=30)
+        .join(["orders"], ["rates"], selectivity=1 / 500)
+        .join(["rates"], ["currency"], selectivity=1 / 30)
+        .join(["orders", "rates"], ["currency"], selectivity=0.001)
+    )
+
+
+class TestBuilder:
+    def test_builds_graph_and_catalog(self):
+        hypergraph, catalog = currency_builder().build()
+        assert hypergraph.n_relations == 3
+        assert len(hypergraph.edges) == 3
+        assert len(hypergraph.complex_edges) == 1
+        assert catalog.by_name("rates").cardinality == 500
+
+    def test_end_to_end_optimization(self):
+        hypergraph, catalog = currency_builder().build()
+        result = DPhyp().optimize(
+            hypergraph, cost_model=HyperCoutModel(hypergraph, catalog)
+        )
+        assert result.plan.size == 3
+
+    def test_duplicate_relation_rejected(self):
+        builder = HypergraphBuilder().relation("t")
+        with pytest.raises(GraphError):
+            builder.relation("t")
+
+    def test_bad_cardinality_rejected(self):
+        with pytest.raises(GraphError):
+            HypergraphBuilder().relation("t", cardinality=0)
+
+    def test_unknown_relation_in_join_rejected(self):
+        builder = HypergraphBuilder().relation("a").relation("b")
+        with pytest.raises(UnknownRelationError):
+            builder.join(["a"], ["missing"])
+
+    def test_empty_join_side_rejected(self):
+        builder = HypergraphBuilder().relation("a").relation("b")
+        with pytest.raises(GraphError):
+            builder.join([], ["a"])
+
+    def test_overlapping_sides_rejected(self):
+        builder = HypergraphBuilder().relation("a").relation("b")
+        with pytest.raises(GraphError):
+            builder.join(["a", "b"], ["b"])
+
+    def test_empty_builder_rejected(self):
+        with pytest.raises(GraphError):
+            HypergraphBuilder().build()
+
+    def test_default_predicate_text(self):
+        hypergraph, _ = currency_builder().build()
+        complex_edge = hypergraph.complex_edges[0]
+        assert "orders" in (complex_edge.predicate or "")
+
+    def test_n_relations_property(self):
+        assert currency_builder().n_relations == 3

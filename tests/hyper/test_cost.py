@@ -1,0 +1,81 @@
+"""Unit tests for the hypergraph C_out cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.errors import CatalogError
+from repro.hyper.cost import HyperCoutModel
+from repro.hyper.hypergraph import Hyperedge, Hypergraph
+
+
+def model() -> HyperCoutModel:
+    hypergraph = Hypergraph(
+        3,
+        [
+            Hyperedge(0b001, 0b010, 0.1),
+            Hyperedge(0b011, 0b100, 0.01),
+        ],
+    )
+    return HyperCoutModel(hypergraph, Catalog.from_cardinalities([100, 50, 30]))
+
+
+class TestSetCardinality:
+    def test_base_relations(self):
+        assert model().set_cardinality(0b001) == 100
+        assert model().set_cardinality(0b010) == 50
+
+    def test_pair_with_simple_edge(self):
+        assert model().set_cardinality(0b011) == pytest.approx(100 * 50 * 0.1)
+
+    def test_containment_applies_hyperedge(self):
+        # {0,1,2} contains both edges.
+        assert model().set_cardinality(0b111) == pytest.approx(
+            100 * 50 * 30 * 0.1 * 0.01
+        )
+
+    def test_half_contained_hyperedge_ignored(self):
+        # {0,2}: the complex edge needs node 1 too; no edge applies.
+        assert model().set_cardinality(0b101) == pytest.approx(100 * 30)
+
+    def test_memoized(self):
+        instance = model()
+        first = instance.set_cardinality(0b111)
+        assert instance.set_cardinality(0b111) == first
+
+
+class TestPlanFactory:
+    def test_leaf(self):
+        leaf = model().leaf(2)
+        assert leaf.cardinality == 30
+        assert leaf.cost == 0.0
+
+    def test_join_cost_accumulates(self):
+        instance = model()
+        pair = instance.join(instance.leaf(0), instance.leaf(1))
+        full = instance.join(pair, instance.leaf(2))
+        assert pair.cost == pytest.approx(pair.cardinality)
+        assert full.cost == pytest.approx(pair.cardinality + full.cardinality)
+
+    def test_price_matches_join(self):
+        instance = model()
+        left, right = instance.leaf(0), instance.leaf(1)
+        cardinality, cost, operator = instance.price(left, right)
+        built = instance.join(left, right)
+        assert built.cardinality == cardinality
+        assert built.cost == cost
+        assert built.operator == operator
+
+    def test_symmetric_flag(self):
+        assert HyperCoutModel.symmetric is True
+
+    def test_catalog_mismatch_rejected(self):
+        hypergraph = Hypergraph(3, [Hyperedge(0b001, 0b010)])
+        with pytest.raises(CatalogError):
+            HyperCoutModel(hypergraph, Catalog.from_cardinalities([1, 2]))
+
+    def test_default_catalog(self):
+        hypergraph = Hypergraph(2, [Hyperedge(0b01, 0b10)])
+        instance = HyperCoutModel(hypergraph)
+        assert instance.leaf(0).cardinality == instance.leaf(1).cardinality

@@ -1,0 +1,154 @@
+"""Unit tests for the hypergraph substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import bitset
+from repro.errors import GraphError
+from repro.graph.generators import chain_graph, clique_graph, star_graph
+from repro.hyper.hypergraph import Hyperedge, Hypergraph
+
+
+def triangle_plus_hyper() -> Hypergraph:
+    """Simple chain 0-1-2 plus complex hyperedge ({0,1},{3})."""
+    return Hypergraph(
+        4,
+        [
+            Hyperedge(0b0001, 0b0010, 0.5),
+            Hyperedge(0b0010, 0b0100, 0.5),
+            Hyperedge(0b0011, 0b1000, 0.1),
+        ],
+    )
+
+
+class TestHyperedge:
+    def test_basic(self):
+        edge = Hyperedge(0b011, 0b100, 0.5, "a+b = c")
+        assert edge.nodes == 0b111
+        assert not edge.is_simple
+
+    def test_simple_detection(self):
+        assert Hyperedge(0b001, 0b010).is_simple
+
+    def test_empty_side_rejected(self):
+        with pytest.raises(GraphError):
+            Hyperedge(0, 0b1)
+
+    def test_overlap_rejected(self):
+        with pytest.raises(GraphError):
+            Hyperedge(0b011, 0b010)
+
+    def test_bad_selectivity_rejected(self):
+        with pytest.raises(GraphError):
+            Hyperedge(0b1, 0b10, 0.0)
+
+    def test_normalized_orientation(self):
+        edge = Hyperedge(0b100, 0b011).normalized()
+        assert bitset.lowest_bit_index(edge.left) < bitset.lowest_bit_index(
+            edge.right
+        )
+
+
+class TestConstruction:
+    def test_zero_relations_rejected(self):
+        with pytest.raises(GraphError):
+            Hypergraph(0, [])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(GraphError):
+            Hypergraph(2, [Hyperedge(0b001, 0b100)])
+
+    def test_from_query_graph_preserves_structure(self):
+        graph = star_graph(5, selectivity=0.25)
+        hyper = Hypergraph.from_query_graph(graph)
+        assert hyper.n_relations == 5
+        assert len(hyper.edges) == 4
+        assert all(edge.is_simple for edge in hyper.edges)
+        assert all(edge.selectivity == 0.25 for edge in hyper.edges)
+
+    def test_complex_edges_listed(self):
+        hyper = triangle_plus_hyper()
+        assert len(hyper.complex_edges) == 1
+
+    def test_repr(self):
+        assert "complex=1" in repr(triangle_plus_hyper())
+
+
+class TestConnectivity:
+    def test_are_connected_simple(self):
+        hyper = triangle_plus_hyper()
+        assert hyper.are_connected(0b0001, 0b0010)
+        assert not hyper.are_connected(0b0001, 0b0100)
+
+    def test_are_connected_requires_full_containment(self):
+        hyper = triangle_plus_hyper()
+        # ({0,1},{3}) applies only when both 0 and 1 are on one side.
+        assert hyper.are_connected(0b0011, 0b1000)
+        assert not hyper.are_connected(0b0001, 0b1000)
+        assert not hyper.are_connected(0b0010, 0b1000)
+
+    def test_is_connected_set(self):
+        hyper = triangle_plus_hyper()
+        assert hyper.is_connected_set(0b0011)
+        assert hyper.is_connected_set(0b1011)  # {0,1} + hyperedge to {3}
+        assert not hyper.is_connected_set(0b1001)  # {0,3}: edge not contained
+        assert not hyper.is_connected_set(0b0101)  # {0,2}: no edge
+        assert hyper.is_connected_set(0b1111)
+
+    def test_empty_and_singletons(self):
+        hyper = triangle_plus_hyper()
+        assert not hyper.is_connected_set(0)
+        for index in range(4):
+            assert hyper.is_connected_set(bitset.bit(index))
+
+    def test_whole_graph_connected(self):
+        assert triangle_plus_hyper().is_connected
+        lonely = Hypergraph(3, [Hyperedge(0b001, 0b010)])
+        assert not lonely.is_connected
+
+    def test_matches_simple_graph_connectivity(self):
+        graph = chain_graph(6)
+        hyper = Hypergraph.from_query_graph(graph)
+        for mask in range(1, graph.all_relations + 1):
+            assert hyper.is_connected_set(mask) == graph.is_connected_set(mask)
+
+
+class TestNeighborhood:
+    def test_simple_edges_full_neighbors(self):
+        graph = clique_graph(4)
+        hyper = Hypergraph.from_query_graph(graph)
+        assert hyper.neighborhood(0b0001, 0) == 0b1110
+        assert hyper.neighborhood(0b0001, 0b0100) == 0b1010
+
+    def test_complex_edge_contributes_representative(self):
+        hyper = triangle_plus_hyper()
+        # From {0,1}: simple neighbor 2, plus min({3}) via the hyperedge.
+        assert hyper.neighborhood(0b0011, 0) == 0b1100
+
+    def test_half_contained_hyperedge_is_silent(self):
+        hyper = triangle_plus_hyper()
+        # From {0} alone the ({0,1},{3}) hyperedge must not fire.
+        assert hyper.neighborhood(0b0001, 0) == 0b0010
+
+    def test_excluded_nodes_removed(self):
+        hyper = triangle_plus_hyper()
+        assert hyper.neighborhood(0b0011, 0b1000) == 0b0100
+
+    def test_representative_is_minimum(self):
+        hyper = Hypergraph(
+            4, [Hyperedge(0b0001, 0b1100, 0.5), Hyperedge(0b0001, 0b0010, 0.5)]
+        )
+        # Far side {2,3} contributes min = node 2 only.
+        assert hyper.neighborhood(0b0001, 0) == 0b0110
+
+
+class TestCrossingSelectivity:
+    def test_applicable_edges_multiply(self):
+        hyper = triangle_plus_hyper()
+        assert hyper.crossing_selectivity(0b0011, 0b1000) == pytest.approx(0.1)
+        assert hyper.crossing_selectivity(0b0001, 0b0010) == pytest.approx(0.5)
+
+    def test_inapplicable_edge_ignored(self):
+        hyper = triangle_plus_hyper()
+        assert hyper.crossing_selectivity(0b0001, 0b1000) == 1.0

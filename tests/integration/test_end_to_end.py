@@ -1,0 +1,129 @@
+"""Integration tests: the public API end to end, as a user would drive it."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import (
+    AdaptiveOptimizer,
+    CoutModel,
+    DiskCostModel,
+    DPccp,
+    DPsize,
+    DPsub,
+    GreedyOperatorOrdering,
+    IKKBZ,
+    QueryGraphBuilder,
+    optimize,
+    render_indented,
+    validate_plan,
+    zipfian_catalog,
+)
+from repro.graph import star_graph
+from repro.plans.metrics import PlanShape, classify_plan_shape
+
+
+def tpch_like():
+    """A TPC-H-flavored chain: region-nation-customer-orders-lineitem."""
+    return (
+        QueryGraphBuilder()
+        .relation("region", cardinality=5)
+        .relation("nation", cardinality=25)
+        .relation("customer", cardinality=150_000)
+        .relation("orders", cardinality=1_500_000)
+        .relation("lineitem", cardinality=6_000_000)
+        .foreign_key("nation", "region")
+        .foreign_key("customer", "nation")
+        .foreign_key("orders", "customer")
+        .foreign_key("lineitem", "orders")
+        .build()
+    )
+
+
+class TestBuilderToPlan:
+    def test_full_pipeline(self):
+        graph, catalog = tpch_like()
+        result = DPccp().optimize(graph, catalog=catalog)
+        validate_plan(result.plan, graph)
+        explain = render_indented(result.plan)
+        assert "lineitem" in explain
+        # Foreign-key chains keep intermediate sizes at the referencing
+        # side's cardinality; the optimum must not exceed joining
+        # everything at lineitem scale.
+        assert result.cost <= 6_000_000 * 4
+
+    def test_named_relations_survive(self):
+        graph, catalog = tpch_like()
+        plan = DPccp().optimize(graph, catalog=catalog).plan
+        names = {leaf.name for leaf in repro.plans.iter_leaves(plan)}
+        assert names == {"region", "nation", "customer", "orders", "lineitem"}
+
+
+class TestWarehouseScenario:
+    def test_star_schema_all_algorithms_agree(self):
+        graph = star_graph(7, selectivity=0.001)
+        catalog = zipfian_catalog(7, base_cardinality=5_000_000.0)
+        costs = {
+            name: optimize(graph, catalog=catalog, algorithm=name).cost
+            for name in ("dpsize", "dpsub", "dpccp", "exhaustive")
+        }
+        reference = costs["exhaustive"]
+        for name, cost in costs.items():
+            # Equal up to float associativity: different enumeration
+            # orders multiply the same selectivities in different order.
+            assert cost == pytest.approx(reference, rel=1e-9), name
+
+    def test_greedy_and_ikkbz_bounded_below_by_optimal(self):
+        graph = star_graph(7, selectivity=0.001)
+        catalog = zipfian_catalog(7, base_cardinality=5_000_000.0)
+        best = optimize(graph, catalog=catalog).cost
+        greedy = GreedyOperatorOrdering().optimize(graph, catalog=catalog)
+        left_deep = IKKBZ().optimize(graph, catalog=catalog)
+        assert greedy.cost >= best - 1e-6
+        assert left_deep.cost >= best - 1e-6
+
+    def test_adaptive_on_the_warehouse(self):
+        graph = star_graph(7, selectivity=0.001)
+        result = AdaptiveOptimizer().optimize(
+            graph, catalog=zipfian_catalog(7)
+        )
+        assert result.algorithm.endswith("DPccp")
+
+
+class TestCostModelSwap:
+    def test_same_enumeration_different_plans_possible(self):
+        graph, catalog = tpch_like()
+        cout = DPccp().optimize(graph, cost_model=CoutModel(graph, catalog))
+        disk = DPccp().optimize(graph, cost_model=DiskCostModel(graph, catalog))
+        validate_plan(cout.plan, graph)
+        validate_plan(disk.plan, graph)
+        # Enumeration effort is cost-model independent.
+        assert cout.counters.inner_counter == disk.counters.inner_counter
+
+    def test_bushy_plans_actually_happen(self):
+        """The search space is bushy: some instance must use it.
+
+        A chain of relations with tiny middle join lets a bushy plan
+        beat every left-deep one.
+        """
+        from repro.graph.querygraph import QueryGraph
+        from repro.catalog.catalog import Catalog
+
+        graph = QueryGraph(
+            4, [(0, 1, 1e-6), (1, 2, 0.9), (2, 3, 1e-6)]
+        )
+        catalog = Catalog.from_cardinalities([1e6, 1e6, 1e6, 1e6])
+        plan = DPccp().optimize(
+            graph, cost_model=CoutModel(graph, catalog)
+        ).plan
+        assert classify_plan_shape(plan) == PlanShape.BUSHY
+
+
+class TestVersioning:
+    def test_version_exposed(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name

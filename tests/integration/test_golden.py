@@ -1,0 +1,78 @@
+"""Golden regression tests: pinned plans for fixed inputs.
+
+These freeze observable behavior — exact plan text, costs and counters
+for specific seeded instances — so that any future change to
+enumeration order, tie-breaking or estimation arithmetic that alters
+results is caught deliberately rather than silently.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    DPccp,
+    DPsize,
+    DPsub,
+    QueryGraphBuilder,
+    render_inline,
+)
+from repro.catalog.catalog import Catalog
+from repro.graph.generators import chain_graph, star_graph
+from repro.cost.cout import CoutModel
+
+
+def warehouse():
+    return (
+        QueryGraphBuilder()
+        .relation("fact", cardinality=1_000_000)
+        .relation("dim_small", cardinality=10)
+        .relation("dim_mid", cardinality=1_000)
+        .relation("dim_big", cardinality=100_000)
+        .foreign_key("fact", "dim_small")
+        .foreign_key("fact", "dim_mid")
+        .foreign_key("fact", "dim_big")
+        .build()
+    )
+
+
+class TestGoldenPlans:
+    def test_warehouse_plan_text(self):
+        graph, catalog = warehouse()
+        plan = DPccp().optimize(graph, catalog=catalog).plan
+        # Star + FK joins: intermediates all equal |fact|; ties keep
+        # the incumbent, so the emission order pins the shape.
+        assert render_inline(plan) == (
+            "(((fact ⨝ dim_small) ⨝ dim_mid) ⨝ dim_big)"
+        )
+
+    def test_warehouse_cost(self):
+        graph, catalog = warehouse()
+        result = DPccp().optimize(graph, catalog=catalog)
+        assert result.cost == pytest.approx(3_000_000.0)
+
+    def test_chain_counters_frozen(self):
+        graph = chain_graph(9)
+        assert DPsize().optimize(graph).counters.inner_counter == 750
+        assert DPsub().optimize(graph).counters.inner_counter == 1_936
+        assert DPccp().optimize(graph).counters.inner_counter == 120
+
+    def test_star_counters_frozen(self):
+        graph = star_graph(9)
+        assert DPsize().optimize(graph).counters.inner_counter == 15_188
+        assert DPsub().optimize(graph).counters.inner_counter == 12_610
+        assert DPccp().optimize(graph).counters.inner_counter == 1_024
+
+    def test_skewed_chain_prefers_bushy(self):
+        """Chain of growing relations: the optimum is genuinely bushy.
+
+        C_out: 200 (R0⨝R1) + 600 (⨝R2) + 2000 (R3⨝R4) + 12000 (root)
+        = 14800, beating the best left-deep plan's 15200.
+        """
+        graph = chain_graph(5, selectivity=0.01)
+        catalog = Catalog.from_cardinalities([100, 200, 300, 400, 500])
+        result = DPccp().optimize(
+            graph, cost_model=CoutModel(graph, catalog)
+        )
+        assert render_inline(result.plan) == "(((R0 ⨝ R1) ⨝ R2) ⨝ (R3 ⨝ R4))"
+        assert result.cost == pytest.approx(14_800.0)

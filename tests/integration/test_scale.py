@@ -1,0 +1,89 @@
+"""Scale and robustness tests: beyond 64 relations, deep trees, extremes.
+
+Python ints are unbounded, so unlike C++ bitset implementations the
+library has no 64-relation ceiling; these tests pin that, plus numeric
+robustness at extreme cardinalities/selectivities.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.synthetic import random_catalog
+from repro.core import DPccp, GreedyOperatorOrdering, IKKBZ, IterativeDP
+from repro.cost.cout import CoutModel
+from repro.graph.generators import (
+    chain_graph,
+    cycle_graph,
+    random_tree_graph,
+    star_graph,
+)
+from repro.plans.metrics import depth
+from repro.plans.visitors import iter_leaves, validate_plan
+
+
+class TestBeyond64Relations:
+    def test_dpccp_chain_100(self):
+        """Chains are easy for DPccp at any size: #ccp(100) ≈ 167k."""
+        graph = chain_graph(100, selectivity=0.1)
+        result = DPccp().optimize(graph)
+        validate_plan(result.plan, graph)
+        assert result.plan.size == 100
+        assert result.counters.inner_counter == (100**3 - 100) // 6
+
+    def test_dpccp_cycle_48(self):
+        graph = cycle_graph(48, selectivity=0.1)
+        result = DPccp().optimize(graph)
+        validate_plan(result.plan, graph)
+
+    def test_ikkbz_tree_200(self):
+        """Polynomial IKKBZ handles very wide trees."""
+        rng = random.Random(1)
+        graph = random_tree_graph(200, rng)
+        result = IKKBZ().optimize(graph, catalog=random_catalog(200, rng))
+        assert result.plan.size == 200
+
+    def test_greedy_star_150(self):
+        graph = star_graph(150, selectivity=0.01)
+        result = GreedyOperatorOrdering().optimize(graph)
+        assert result.plan.size == 150
+
+    def test_idp_chain_80(self):
+        graph = chain_graph(80, selectivity=0.1)
+        result = IterativeDP(k=4).optimize(graph)
+        validate_plan(result.plan, graph)
+        leaves = sorted(leaf.relation_index for leaf in iter_leaves(result.plan))
+        assert leaves == list(range(80))
+
+
+class TestDeepPlans:
+    def test_left_deep_chain_is_deep(self):
+        """A 100-relation plan tree traverses without recursion limits."""
+        graph = chain_graph(100, selectivity=0.5)
+        plan = DPccp().optimize(graph).plan
+        assert depth(plan) >= 7  # at least log-depth; typically larger
+        assert len(list(iter_leaves(plan))) == 100
+
+
+class TestNumericExtremes:
+    def test_huge_cardinalities(self):
+        graph = chain_graph(5, selectivity=1e-9)
+        catalog = Catalog.from_cardinalities([1e12] * 5)
+        result = DPccp().optimize(graph, cost_model=CoutModel(graph, catalog))
+        assert result.cost > 0
+        assert result.cost != float("inf")
+
+    def test_tiny_selectivities(self):
+        graph = chain_graph(6, selectivity=1e-300)
+        result = DPccp().optimize(graph)
+        validate_plan(result.plan, graph)
+        assert result.cost >= 0.0
+
+    def test_single_row_relations(self):
+        graph = star_graph(6, selectivity=1.0)
+        catalog = Catalog.from_cardinalities([1.0] * 6)
+        result = DPccp().optimize(graph, cost_model=CoutModel(graph, catalog))
+        assert result.cost == pytest.approx(5.0)  # five joins of 1 row

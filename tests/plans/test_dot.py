@@ -1,0 +1,50 @@
+"""Unit tests for DOT rendering."""
+
+from __future__ import annotations
+
+from repro.core import DPccp
+from repro.graph.generators import chain_graph, star_graph
+from repro.plans.dot import graph_to_dot, plan_to_dot
+
+
+class TestPlanToDot:
+    def test_structure(self):
+        result = DPccp().optimize(chain_graph(3, selectivity=0.1))
+        dot = plan_to_dot(result.plan)
+        assert dot.startswith("digraph plan {")
+        assert dot.endswith("}")
+        # 3 leaves + 2 joins = 5 nodes, 4 edges.
+        assert dot.count("->") == 4
+        assert dot.count("[label=") == 5
+
+    def test_leaf_names_and_stats_present(self):
+        result = DPccp().optimize(chain_graph(3, selectivity=0.1))
+        dot = plan_to_dot(result.plan)
+        for name in ("R0", "R1", "R2"):
+            assert name in dot
+        assert "cost=" in dot
+        assert "card=" in dot
+
+    def test_title(self):
+        result = DPccp().optimize(chain_graph(2, selectivity=0.1))
+        dot = plan_to_dot(result.plan, title='my "plan"')
+        assert 'label="my \\"plan\\""' in dot
+
+    def test_single_leaf(self):
+        result = DPccp().optimize(chain_graph(1))
+        dot = plan_to_dot(result.plan)
+        assert "->" not in dot
+
+
+class TestGraphToDot:
+    def test_structure(self):
+        dot = graph_to_dot(star_graph(4, selectivity=0.25), title="star")
+        assert dot.startswith("graph query {")
+        assert dot.count("--") == 3
+        assert "0.25" in dot
+        assert 'label="star"' in dot
+
+    def test_node_names(self):
+        dot = graph_to_dot(chain_graph(3))
+        for name in ("R0", "R1", "R2"):
+            assert name in dot

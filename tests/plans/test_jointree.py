@@ -1,0 +1,84 @@
+"""Unit tests for repro.plans.jointree."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PlanError
+from repro.plans.jointree import JoinTree
+
+
+def leaf(index: int, cardinality: float = 100.0) -> JoinTree:
+    return JoinTree.leaf(index, cardinality=cardinality)
+
+
+class TestLeaf:
+    def test_basic(self):
+        node = leaf(2)
+        assert node.is_leaf
+        assert node.relations == 0b100
+        assert node.relation_index == 2
+        assert node.size == 1
+        assert node.operator == "Scan"
+        assert node.name == "R2"
+
+    def test_custom_name(self):
+        assert JoinTree.leaf(0, 10.0, name="orders").name == "orders"
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(PlanError):
+            JoinTree.leaf(0, cardinality=10.0, cost=-1.0)
+
+    def test_negative_cardinality_rejected(self):
+        with pytest.raises(PlanError):
+            JoinTree.leaf(0, cardinality=-10.0)
+
+
+class TestJoin:
+    def test_basic(self):
+        node = JoinTree.join(leaf(0), leaf(1), cardinality=50.0, cost=50.0)
+        assert not node.is_leaf
+        assert node.relations == 0b11
+        assert node.size == 2
+
+    def test_overlapping_children_rejected(self):
+        with pytest.raises(PlanError):
+            JoinTree.join(leaf(0), leaf(0), cardinality=1.0, cost=1.0)
+
+    def test_half_initialized_node_rejected(self):
+        with pytest.raises(PlanError):
+            JoinTree(relations=0b11, cardinality=1.0, cost=1.0, left=leaf(0))
+
+    def test_relations_must_match_children(self):
+        with pytest.raises(PlanError):
+            JoinTree(
+                relations=0b111,
+                cardinality=1.0,
+                cost=1.0,
+                left=leaf(0),
+                right=leaf(1),
+            )
+
+    def test_empty_relations_rejected(self):
+        with pytest.raises(PlanError):
+            JoinTree(relations=0, cardinality=1.0, cost=1.0)
+
+    def test_relation_index_on_join_rejected(self):
+        node = JoinTree.join(leaf(0), leaf(1), cardinality=1.0, cost=1.0)
+        with pytest.raises(PlanError):
+            _ = node.relation_index
+
+    def test_covers(self):
+        node = JoinTree.join(leaf(0), leaf(2), cardinality=1.0, cost=1.0)
+        assert node.covers(0b100)
+        assert node.covers(0b101)
+        assert not node.covers(0b010)
+
+    def test_str_renders_inline(self):
+        node = JoinTree.join(leaf(0), leaf(1), cardinality=1.0, cost=1.0)
+        assert str(node) == "(R0 ⨝ R1)"
+
+    def test_structural_sharing(self):
+        shared = JoinTree.join(leaf(0), leaf(1), cardinality=1.0, cost=1.0)
+        bigger = JoinTree.join(shared, leaf(2), cardinality=1.0, cost=2.0)
+        assert bigger.left is shared

@@ -1,0 +1,78 @@
+"""Unit tests for repro.plans.metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.plans.jointree import JoinTree
+from repro.plans.metrics import (
+    PlanShape,
+    bushiness,
+    classify_plan_shape,
+    depth,
+    intermediate_cardinalities,
+    join_count,
+)
+
+
+def leaf(index: int) -> JoinTree:
+    return JoinTree.leaf(index, cardinality=10.0)
+
+
+def join(left: JoinTree, right: JoinTree, cardinality: float = 5.0) -> JoinTree:
+    return JoinTree.join(left, right, cardinality=cardinality, cost=cardinality)
+
+
+def left_deep4() -> JoinTree:
+    return join(join(join(leaf(0), leaf(1)), leaf(2)), leaf(3))
+
+
+def right_deep4() -> JoinTree:
+    return join(leaf(0), join(leaf(1), join(leaf(2), leaf(3))))
+
+
+def bushy4() -> JoinTree:
+    return join(join(leaf(0), leaf(1)), join(leaf(2), leaf(3)))
+
+
+def zigzag4() -> JoinTree:
+    return join(leaf(3), join(join(leaf(0), leaf(1)), leaf(2)))
+
+
+class TestClassify:
+    @pytest.mark.parametrize(
+        "plan, shape",
+        [
+            (leaf(0), PlanShape.LEAF),
+            (left_deep4(), PlanShape.LEFT_DEEP),
+            (right_deep4(), PlanShape.RIGHT_DEEP),
+            (bushy4(), PlanShape.BUSHY),
+            (zigzag4(), PlanShape.ZIGZAG),
+        ],
+        ids=["leaf", "left-deep", "right-deep", "bushy", "zigzag"],
+    )
+    def test_shapes(self, plan, shape):
+        assert classify_plan_shape(plan) == shape
+
+    def test_two_way_join_is_left_deep(self):
+        assert classify_plan_shape(join(leaf(0), leaf(1))) == PlanShape.LEFT_DEEP
+
+
+class TestMetrics:
+    def test_bushiness(self):
+        assert bushiness(left_deep4()) == 0.0
+        assert bushiness(bushy4()) == pytest.approx(1 / 3)
+        assert bushiness(leaf(0)) == 0.0
+
+    def test_depth(self):
+        assert depth(leaf(0)) == 0
+        assert depth(left_deep4()) == 3
+        assert depth(bushy4()) == 2
+
+    def test_join_count(self):
+        assert join_count(leaf(0)) == 0
+        assert join_count(bushy4()) == 3
+
+    def test_intermediate_cardinalities(self):
+        plan = join(join(leaf(0), leaf(1), 100.0), leaf(2), 40.0)
+        assert intermediate_cardinalities(plan) == [100.0, 40.0]

@@ -1,0 +1,92 @@
+"""Unit tests for repro.plans.visitors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.cost.cout import CoutModel
+from repro.errors import CrossProductError, PlanError
+from repro.graph.querygraph import QueryGraph
+from repro.plans.jointree import JoinTree
+from repro.plans.visitors import (
+    iter_joins,
+    iter_leaves,
+    iter_nodes,
+    render_indented,
+    render_inline,
+    validate_plan,
+)
+
+
+def chain3() -> QueryGraph:
+    return QueryGraph(3, [(0, 1, 0.1), (1, 2, 0.1)])
+
+
+def full_plan() -> JoinTree:
+    model = CoutModel(chain3(), Catalog.from_cardinalities([10, 20, 30]))
+    return model.join(model.join(model.leaf(0), model.leaf(1)), model.leaf(2))
+
+
+class TestTraversal:
+    def test_postorder_children_first(self):
+        plan = full_plan()
+        nodes = list(iter_nodes(plan))
+        assert nodes[-1] is plan
+        seen: set[int] = set()
+        for node in nodes:
+            if not node.is_leaf:
+                assert node.left.relations in seen
+                assert node.right.relations in seen
+            seen.add(node.relations)
+
+    def test_leaves_left_to_right(self):
+        assert [leaf.relation_index for leaf in iter_leaves(full_plan())] == [0, 1, 2]
+
+    def test_join_count(self):
+        assert len(list(iter_joins(full_plan()))) == 2
+
+    def test_single_leaf(self):
+        leaf = JoinTree.leaf(0, 5.0)
+        assert list(iter_nodes(leaf)) == [leaf]
+        assert list(iter_joins(leaf)) == []
+
+
+class TestRendering:
+    def test_inline(self):
+        assert render_inline(full_plan()) == "((R0 ⨝ R1) ⨝ R2)"
+
+    def test_indented_contains_cards_and_costs(self):
+        text = render_indented(full_plan())
+        assert "Scan R0" in text
+        assert "card=" in text
+        assert "cost=" in text
+        assert text.count("\n") == 4  # 5 nodes
+
+
+class TestValidation:
+    def test_valid_plan_passes(self):
+        validate_plan(full_plan(), chain3())
+
+    def test_missing_relation_detected(self):
+        model = CoutModel(chain3(), Catalog.from_cardinalities([10, 20, 30]))
+        partial = model.join(model.leaf(0), model.leaf(1))
+        with pytest.raises(PlanError):
+            validate_plan(partial, chain3())
+        validate_plan(partial, chain3(), require_all_relations=False)
+
+    def test_cross_product_detected(self):
+        graph = chain3()
+        model = CoutModel(graph, Catalog.from_cardinalities([10, 20, 30]))
+        # R0 x R2 has no connecting edge.
+        cross = JoinTree.join(model.leaf(0), model.leaf(2), 300.0, 300.0)
+        bad = JoinTree.join(cross, model.leaf(1), 60.0, 360.0)
+        with pytest.raises(CrossProductError):
+            validate_plan(bad, graph)
+        validate_plan(bad, graph, forbid_cross_products=False)
+
+    def test_unknown_relation_detected(self):
+        graph = chain3()
+        rogue = JoinTree.leaf(7, 10.0)
+        with pytest.raises(PlanError):
+            validate_plan(rogue, graph, require_all_relations=False)

@@ -1,0 +1,93 @@
+"""Property-based tests over the baseline/extension optimizers.
+
+Complements ``test_optimizer_props``: the heuristics (GOO, QuickPick,
+IDP) and restricted/extended spaces (LeftDeepDP, DPall) must respect
+the ordering ``DPall <= DPccp <= {LeftDeepDP, GOO, QuickPick, IDP}``
+on every instance, and all must emit structurally sound plans.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.catalog.synthetic import random_catalog
+from repro.core import (
+    DPall,
+    DPccp,
+    GreedyOperatorOrdering,
+    IterativeDP,
+    LeftDeepDP,
+    QuickPick,
+)
+from repro.graph.generators import random_connected_graph
+from repro.plans.metrics import PlanShape, classify_plan_shape
+from repro.plans.visitors import iter_leaves, validate_plan
+
+
+@st.composite
+def instances(draw, max_n: int = 7):
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    extra = draw(st.floats(min_value=0.0, max_value=1.0))
+    rng = random.Random(seed)
+    graph = random_connected_graph(n, rng, extra)
+    catalog = random_catalog(n, rng)
+    return graph, catalog, seed
+
+
+TOLERANCE = 1 + 1e-9
+
+
+class TestCostOrdering:
+    @given(instances())
+    @settings(max_examples=30, deadline=None)
+    def test_space_and_heuristic_ordering(self, instance):
+        graph, catalog, seed = instance
+        optimum = DPccp().optimize(graph, catalog=catalog).cost
+        wider = DPall().optimize(graph, catalog=catalog).cost
+        assert wider <= optimum * TOLERANCE
+
+        for algorithm in (
+            LeftDeepDP(),
+            GreedyOperatorOrdering(),
+            QuickPick(samples=10, rng=seed),
+            IterativeDP(k=3),
+        ):
+            cost = algorithm.optimize(graph, catalog=catalog).cost
+            assert cost * TOLERANCE >= optimum, algorithm.name
+
+
+class TestStructuralSoundness:
+    @given(instances())
+    @settings(max_examples=30, deadline=None)
+    def test_plans_cover_relations_exactly_once(self, instance):
+        graph, catalog, seed = instance
+        for algorithm in (
+            LeftDeepDP(),
+            GreedyOperatorOrdering(),
+            QuickPick(samples=5, rng=seed),
+            IterativeDP(k=3),
+        ):
+            plan = algorithm.optimize(graph, catalog=catalog).plan
+            validate_plan(plan, graph)
+            leaves = sorted(leaf.relation_index for leaf in iter_leaves(plan))
+            assert leaves == list(range(graph.n_relations)), algorithm.name
+
+    @given(instances())
+    @settings(max_examples=30, deadline=None)
+    def test_dpall_plans_sound_modulo_cross_products(self, instance):
+        graph, catalog, _seed = instance
+        plan = DPall().optimize(graph, catalog=catalog).plan
+        validate_plan(plan, graph, forbid_cross_products=False)
+
+    @given(instances())
+    @settings(max_examples=25, deadline=None)
+    def test_leftdeep_shape(self, instance):
+        graph, catalog, _seed = instance
+        plan = LeftDeepDP().optimize(graph, catalog=catalog).plan
+        assert classify_plan_shape(plan) in (
+            PlanShape.LEFT_DEEP,
+            PlanShape.LEAF,
+        )

@@ -1,0 +1,80 @@
+"""Property-based tests for repro.bitset (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro import bitset
+
+masks = st.integers(min_value=0, max_value=(1 << 16) - 1)
+nonempty_masks = st.integers(min_value=1, max_value=(1 << 16) - 1)
+
+
+class TestIterBits:
+    @given(masks)
+    def test_roundtrip(self, mask):
+        assert bitset.set_of(bitset.iter_bits(mask)) == mask
+
+    @given(masks)
+    def test_count_matches_popcount(self, mask):
+        assert len(list(bitset.iter_bits(mask))) == bitset.popcount(mask)
+
+    @given(masks)
+    def test_ascending(self, mask):
+        indices = list(bitset.iter_bits(mask))
+        assert indices == sorted(indices)
+
+
+class TestSubsetEnumeration:
+    @given(st.integers(min_value=0, max_value=(1 << 12) - 1))
+    def test_subset_count(self, mask):
+        expected = max(0, 2 ** bitset.popcount(mask) - 2)
+        assert len(list(bitset.iter_subsets(mask))) == expected
+
+    @given(nonempty_masks)
+    def test_all_are_strict_nonempty_subsets(self, mask):
+        for subset in bitset.iter_subsets(mask & 0xFFF):
+            inner = mask & 0xFFF
+            if inner == 0:
+                continue
+            assert subset != 0
+            assert subset != inner
+            assert bitset.is_subset(subset, inner)
+
+    @given(st.integers(min_value=0, max_value=(1 << 12) - 1))
+    def test_ascending_numeric_order(self, mask):
+        subsets = list(bitset.iter_subsets(mask))
+        assert subsets == sorted(subsets)
+
+    @given(st.integers(min_value=0, max_value=(1 << 10) - 1))
+    def test_no_duplicates(self, mask):
+        subsets = list(bitset.iter_subsets(mask))
+        assert len(subsets) == len(set(subsets))
+
+    @given(st.integers(min_value=1, max_value=(1 << 10) - 1))
+    def test_all_subsets_includes_self_last(self, mask):
+        all_subsets = list(bitset.iter_all_subsets(mask))
+        assert all_subsets[-1] == mask
+
+
+class TestAlgebra:
+    @given(masks, masks)
+    def test_disjoint_iff_empty_intersection(self, a, b):
+        assert bitset.is_disjoint(a, b) == (a & b == 0)
+
+    @given(nonempty_masks)
+    def test_lowest_and_highest(self, mask):
+        indices = list(bitset.iter_bits(mask))
+        assert bitset.lowest_bit_index(mask) == indices[0]
+        assert bitset.highest_bit_index(mask) == indices[-1]
+        assert bitset.lowest_bit(mask) == 1 << indices[0]
+
+    @given(st.integers(min_value=0, max_value=(1 << 8) - 1),
+           st.integers(min_value=0, max_value=(1 << 8) - 1))
+    def test_supersets_within(self, mask, universe):
+        mask &= universe
+        supersets = list(bitset.iter_supersets_within(mask, universe))
+        free_bits = bitset.popcount(universe & ~mask)
+        assert len(supersets) == 2**free_bits
+        assert all(bitset.is_subset(mask, superset) for superset in supersets)
+        assert all(bitset.is_subset(superset, universe) for superset in supersets)

@@ -1,0 +1,98 @@
+"""Property-based tests for the csg/cmp enumeration (hypothesis).
+
+These encode the paper's correctness theorems (Theorem 1 and 2) as
+properties over random connected graphs.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro import bitset
+from repro.graph.counting import count_ccp_brute_force, count_csg_brute_force
+from repro.graph.generators import random_connected_graph
+from repro.graph.subgraphs import (
+    enumerate_csg,
+    enumerate_csg_cmp_pairs,
+)
+
+
+@st.composite
+def bfs_graphs(draw, max_n: int = 8):
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    extra = draw(st.floats(min_value=0.0, max_value=1.0))
+    graph = random_connected_graph(n, random.Random(seed), extra)
+    if not graph.is_bfs_numbered():
+        graph, _order = graph.bfs_renumbered()
+    return graph
+
+
+class TestTheorem1:
+    """EnumerateCsg: all connected subsets, once, subsets first."""
+
+    @given(bfs_graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_exactly_the_connected_subsets(self, graph):
+        emitted = list(enumerate_csg(graph))
+        assert len(emitted) == len(set(emitted))
+        assert set(emitted) == {
+            mask
+            for mask in range(1, graph.all_relations + 1)
+            if graph.is_connected_set(mask)
+        }
+
+    @given(bfs_graphs(max_n=7))
+    @settings(max_examples=30, deadline=None)
+    def test_subsets_before_supersets(self, graph):
+        position = {mask: i for i, mask in enumerate(enumerate_csg(graph))}
+        for mask in position:
+            for other in position:
+                if other != mask and bitset.is_subset(other, mask):
+                    assert position[other] < position[mask]
+
+    @given(bfs_graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_count_matches_brute_force(self, graph):
+        assert len(list(enumerate_csg(graph))) == count_csg_brute_force(graph)
+
+
+class TestTheorem2:
+    """EnumerateCmp via the pair stream: every pair once, valid, ordered."""
+
+    @given(bfs_graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_pair_count_matches_brute_force(self, graph):
+        pairs = list(enumerate_csg_cmp_pairs(graph))
+        assert 2 * len(pairs) == count_ccp_brute_force(graph)
+
+    @given(bfs_graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_pairs_are_valid_and_unique(self, graph):
+        seen = set()
+        for left, right in enumerate_csg_cmp_pairs(graph):
+            assert left & right == 0
+            assert graph.is_connected_set(left)
+            assert graph.is_connected_set(right)
+            assert graph.are_connected(left, right)
+            key = frozenset((left, right))
+            assert key not in seen
+            seen.add(key)
+
+    @given(bfs_graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_dp_valid_emission_order(self, graph):
+        solvable = {bitset.bit(i) for i in range(graph.n_relations)}
+        for left, right in enumerate_csg_cmp_pairs(graph):
+            assert left in solvable
+            assert right in solvable
+            solvable.add(left | right)
+
+    @given(bfs_graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_orientation_rule(self, graph):
+        """min(S1) < min(S2) for every emitted pair."""
+        for left, right in enumerate_csg_cmp_pairs(graph):
+            assert bitset.lowest_bit_index(left) < bitset.lowest_bit_index(right)

@@ -1,0 +1,109 @@
+"""Property-based tests for query graphs (hypothesis)."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro import bitset
+from repro.graph.generators import random_connected_graph
+from repro.graph.querygraph import QueryGraph
+
+
+@st.composite
+def connected_graphs(draw, max_n: int = 9):
+    """Random connected query graphs with random selectivities."""
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    extra = draw(st.floats(min_value=0.0, max_value=1.0))
+    return random_connected_graph(n, random.Random(seed), extra)
+
+
+@st.composite
+def graph_and_mask(draw, max_n: int = 9):
+    graph = draw(connected_graphs(max_n))
+    mask = draw(
+        st.integers(min_value=0, max_value=graph.all_relations)
+    )
+    return graph, mask
+
+
+class TestNeighborhood:
+    @given(graph_and_mask())
+    def test_neighborhood_disjoint_from_set(self, pair):
+        graph, mask = pair
+        assert graph.neighborhood(mask) & mask == 0
+
+    @given(graph_and_mask())
+    def test_neighborhood_union_rule(self, pair):
+        """Paper §3.2: N(S ∪ S') = (N(S) ∪ N(S')) \\ (S ∪ S')."""
+        graph, mask = pair
+        left = mask & 0b1010101010
+        right = mask & ~0b1010101010
+        combined = graph.neighborhood(left | right)
+        assert combined == (
+            (graph.neighborhood(left) | graph.neighborhood(right))
+            & ~(left | right)
+        )
+
+    @given(graph_and_mask())
+    def test_neighborhood_members_adjacent(self, pair):
+        graph, mask = pair
+        for neighbor in bitset.iter_bits(graph.neighborhood(mask)):
+            assert graph.neighbor_mask(neighbor) & mask
+
+
+class TestConnectedness:
+    @given(graph_and_mask())
+    def test_expanding_by_neighbor_preserves_connectedness(self, pair):
+        """Paper §3.2: a connected set plus neighborhood subset stays connected."""
+        graph, mask = pair
+        if mask == 0 or not graph.is_connected_set(mask):
+            return
+        neighborhood = graph.neighborhood(mask)
+        if neighborhood == 0:
+            return
+        grow = neighborhood & -neighborhood
+        assert graph.is_connected_set(mask | grow)
+
+    @given(connected_graphs())
+    def test_whole_graph_connected(self, graph):
+        assert graph.is_connected
+        assert graph.is_connected_set(graph.all_relations)
+
+    @given(graph_and_mask())
+    def test_connected_sets_have_internal_spanning(self, pair):
+        """A connected set of size k has at least k-1 internal edges."""
+        graph, mask = pair
+        if mask == 0 or not graph.is_connected_set(mask):
+            return
+        internal = len(list(graph.internal_edges(mask)))
+        assert internal >= bitset.popcount(mask) - 1
+
+    @given(graph_and_mask(), graph_and_mask())
+    def test_are_connected_symmetric(self, pair_a, pair_b):
+        graph, left = pair_a
+        _graph_b, right_raw = pair_b
+        right = right_raw & graph.all_relations & ~left
+        assert graph.are_connected(left, right) == graph.are_connected(
+            right, left
+        )
+
+
+class TestBfsRenumbering:
+    @given(connected_graphs())
+    @settings(max_examples=40)
+    def test_renumbered_graph_is_bfs_numbered(self, graph):
+        renumbered, order = graph.bfs_renumbered()
+        assert renumbered.is_bfs_numbered()
+        assert sorted(order) == list(range(graph.n_relations))
+        assert len(renumbered.edges) == len(graph.edges)
+
+    @given(connected_graphs())
+    @settings(max_examples=40)
+    def test_renumbering_preserves_selectivity_multiset(self, graph):
+        renumbered, _order = graph.bfs_renumbered()
+        original = sorted(edge.selectivity for edge in graph.edges)
+        permuted = sorted(edge.selectivity for edge in renumbered.edges)
+        assert original == permuted

@@ -1,0 +1,133 @@
+"""Property-based tests for the hypergraph extension (hypothesis)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import bitset
+from repro.catalog.synthetic import random_catalog
+from repro.core import DPccp
+from repro.graph.generators import random_connected_graph
+from repro.hyper import (
+    DPhyp,
+    ExhaustiveHyperOptimizer,
+    HyperCoutModel,
+    Hyperedge,
+    Hypergraph,
+)
+from repro.hyper.exhaustive import count_hyper_ccp
+from repro.plans.visitors import iter_leaves
+
+
+@st.composite
+def hypergraphs(draw, max_n: int = 7):
+    """Plannable random hypergraphs: simple spanning tree + complex edges."""
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    complex_count = draw(st.integers(min_value=0, max_value=3))
+    rng = random.Random(seed)
+    edges = [
+        Hyperedge(
+            bitset.bit(rng.randrange(i)), bitset.bit(i), rng.uniform(0.01, 0.5)
+        )
+        for i in range(1, n)
+    ]
+    for _ in range(complex_count):
+        members = [i for i in range(n) if rng.random() < 0.5]
+        if len(members) < 2:
+            continue
+        split = rng.randint(1, len(members) - 1)
+        edges.append(
+            Hyperedge(
+                bitset.set_of(members[:split]),
+                bitset.set_of(members[split:]),
+                rng.uniform(0.01, 0.9),
+            )
+        )
+    return Hypergraph(n, edges), seed
+
+
+@st.composite
+def simple_graph_pairs(draw, max_n: int = 7):
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    extra = draw(st.floats(min_value=0.0, max_value=1.0))
+    rng = random.Random(seed)
+    graph = random_connected_graph(n, rng, extra)
+    return graph, Hypergraph.from_query_graph(graph), seed
+
+
+class TestDPhypProperties:
+    @given(hypergraphs())
+    @settings(max_examples=30, deadline=None)
+    def test_optimal_and_valid(self, instance):
+        hypergraph, seed = instance
+        catalog = random_catalog(hypergraph.n_relations, seed)
+        result = DPhyp().optimize(
+            hypergraph, cost_model=HyperCoutModel(hypergraph, catalog)
+        )
+        reference = ExhaustiveHyperOptimizer().optimize(
+            hypergraph, cost_model=HyperCoutModel(hypergraph, catalog)
+        )
+        assert result.cost == pytest.approx(reference.cost)
+        leaves = sorted(leaf.relation_index for leaf in iter_leaves(result.plan))
+        assert leaves == list(range(hypergraph.n_relations))
+
+    @given(hypergraphs())
+    @settings(max_examples=30, deadline=None)
+    def test_pair_count_is_exact(self, instance):
+        hypergraph, _seed = instance
+        result = DPhyp().optimize(hypergraph)
+        assert result.counters.ono_lohman_counter == count_hyper_ccp(hypergraph)
+
+    @given(simple_graph_pairs())
+    @settings(max_examples=30, deadline=None)
+    def test_degenerates_to_dpccp_on_simple_graphs(self, instance):
+        graph, hypergraph, seed = instance
+        catalog = random_catalog(graph.n_relations, seed)
+        hyp = DPhyp().optimize(hypergraph, catalog=catalog)
+        ccp = DPccp().optimize(graph, catalog=catalog)
+        assert hyp.counters.ono_lohman_counter == ccp.counters.ono_lohman_counter
+        assert hyp.cost == pytest.approx(ccp.cost)
+        assert hyp.table_size == ccp.table_size
+
+
+class TestHypergraphInvariants:
+    @given(hypergraphs())
+    @settings(max_examples=40, deadline=None)
+    def test_neighborhood_disjoint_from_set_and_exclusion(self, instance):
+        hypergraph, seed = instance
+        rng = random.Random(seed)
+        for _ in range(5):
+            subset = rng.randrange(1, hypergraph.all_relations + 1)
+            excluded = rng.randrange(0, hypergraph.all_relations + 1) & ~subset
+            neighborhood = hypergraph.neighborhood(subset, excluded)
+            assert neighborhood & subset == 0
+            assert neighborhood & excluded == 0
+
+    @given(hypergraphs())
+    @settings(max_examples=40, deadline=None)
+    def test_are_connected_symmetric(self, instance):
+        hypergraph, seed = instance
+        rng = random.Random(seed)
+        for _ in range(5):
+            left = rng.randrange(1, hypergraph.all_relations + 1)
+            right = rng.randrange(1, hypergraph.all_relations + 1) & ~left
+            assert hypergraph.are_connected(left, right) == (
+                hypergraph.are_connected(right, left)
+            )
+
+    @given(simple_graph_pairs())
+    @settings(max_examples=30, deadline=None)
+    def test_simple_embedding_preserves_connectivity(self, instance):
+        graph, hypergraph, _seed = instance
+        for mask in range(1, min(graph.all_relations, 255) + 1):
+            mask &= graph.all_relations
+            if mask == 0:
+                continue
+            assert hypergraph.is_connected_set(mask) == graph.is_connected_set(
+                mask
+            )

@@ -1,0 +1,120 @@
+"""Property-based tests over the optimizers (hypothesis).
+
+The central property: DPsize, DPsub and DPccp all return a valid,
+cross-product-free plan with exactly the exhaustive-optimal cost, for
+arbitrary connected graphs, catalogs and selectivities.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.catalog.synthetic import random_catalog
+from repro.core import DPccp, DPsize, DPsub, ExhaustiveOptimizer
+from repro.cost.cout import CoutModel
+from repro.cost.disk import DiskCostModel
+from repro.graph.generators import random_connected_graph
+from repro.plans.metrics import join_count
+from repro.plans.visitors import iter_leaves, validate_plan
+
+
+@st.composite
+def instances(draw, max_n: int = 7):
+    """(graph, catalog) pairs with random shape, stats and selectivities."""
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    extra = draw(st.floats(min_value=0.0, max_value=1.0))
+    rng = random.Random(seed)
+    graph = random_connected_graph(n, rng, extra)
+    catalog = random_catalog(n, rng)
+    return graph, catalog
+
+
+class TestOptimality:
+    @given(instances())
+    @settings(max_examples=40, deadline=None)
+    def test_all_algorithms_reach_the_optimum_cout(self, instance):
+        graph, catalog = instance
+        reference = ExhaustiveOptimizer().optimize(
+            graph, cost_model=CoutModel(graph, catalog)
+        )
+        for algorithm in (DPsize(), DPsub(), DPccp()):
+            result = algorithm.optimize(
+                graph, cost_model=CoutModel(graph, catalog)
+            )
+            assert result.cost == pytest.approx(reference.cost), algorithm.name
+
+    @given(instances(max_n=6))
+    @settings(max_examples=25, deadline=None)
+    def test_all_algorithms_reach_the_optimum_disk(self, instance):
+        graph, catalog = instance
+        reference = ExhaustiveOptimizer().optimize(
+            graph, cost_model=DiskCostModel(graph, catalog)
+        )
+        for algorithm in (DPsize(), DPsub(), DPccp()):
+            result = algorithm.optimize(
+                graph, cost_model=DiskCostModel(graph, catalog)
+            )
+            assert result.cost == pytest.approx(reference.cost), algorithm.name
+
+
+class TestPlanInvariants:
+    @given(instances())
+    @settings(max_examples=40, deadline=None)
+    def test_plans_are_structurally_sound(self, instance):
+        graph, catalog = instance
+        for algorithm in (DPsize(), DPsub(), DPccp()):
+            plan = algorithm.optimize(graph, catalog=catalog).plan
+            validate_plan(plan, graph)
+            assert join_count(plan) == graph.n_relations - 1
+            leaves = [leaf.relation_index for leaf in iter_leaves(plan)]
+            assert sorted(leaves) == list(range(graph.n_relations))
+
+    @given(instances())
+    @settings(max_examples=40, deadline=None)
+    def test_output_cardinality_is_order_independent(self, instance):
+        """All algorithms agree on the root cardinality (estimator law)."""
+        graph, catalog = instance
+        model = CoutModel(graph, catalog)
+        expected = model.estimator.set_cardinality(graph.all_relations)
+        for algorithm in (DPsize(), DPsub(), DPccp()):
+            plan = algorithm.optimize(
+                graph, cost_model=CoutModel(graph, catalog)
+            ).plan
+            assert plan.cardinality == pytest.approx(expected, rel=1e-9)
+
+
+class TestCounterInvariants:
+    @given(instances())
+    @settings(max_examples=40, deadline=None)
+    def test_csg_cmp_counter_identical_across_algorithms(self, instance):
+        graph, _catalog = instance
+        values = {
+            algorithm.name: algorithm.optimize(
+                graph
+            ).counters.csg_cmp_pair_counter
+            for algorithm in (DPsize(), DPsub(), DPccp())
+        }
+        assert len(set(values.values())) == 1, values
+
+    @given(instances())
+    @settings(max_examples=40, deadline=None)
+    def test_dpccp_meets_lower_bound(self, instance):
+        graph, _catalog = instance
+        result = DPccp().optimize(graph)
+        assert result.counters.inner_counter == (
+            result.counters.csg_cmp_pair_counter // 2
+        )
+
+    @given(instances())
+    @settings(max_examples=40, deadline=None)
+    def test_table_sizes_equal_connected_subset_count(self, instance):
+        graph, _catalog = instance
+        sizes = {
+            algorithm.optimize(graph).table_size
+            for algorithm in (DPsize(), DPsub(), DPccp())
+        }
+        assert len(sizes) == 1

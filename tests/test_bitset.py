@@ -1,0 +1,156 @@
+"""Unit tests for repro.bitset."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import bitset
+
+
+class TestBit:
+    def test_singletons(self):
+        assert bitset.bit(0) == 1
+        assert bitset.bit(5) == 32
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            bitset.bit(-1)
+
+    def test_large_index(self):
+        # Python ints are unbounded; >64 relations must work.
+        assert bitset.bit(100) == 1 << 100
+
+
+class TestSetOf:
+    def test_empty(self):
+        assert bitset.set_of([]) == bitset.EMPTY
+
+    def test_members(self):
+        assert bitset.set_of([0, 2, 3]) == 0b1101
+
+    def test_duplicates_collapse(self):
+        assert bitset.set_of([1, 1, 1]) == 0b10
+
+
+class TestOnlyBit:
+    def test_singleton(self):
+        assert bitset.only_bit(8)
+
+    def test_multiple(self):
+        assert not bitset.only_bit(0b101)
+
+    def test_empty(self):
+        assert not bitset.only_bit(0)
+
+
+class TestIterBits:
+    def test_ascending_order(self):
+        assert list(bitset.iter_bits(0b10110)) == [1, 2, 4]
+
+    def test_empty(self):
+        assert list(bitset.iter_bits(0)) == []
+
+    def test_roundtrip_with_set_of(self):
+        mask = 0b1011001
+        assert bitset.set_of(bitset.iter_bits(mask)) == mask
+
+
+class TestIterSubsets:
+    def test_strict_nonempty_subsets(self):
+        subsets = list(bitset.iter_subsets(0b111))
+        assert subsets == [0b001, 0b010, 0b011, 0b100, 0b101, 0b110]
+
+    def test_excludes_self_and_empty(self):
+        subsets = list(bitset.iter_subsets(0b101))
+        assert 0 not in subsets
+        assert 0b101 not in subsets
+
+    def test_count_is_2k_minus_2(self):
+        mask = 0b11110
+        assert len(list(bitset.iter_subsets(mask))) == 2**4 - 2
+
+    def test_empty_mask(self):
+        assert list(bitset.iter_subsets(0)) == []
+
+    def test_singleton_mask(self):
+        assert list(bitset.iter_subsets(0b100)) == []
+
+    def test_subsets_before_supersets(self):
+        seen: set[int] = set()
+        for subset in bitset.iter_subsets(0b11011):
+            for earlier in seen:
+                if earlier | subset == subset:  # earlier is a subset
+                    assert earlier in seen
+            seen.add(subset)
+        # Numeric ascending order implies subset-before-superset.
+        ordered = list(bitset.iter_subsets(0b11011))
+        assert ordered == sorted(ordered)
+
+
+class TestIterAllSubsets:
+    def test_includes_self(self):
+        assert list(bitset.iter_all_subsets(0b101)) == [0b001, 0b100, 0b101]
+
+    def test_empty(self):
+        assert list(bitset.iter_all_subsets(0)) == []
+
+
+class TestIterSupersetsWithin:
+    def test_basic(self):
+        result = list(bitset.iter_supersets_within(0b001, 0b101))
+        assert result == [0b001, 0b101]
+
+    def test_mask_equals_universe(self):
+        assert list(bitset.iter_supersets_within(0b11, 0b11)) == [0b11]
+
+    def test_mask_outside_universe_rejected(self):
+        with pytest.raises(ValueError):
+            list(bitset.iter_supersets_within(0b100, 0b011))
+
+    def test_counts(self):
+        result = list(bitset.iter_supersets_within(0b1, 0b1111))
+        assert len(result) == 2**3
+        assert all(superset & 0b1 for superset in result)
+
+
+class TestLowHighBits:
+    def test_lowest_bit(self):
+        assert bitset.lowest_bit(0b1100) == 0b100
+
+    def test_lowest_bit_index(self):
+        assert bitset.lowest_bit_index(0b1100) == 2
+
+    def test_highest_bit_index(self):
+        assert bitset.highest_bit_index(0b1100) == 3
+
+    @pytest.mark.parametrize(
+        "function",
+        [bitset.lowest_bit, bitset.lowest_bit_index, bitset.highest_bit_index],
+    )
+    def test_empty_rejected(self, function):
+        with pytest.raises(ValueError):
+            function(0)
+
+
+class TestPredicates:
+    def test_popcount(self):
+        assert bitset.popcount(0) == 0
+        assert bitset.popcount(0b10101) == 3
+
+    def test_is_subset(self):
+        assert bitset.is_subset(0, 0b1)
+        assert bitset.is_subset(0b101, 0b111)
+        assert not bitset.is_subset(0b101, 0b110)
+
+    def test_is_disjoint(self):
+        assert bitset.is_disjoint(0b101, 0b010)
+        assert not bitset.is_disjoint(0b101, 0b100)
+        assert bitset.is_disjoint(0, 0)
+
+
+class TestFormatBits:
+    def test_empty(self):
+        assert bitset.format_bits(0) == "{}"
+
+    def test_members(self):
+        assert bitset.format_bits(0b101) == "{R0, R2}"

@@ -1,0 +1,99 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_optimize_defaults(self):
+        args = build_parser().parse_args(["optimize"])
+        assert args.topology == "chain"
+        assert args.algorithm == "dpccp"
+        assert args.relations == 8
+
+    def test_bench_requires_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench"])
+
+
+class TestCommands:
+    def test_optimize(self, capsys):
+        assert main(["optimize", "--topology", "star", "-n", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "algorithm : DPccp" in out
+        assert "Scan" in out
+
+    def test_optimize_each_algorithm(self, capsys):
+        for algorithm in ("dpsize", "dpsub", "dpccp", "goo", "adaptive"):
+            assert main(
+                ["optimize", "-n", "5", "--algorithm", algorithm]
+            ) == 0
+        assert "cost" in capsys.readouterr().out
+
+    def test_count_matches(self, capsys):
+        assert main(["count", "--topology", "chain", "-n", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "all formulas match" in out
+
+    def test_table(self, capsys):
+        assert main(["table", "--figure", "3", "--sizes", "2", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "12/12" not in out  # only 8 cells for two sizes
+        assert "8/8 cells match" in out
+
+    def test_bench_small(self, capsys):
+        assert main(
+            ["bench", "--figure", "8", "--budget", "2000", "--min-seconds", "0.005"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out
+        assert "budget" in out
+        assert "log scale" in out  # ASCII chart included
+
+    def test_bench_figure12(self, capsys):
+        assert main(
+            ["bench", "--figure", "12", "--budget", "300", "--min-seconds", "0.005"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Figure 12" in out
+        assert "paper C++" in out
+
+    def test_space(self, capsys):
+        assert main(["space", "--topology", "clique", "-n", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "csg-cmp-pairs (unordered)     : 90" in out
+        assert "join trees (ordered)          : 1,680" in out
+
+    def test_parse(self, capsys):
+        query = (
+            "SELECT * FROM a (100), b (200), c (50) "
+            "WHERE a.x = b.y [0.01] AND b.z = c.w [0.1]"
+        )
+        assert main(["parse", query]) == 0
+        out = capsys.readouterr().out
+        assert "algorithm : DPccp" in out
+        assert "Scan a" in out
+
+    def test_parse_dot_output(self, capsys):
+        query = "SELECT * FROM a (10), b (20) WHERE a.x = b.y [0.5]"
+        assert main(["parse", query, "--dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph plan {")
+
+    def test_parse_bad_query_reports_cleanly(self, capsys):
+        assert main(["parse", "DELETE FROM a"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_error_path_reports_cleanly(self, capsys):
+        # IKKBZ rejects cyclic graphs -> ReproError -> exit code 2.
+        assert main(
+            ["optimize", "--topology", "cycle", "-n", "5", "--algorithm", "ikkbz"]
+        ) == 2
+        assert "error:" in capsys.readouterr().err

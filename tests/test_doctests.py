@@ -1,0 +1,22 @@
+"""Run the library's docstring examples as tests."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.bitset
+import repro.hyper.builder
+import repro.io
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro.bitset, repro.io, repro.hyper.builder],
+    ids=lambda module: module.__name__,
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} has no doctests"
+    assert results.failed == 0

@@ -1,0 +1,111 @@
+"""Unit tests for JSON serialization round trips."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.catalog.synthetic import random_catalog
+from repro.core import DPccp
+from repro.graph.generators import random_connected_graph, star_graph
+from repro.io import (
+    SerializationError,
+    catalog_from_dict,
+    catalog_to_dict,
+    graph_from_dict,
+    graph_to_dict,
+    plan_from_dict,
+    plan_to_dict,
+    result_to_dict,
+)
+from repro.plans.visitors import render_inline
+
+
+class TestGraphRoundTrip:
+    def test_round_trip_equality(self, rng):
+        for _ in range(8):
+            graph = random_connected_graph(rng.randint(1, 8), rng, rng.random())
+            assert graph_from_dict(graph_to_dict(graph)) == graph
+
+    def test_json_safe(self):
+        graph = star_graph(5, selectivity=0.25)
+        text = json.dumps(graph_to_dict(graph))
+        assert graph_from_dict(json.loads(text)) == graph
+
+    def test_predicates_preserved(self):
+        from repro.graph.querygraph import JoinEdge, QueryGraph
+
+        graph = QueryGraph(2, [JoinEdge(0, 1, 0.5, "a = b")])
+        restored = graph_from_dict(graph_to_dict(graph))
+        assert restored.edges[0].predicate == "a = b"
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(SerializationError):
+            graph_from_dict({"kind": "catalog", "relations": []})
+
+    def test_malformed_rejected(self):
+        with pytest.raises(SerializationError):
+            graph_from_dict({"kind": "query_graph", "edges": [{}]})
+
+
+class TestCatalogRoundTrip:
+    def test_round_trip(self, rng):
+        catalog = random_catalog(6, rng)
+        restored = catalog_from_dict(catalog_to_dict(catalog))
+        assert restored.cardinalities() == catalog.cardinalities()
+        assert [entry.name for entry in restored] == [
+            entry.name for entry in catalog
+        ]
+
+    def test_json_safe(self, rng):
+        catalog = random_catalog(3, rng)
+        text = json.dumps(catalog_to_dict(catalog))
+        assert catalog_from_dict(json.loads(text)).cardinalities() == (
+            catalog.cardinalities()
+        )
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(SerializationError):
+            catalog_from_dict({"kind": "nope"})
+
+
+class TestPlanRoundTrip:
+    def test_round_trip_structure_and_numbers(self, rng):
+        for _ in range(6):
+            n = rng.randint(2, 7)
+            graph = random_connected_graph(n, rng, rng.random() * 0.5)
+            result = DPccp().optimize(graph, catalog=random_catalog(n, rng))
+            restored = plan_from_dict(plan_to_dict(result.plan))
+            assert render_inline(restored) == render_inline(result.plan)
+            assert restored.cost == result.plan.cost
+            assert restored.cardinality == result.plan.cardinality
+
+    def test_json_safe(self):
+        result = DPccp().optimize(star_graph(4, selectivity=0.1))
+        text = json.dumps(plan_to_dict(result.plan))
+        restored = plan_from_dict(json.loads(text))
+        assert restored.relations == result.plan.relations
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SerializationError):
+            plan_from_dict({"kind": "scan"})
+
+    def test_malformed_join_rejected(self):
+        with pytest.raises(SerializationError):
+            plan_from_dict({"kind": "join", "cost": 1.0})
+
+
+class TestResultArchive:
+    def test_result_to_dict_complete(self):
+        rng = random.Random(4)
+        graph = random_connected_graph(5, rng, 0.4)
+        result = DPccp().optimize(graph, catalog=random_catalog(5, rng))
+        archive = result_to_dict(result)
+        assert archive["algorithm"] == "DPccp"
+        assert archive["counters"]["inner_counter"] == (
+            result.counters.inner_counter
+        )
+        assert json.dumps(archive)  # JSON-safe end to end
+        assert plan_from_dict(archive["plan"]).cost == pytest.approx(result.cost)

@@ -1,0 +1,42 @@
+"""Unit tests for the randomized self-check harness."""
+
+from __future__ import annotations
+
+from repro.cli import main
+from repro.selfcheck import SelfCheckReport, run_selfcheck
+
+
+class TestRunSelfcheck:
+    def test_passes_on_healthy_build(self):
+        report = run_selfcheck(instances=6, seed=123, max_relations=6)
+        assert report.ok, report.summary()
+        assert report.instances == 6
+
+    def test_deterministic_with_seed(self):
+        one = run_selfcheck(instances=3, seed=9, max_relations=5)
+        two = run_selfcheck(instances=3, seed=9, max_relations=5)
+        assert one.failures == two.failures
+
+    def test_summary_mentions_count(self):
+        report = run_selfcheck(instances=2, seed=1, max_relations=4)
+        assert "2 randomized instances" in report.summary()
+
+    def test_failure_summary_format(self):
+        report = SelfCheckReport(instances=1, failures=["instance 0: boom"])
+        assert not report.ok
+        assert "FAILED" in report.summary()
+        assert "boom" in report.summary()
+
+    def test_failure_summary_truncates(self):
+        report = SelfCheckReport(
+            instances=1, failures=[f"failure {i}" for i in range(30)]
+        )
+        assert "and 10 more" in report.summary()
+
+
+class TestCli:
+    def test_selfcheck_command(self, capsys):
+        assert main(
+            ["selfcheck", "--instances", "3", "--seed", "4", "--max-relations", "5"]
+        ) == 0
+        assert "self-check passed" in capsys.readouterr().out
