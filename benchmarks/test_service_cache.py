@@ -1,0 +1,112 @@
+"""Service-cache bench: batch throughput with the plan cache on vs. off.
+
+The workload is the paper's star topology (Figure 10's shape) as a
+repetitive service workload: a small pool of distinct star queries,
+each resubmitted many times under random relabelings. With the cache
+on, isomorphic repeats cost a fingerprint plus a plan remap; "off" is
+modeled by clearing the cache after every request, so each one pays
+the full DP.
+
+Besides the pytest-benchmark timings, ``test_cache_speedup_record``
+emits a JSON-safe record rendered with the same
+``repro.bench.reporting.render_table`` helper the other suites use.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.bench.reporting import render_table
+from repro.bench.timer import measure_seconds
+from repro.catalog.synthetic import random_catalog
+from repro.graph.generators import star_graph
+from repro.service import PlanRequest, PlanService
+
+N_RELATIONS = 10
+UNIQUE_QUERIES = 5
+REQUESTS = 40
+
+
+def build_requests(seed: int = 21):
+    pool = []
+    for index in range(UNIQUE_QUERIES):
+        rng = random.Random(seed + index)
+        pool.append(
+            (star_graph(N_RELATIONS, rng=rng), random_catalog(N_RELATIONS, rng))
+        )
+    rng = random.Random(seed)
+    requests = []
+    for _ in range(REQUESTS):
+        graph, catalog = pool[rng.randrange(UNIQUE_QUERIES)]
+        permutation = list(range(N_RELATIONS))
+        rng.shuffle(permutation)
+        requests.append(
+            PlanRequest(
+                graph=graph.relabelled(permutation),
+                catalog=catalog.relabelled(permutation),
+            )
+        )
+    return requests
+
+
+def run_batch(cache_enabled: bool):
+    requests = build_requests()
+
+    def action():
+        with PlanService(cache_capacity=64, workers=2) as service:
+            if cache_enabled:
+                service.plan_batch(requests)
+            else:
+                for request in requests:
+                    service.plan_request(request)
+                    service.clear_cache()
+
+    return action
+
+
+@pytest.mark.parametrize("cache_enabled", [True, False], ids=["on", "off"])
+@pytest.mark.benchmark(group="service-cache-star-n10")
+def test_service_batch_throughput(benchmark, cache_enabled, pedantic_kwargs):
+    benchmark.pedantic(run_batch(cache_enabled), **pedantic_kwargs)
+
+
+@pytest.mark.benchmark(group="service-cache-record")
+def test_cache_speedup_record(benchmark, capsys):
+    def run():
+        return {
+            "on": measure_seconds(run_batch(True), min_total_seconds=0.05),
+            "off": measure_seconds(run_batch(False), min_total_seconds=0.05),
+        }
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    record = {
+        "kind": "service_cache_benchmark",
+        "topology": "star",
+        "n_relations": N_RELATIONS,
+        "requests": REQUESTS,
+        "unique_queries": UNIQUE_QUERIES,
+        "seconds_cache_on": times["on"],
+        "seconds_cache_off": times["off"],
+        "throughput_cache_on": REQUESTS / times["on"],
+        "throughput_cache_off": REQUESTS / times["off"],
+        "speedup": times["off"] / times["on"],
+    }
+    # the record is JSON-safe and renders with the shared table helper
+    encoded = json.loads(json.dumps(record))
+    assert encoded == record
+    table = render_table(
+        ["cache", "seconds", "plans/sec"],
+        [
+            ["on", record["seconds_cache_on"], record["throughput_cache_on"]],
+            ["off", record["seconds_cache_off"], record["throughput_cache_off"]],
+        ],
+    )
+    with capsys.disabled():
+        print()
+        print(table)
+        print(f"speedup (off/on): {record['speedup']:.2f}x")
+    # a warm cache must beat rerunning the DP for every request
+    assert record["speedup"] > 1.0

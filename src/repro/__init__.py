@@ -58,6 +58,7 @@ from repro.errors import (
     OptimizerError,
     PlanError,
     ReproError,
+    ServiceError,
     UnknownRelationError,
     WorkloadError,
 )
@@ -74,6 +75,7 @@ from repro.graph import (
     star_graph,
 )
 from repro.plans import JoinTree, render_indented, render_inline, validate_plan
+from repro.service import PlanCache, PlanRequest, PlanResponse, PlanService
 
 __version__ = "1.0.0"
 
@@ -128,6 +130,11 @@ __all__ = [
     "render_inline",
     "render_indented",
     "validate_plan",
+    # service layer
+    "PlanService",
+    "PlanRequest",
+    "PlanResponse",
+    "PlanCache",
     # errors
     "ReproError",
     "GraphError",
@@ -139,4 +146,5 @@ __all__ = [
     "EmptyQueryError",
     "CatalogError",
     "WorkloadError",
+    "ServiceError",
 ]

@@ -123,6 +123,24 @@ class Catalog:
         except KeyError:
             raise CatalogError(f"no relation named {name!r}") from None
 
+    def relabelled(self, new_of_old: Sequence[int]) -> "Catalog":
+        """Return a catalog with relations renamed by a permutation.
+
+        ``new_of_old[old_index]`` gives the new index of each relation,
+        mirroring :meth:`repro.graph.querygraph.QueryGraph.relabelled`
+        so a (graph, catalog) pair can be permuted in lock-step — the
+        service layer does this to optimize queries in canonical
+        numbering.
+        """
+        if sorted(new_of_old) != list(range(len(self._stats))):
+            raise CatalogError(
+                "relabelling must be a permutation of 0..n-1"
+            )
+        relabeled: list[RelationStats | None] = [None] * len(self._stats)
+        for old_index, new_index in enumerate(new_of_old):
+            relabeled[new_index] = self._stats[old_index]
+        return Catalog(entry for entry in relabeled if entry is not None)
+
     def cardinality(self, index: int) -> float:
         """Row-count estimate of relation ``index``."""
         return self[index].cardinality

@@ -6,10 +6,16 @@
     python -m repro count    --topology chain -n 12
     python -m repro table    --figure 3
     python -m repro bench    --figure 10 --budget 500000
+    python -m repro serve-batch --topology star -n 10 --requests 200 --repeat-ratio 0.7
+    python -m repro stats
 
 ``optimize`` plans one query and prints the tree; ``count`` prints the
 analytical and measured counters; ``table`` regenerates Figure 3;
-``bench`` runs the timing experiments of Figures 8-12.
+``bench`` runs the timing experiments of Figures 8-12; ``serve-batch``
+replays a workload through the caching :class:`~repro.service.PlanService`
+and reports hit rates and latency percentiles; ``stats`` renders a
+metrics snapshot (from a ``--metrics`` JSON file or a built-in demo
+workload).
 """
 
 from __future__ import annotations
@@ -107,6 +113,73 @@ def build_parser() -> argparse.ArgumentParser:
     selfcheck.add_argument("--instances", type=int, default=25)
     selfcheck.add_argument("--seed", type=int, default=None)
     selfcheck.add_argument("--max-relations", type=int, default=8)
+
+    serve = commands.add_parser(
+        "serve-batch",
+        help="replay a workload through the caching plan service",
+    )
+    serve.add_argument(
+        "--topology",
+        choices=(*PAPER_TOPOLOGIES, "mixed"),
+        default="star",
+        help="query shape, or 'mixed' for a random shape per distinct query",
+    )
+    serve.add_argument("-n", "--relations", type=int, default=10)
+    serve.add_argument(
+        "--requests", type=int, default=200, help="total requests to submit"
+    )
+    serve.add_argument(
+        "--repeat-ratio",
+        type=float,
+        default=0.7,
+        help="fraction of requests repeating an earlier query "
+        "(resubmitted under a random relabeling)",
+    )
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument(
+        "--algorithm", choices=sorted(ALGORITHMS), default="adaptive"
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request deadline; expired requests degrade to the "
+        "greedy fallback instead of failing",
+    )
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument(
+        "--concurrency", type=int, default=8, help="batch submission threads"
+    )
+    serve.add_argument("--cache-capacity", type=int, default=1024)
+    serve.add_argument("--ttl-seconds", type=float, default=None)
+    serve.add_argument(
+        "--workload",
+        default=None,
+        metavar="FILE",
+        help="JSON workload: a list of {topology, n, seed[, count]} "
+        "entries replayed instead of the generated mix",
+    )
+    serve.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the final metrics snapshot as JSON",
+    )
+
+    stats = commands.add_parser(
+        "stats", help="render a plan-service metrics snapshot"
+    )
+    stats.add_argument(
+        "--metrics",
+        default=None,
+        metavar="FILE",
+        help="snapshot JSON written by 'serve-batch --metrics-out'; "
+        "without it a small demo workload is run first",
+    )
+    stats.add_argument(
+        "--demo-requests", type=int, default=60, help="demo workload size"
+    )
+    stats.add_argument("--json", action="store_true", help="emit raw JSON")
     return parser
 
 
@@ -216,6 +289,164 @@ def _command_selfcheck(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _build_service_workload(args: argparse.Namespace) -> list:
+    """Materialize the serve-batch workload as PlanRequest objects."""
+    import json
+
+    from repro.errors import WorkloadError
+    from repro.service import PlanRequest
+
+    rng = random.Random(args.seed)
+    deadline = None if args.deadline_ms is None else args.deadline_ms / 1000.0
+
+    def one_query(topology: str, n: int, seed: int):
+        query_rng = random.Random(seed)
+        if topology == "cycle" and n < 3:
+            topology = "chain"
+        graph = graph_for_topology(topology, n, rng=query_rng)
+        catalog = random_catalog(n, query_rng)
+        return graph, catalog
+
+    base: list = []
+    specs: list[int] = []
+    if args.workload is not None:
+        try:
+            with open(args.workload, encoding="utf-8") as handle:
+                entries = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            raise WorkloadError(
+                f"cannot read workload file {args.workload!r}: {error}"
+            ) from error
+        if not isinstance(entries, list) or not entries:
+            raise WorkloadError(
+                f"workload file {args.workload!r} must hold a non-empty JSON list"
+            )
+        for entry in entries:
+            base.append(
+                one_query(
+                    entry.get("topology", args.topology),
+                    int(entry.get("n", args.relations)),
+                    int(entry.get("seed", len(base))),
+                )
+            )
+            specs.extend([len(base) - 1] * int(entry.get("count", 1)))
+    else:
+        if args.requests < 1:
+            raise WorkloadError(f"need at least one request, got {args.requests}")
+        if not 0.0 <= args.repeat_ratio < 1.0:
+            raise WorkloadError(
+                f"repeat-ratio must be in [0, 1), got {args.repeat_ratio}"
+            )
+        unique = max(1, round(args.requests * (1.0 - args.repeat_ratio)))
+        for index in range(unique):
+            topology = (
+                rng.choice(PAPER_TOPOLOGIES)
+                if args.topology == "mixed"
+                else args.topology
+            )
+            base.append(one_query(topology, args.relations, args.seed + index))
+        specs = list(range(unique)) + [
+            rng.randrange(unique) for _ in range(args.requests - unique)
+        ]
+        rng.shuffle(specs)
+
+    requests = []
+    for index in specs:
+        graph, catalog = base[index]
+        # Resubmit under a random relabeling: repeats only hit the cache
+        # through the canonical fingerprint, never by accident.
+        permutation = list(range(graph.n_relations))
+        rng.shuffle(permutation)
+        requests.append(
+            PlanRequest(
+                graph=graph.relabelled(permutation),
+                catalog=catalog.relabelled(permutation),
+                deadline_seconds=deadline,
+            )
+        )
+    return requests
+
+
+def _command_serve_batch(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.service import PlanService, render_snapshot
+
+    requests = _build_service_workload(args)
+    with PlanService(
+        algorithm=args.algorithm,
+        cache_capacity=args.cache_capacity,
+        ttl_seconds=args.ttl_seconds,
+        workers=args.workers,
+    ) as service:
+        started = time.perf_counter()
+        responses = service.plan_batch(requests, concurrency=args.concurrency)
+        elapsed = time.perf_counter() - started
+        stats = service.cache_stats()
+        snapshot = service.snapshot()
+
+    degraded = sum(response.degraded for response in responses)
+    throughput = len(responses) / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"planned {len(responses)} requests "
+        f"({stats.misses} optimized, {degraded} degraded) "
+        f"in {elapsed:.3f}s — {throughput:,.0f} plans/sec"
+    )
+    print(
+        f"cache hit-rate: {stats.hit_rate:.3f} "
+        f"(hits={stats.hits}, misses={stats.misses}, "
+        f"coalesced={stats.coalesced}, evictions={stats.evictions})"
+    )
+    print()
+    print(render_snapshot(snapshot))
+    if args.metrics_out is not None:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+        print(f"\nmetrics snapshot written to {args.metrics_out}")
+    return 0
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import render_snapshot
+
+    if args.metrics is not None:
+        from repro.errors import ServiceError
+
+        try:
+            with open(args.metrics, encoding="utf-8") as handle:
+                snapshot = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            raise ServiceError(
+                f"cannot read metrics snapshot {args.metrics!r}: {error}"
+            ) from error
+        source = args.metrics
+    else:
+        from repro.service import PlanRequest, PlanService
+
+        rng = random.Random(11)
+        with PlanService(cache_capacity=256) as service:
+            requests = []
+            for _ in range(max(1, args.demo_requests)):
+                seed = rng.randrange(8)  # small pool => plenty of repeats
+                query_rng = random.Random(seed)
+                graph = graph_for_topology("star", 8, rng=query_rng)
+                catalog = random_catalog(8, query_rng)
+                requests.append(PlanRequest(graph=graph, catalog=catalog))
+            service.plan_batch(requests)
+            snapshot = service.snapshot()
+        source = f"built-in demo workload ({len(requests)} star queries)"
+
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        print(f"metrics snapshot — {source}\n")
+        print(render_snapshot(snapshot))
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -228,6 +459,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "space": _command_space,
         "parse": _command_parse,
         "selfcheck": _command_selfcheck,
+        "serve-batch": _command_serve_batch,
+        "stats": _command_stats,
     }
     try:
         return handlers[args.command](args)

@@ -56,6 +56,7 @@ __all__ = [
     "IterativeDP",
     "AdaptiveOptimizer",
     "ALGORITHMS",
+    "FALLBACK_ALGORITHMS",
     "make_algorithm",
     "optimize",
 ]
@@ -77,6 +78,14 @@ ALGORITHMS: dict[str, type[JoinOrderer]] = {
     "idp": IterativeDP,
     "adaptive": AdaptiveOptimizer,
 }
+
+
+#: Heuristics safe to run under a (near-)expired deadline: each is
+#: polynomial, allocation-light, and produces a valid cross-product-free
+#: bushy tree on any connected graph (which is why IKKBZ, acyclic-only,
+#: is absent). The service layer (:mod:`repro.service`) restricts its
+#: timeout fallback to these.
+FALLBACK_ALGORITHMS: tuple[str, ...] = ("goo", "quickpick")
 
 
 def make_algorithm(name: str) -> JoinOrderer:

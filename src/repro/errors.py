@@ -19,6 +19,7 @@ __all__ = [
     "EmptyQueryError",
     "CatalogError",
     "WorkloadError",
+    "ServiceError",
 ]
 
 
@@ -65,3 +66,13 @@ class CatalogError(ReproError):
 
 class WorkloadError(ReproError):
     """A synthetic workload specification is invalid."""
+
+
+class ServiceError(ReproError):
+    """The plan service was misconfigured or misused.
+
+    Raised for invalid service configuration (unknown fallback
+    algorithm, non-positive cache capacity) and for requests submitted
+    to a closed service — never for deadline expiry, which degrades to
+    a heuristic plan instead of failing.
+    """

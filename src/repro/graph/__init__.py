@@ -7,6 +7,7 @@ structure.
 """
 
 from repro.graph.builder import QueryGraphBuilder
+from repro.graph.canonical import canonical_order
 from repro.graph.counting import (
     count_ccp,
     count_ccp_brute_force,
@@ -44,6 +45,7 @@ __all__ = [
     "JoinEdge",
     "QueryGraph",
     "QueryGraphBuilder",
+    "canonical_order",
     "chain_graph",
     "cycle_graph",
     "star_graph",

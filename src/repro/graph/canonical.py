@@ -1,0 +1,219 @@
+"""Canonical relabeling of query graphs.
+
+The plan cache (:mod:`repro.service`) keys entries by query *shape and
+statistics*, not by the accidental numbering of relations: two requests
+whose graphs are isomorphic (same topology, same selectivities, same
+cardinalities, possibly permuted indices) should share one cache entry.
+That requires a labeling of the nodes that depends only on the graph's
+structure, never on the indices it arrived with.
+
+:func:`canonical_order` computes such a labeling with the standard
+two-step recipe:
+
+1. *Color refinement* (1-dimensional Weisfeiler-Lehman): every node
+   starts with a color derived from its degree, its incident edge
+   weights, and an optional caller-supplied key (the service passes
+   quantized cardinalities); colors are then repeatedly refined by the
+   multiset of (neighbor color, edge weight) pairs until stable. Nodes
+   that end with different colors are provably non-equivalent.
+2. *Canonical BFS*: a breadth-first numbering is grown from every node
+   of the minimal color class, expanding frontiers in an order that
+   only consults colors, edge weights and already-assigned positions;
+   the lexicographically smallest resulting encoding wins.
+
+Remaining ties — nodes the refinement cannot distinguish — are broken
+by original index. Such ties almost always mean the nodes are genuinely
+automorphic (any choice yields the same encoding); in the rare
+pathological case where they are not, two isomorphic graphs may land on
+different encodings. That direction is harmless for caching: it costs a
+cache miss, never a wrong answer, because the cache key always encodes
+the full relabeled structure (see ``repro.service.fingerprint``).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Sequence
+
+from repro import bitset
+from repro.errors import GraphError
+from repro.graph.querygraph import QueryGraph
+
+__all__ = ["canonical_order"]
+
+#: Refinement signature: (node color, sorted (neighbor color, edge weight)).
+_Signature = tuple
+
+
+def _compress(signatures: Sequence[_Signature]) -> list[int]:
+    """Replace signatures by their rank among the sorted distinct values.
+
+    The ranks are relabeling-invariant because they derive only from
+    comparisons between signature *values*, never from node indices.
+    """
+    ranks = {signature: rank for rank, signature in enumerate(sorted(set(signatures)))}
+    return [ranks[signature] for signature in signatures]
+
+
+def _refine_colors(
+    n: int,
+    adjacency: Sequence[Sequence[int]],
+    weight: Mapping[tuple[int, int], float],
+    node_keys: Sequence[Hashable],
+) -> list[int]:
+    """Run color refinement to a fixed point; return final node colors."""
+    initial = [
+        (
+            node_keys[v],
+            len(adjacency[v]),
+            tuple(sorted(weight[(v, u)] for u in adjacency[v])),
+        )
+        for v in range(n)
+    ]
+    colors = _compress(initial)
+    for _ in range(n):
+        signatures = [
+            (
+                colors[v],
+                tuple(sorted((colors[u], weight[(v, u)]) for u in adjacency[v])),
+            )
+            for v in range(n)
+        ]
+        refined = _compress(signatures)
+        if refined == colors:
+            break
+        colors = refined
+    return colors
+
+
+def _bfs_order(
+    start: int,
+    adjacency: Sequence[Sequence[int]],
+    weight: Mapping[tuple[int, int], float],
+    colors: Sequence[int],
+) -> list[int]:
+    """Breadth-first numbering from ``start`` using only invariant keys.
+
+    Frontier candidates are ranked by (color, weight of the discovering
+    edge, profile of edges back into the already-numbered prefix); the
+    original index enters only as the final tie-break.
+    """
+    position = {start: 0}
+    order = [start]
+    head = 0
+    while head < len(order):
+        node = order[head]
+        head += 1
+        fresh = [u for u in adjacency[node] if u not in position]
+
+        def rank(u: int) -> tuple:
+            back_edges = tuple(
+                sorted(
+                    (position[w], weight[(u, w)])
+                    for w in adjacency[u]
+                    if w in position
+                )
+            )
+            return (colors[u], weight[(node, u)], back_edges, u)
+
+        fresh.sort(key=rank)
+        for u in fresh:
+            position[u] = len(order)
+            order.append(u)
+    return order
+
+
+def _encoding(
+    order: Sequence[int],
+    graph: QueryGraph,
+    weight: Mapping[tuple[int, int], float],
+    colors: Sequence[int],
+) -> tuple:
+    """Invariant encoding of the graph under one candidate numbering."""
+    position = {old: new for new, old in enumerate(order)}
+    node_part = tuple(colors[old] for old in order)
+    edge_part = tuple(
+        sorted(
+            (
+                min(position[edge.left], position[edge.right]),
+                max(position[edge.left], position[edge.right]),
+                weight[(edge.left, edge.right)],
+            )
+            for edge in graph.edges
+        )
+    )
+    return (node_part, edge_part)
+
+
+def canonical_order(
+    graph: QueryGraph,
+    node_keys: Sequence[Hashable] | None = None,
+    edge_keys: Mapping[tuple[int, int], float] | None = None,
+) -> list[int]:
+    """Return a relabeling-stable node ordering of a connected graph.
+
+    Args:
+        graph: a *connected* query graph.
+        node_keys: optional hashable, mutually comparable per-node keys
+            (e.g. quantized cardinalities) folded into the initial
+            colors; defaults to all-equal keys so only structure and
+            edge weights matter.
+        edge_keys: optional ``(left, right) -> weight`` mapping (one
+            entry per normalized edge suffices); defaults to each
+            edge's selectivity.
+
+    Returns:
+        ``old_of_new``: the list of original indices in canonical
+        order, i.e. ``old_of_new[new_index] = old_index``. Feed its
+        inverse to :meth:`QueryGraph.relabelled` to materialize the
+        canonical twin.
+
+    Raises:
+        GraphError: if the graph is disconnected (no single BFS covers
+            it, and the paper's algorithms reject it anyway).
+    """
+    n = graph.n_relations
+    if n == 1:
+        return [0]
+    if not graph.is_connected:
+        raise GraphError(
+            "canonical_order requires a connected graph; disconnected "
+            "graphs are rejected by every cross-product-free optimizer"
+        )
+    if node_keys is None:
+        node_keys = [0] * n
+    elif len(node_keys) != n:
+        raise GraphError(
+            f"got {len(node_keys)} node keys for {n} relations"
+        )
+
+    weight: dict[tuple[int, int], float] = {}
+    for edge in graph.edges:
+        value = (
+            edge.selectivity
+            if edge_keys is None
+            else edge_keys.get(
+                (edge.left, edge.right),
+                edge_keys.get((edge.right, edge.left), edge.selectivity),
+            )
+        )
+        weight[(edge.left, edge.right)] = value
+        weight[(edge.right, edge.left)] = value
+
+    adjacency = [
+        list(bitset.iter_bits(graph.neighbor_mask(v))) for v in range(n)
+    ]
+    colors = _refine_colors(n, adjacency, weight, node_keys)
+
+    minimal_color = min(colors)
+    best_order: list[int] | None = None
+    best_encoding: tuple | None = None
+    for start in range(n):
+        if colors[start] != minimal_color:
+            continue
+        order = _bfs_order(start, adjacency, weight, colors)
+        encoding = _encoding(order, graph, weight, colors)
+        if best_encoding is None or encoding < best_encoding:
+            best_encoding = encoding
+            best_order = order
+    assert best_order is not None  # at least one node has the minimal color
+    return best_order

@@ -405,6 +405,33 @@ class QueryGraph:
         names = [self._names[old] for old in order]
         return QueryGraph(self._n, edges, names), order
 
+    def canonical_form(self) -> tuple["QueryGraph", list[int]]:
+        """Return an isomorphism-stable relabeling of this graph.
+
+        Two isomorphic graphs — same topology and edge selectivities,
+        indices permuted arbitrarily — produce equal canonical twins
+        (up to relation names, which are carried along as metadata but
+        ignored by the labeling). The ordering is computed by color
+        refinement plus canonical BFS; see
+        :mod:`repro.graph.canonical` for the algorithm and its (rare,
+        cache-miss-only) tie-break caveat.
+
+        Returns:
+            A pair ``(graph, old_of_new)`` exactly like
+            :meth:`bfs_renumbered`: ``old_of_new[new_index]`` is the
+            original index of the relation now called ``new_index``.
+
+        Raises:
+            GraphError: if the graph is disconnected.
+        """
+        from repro.graph.canonical import canonical_order
+
+        order = canonical_order(self)
+        new_of_old = [0] * self._n
+        for new_index, old_index in enumerate(order):
+            new_of_old[old_index] = new_index
+        return self.relabelled(new_of_old), order
+
     def relabelled(self, new_of_old: Sequence[int]) -> "QueryGraph":
         """Return an isomorphic graph with nodes renamed by a permutation.
 

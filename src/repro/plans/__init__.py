@@ -14,6 +14,7 @@ from repro.plans.visitors import (
     iter_joins,
     iter_leaves,
     iter_nodes,
+    relabel_plan,
     render_indented,
     render_inline,
     validate_plan,
@@ -28,6 +29,7 @@ __all__ = [
     "iter_joins",
     "render_inline",
     "render_indented",
+    "relabel_plan",
     "validate_plan",
     "PlanShape",
     "classify_plan_shape",

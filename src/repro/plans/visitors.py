@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterator, Sequence
 
 from repro import bitset
 from repro.errors import CrossProductError, PlanError
@@ -15,6 +15,7 @@ __all__ = [
     "iter_joins",
     "render_inline",
     "render_indented",
+    "relabel_plan",
     "validate_plan",
 ]
 
@@ -78,6 +79,37 @@ def render_indented(plan: JoinTree, indent: str = "  ") -> str:
 
     visit(plan, 0)
     return "\n".join(lines)
+
+
+def relabel_plan(
+    plan: JoinTree,
+    new_of_old: Sequence[int],
+    names: Sequence[str] | None = None,
+) -> JoinTree:
+    """Rebuild ``plan`` with every relation index sent through a permutation.
+
+    ``new_of_old[old_index]`` gives the index each leaf should carry in
+    the returned tree; ``names`` (indexed by *new* index) overrides the
+    leaf names, which otherwise follow the leaves unchanged. Costs,
+    cardinalities and operators are preserved verbatim — relabeling a
+    plan never re-prices it. The service layer uses this to translate
+    plans between a query's request numbering and the canonical
+    numbering its cache entries are stored under.
+    """
+    if plan.is_leaf:
+        index = new_of_old[plan.relation_index]
+        name = names[index] if names is not None else plan.name
+        return JoinTree.leaf(
+            index, cardinality=plan.cardinality, cost=plan.cost, name=name
+        )
+    assert plan.left is not None and plan.right is not None
+    return JoinTree.join(
+        relabel_plan(plan.left, new_of_old, names),
+        relabel_plan(plan.right, new_of_old, names),
+        cardinality=plan.cardinality,
+        cost=plan.cost,
+        operator=plan.operator,
+    )
 
 
 def validate_plan(

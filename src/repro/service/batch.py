@@ -1,0 +1,98 @@
+"""Batch planning with in-flight fingerprint deduplication.
+
+A workload replay, a prepared-statement warm-up, or a burst of
+dashboard queries frequently contains the *same* query many times —
+often under different relation numberings. :func:`plan_batch`
+fingerprints every request up front, groups them by cache key, and
+optimizes each distinct query exactly once:
+
+* one *leader* request per group is planned concurrently on a bounded
+  submission pool (the service's worker pool does the actual DP work);
+* the remaining *followers* are then answered from the entry the
+  leader just produced — each translated into its own request's
+  numbering, since group members may be different relabelings of the
+  same canonical query.
+
+Follower responses go through the normal service path, so cache
+hit/miss counters reflect the deduplication honestly: a batch of N
+identical queries records 1 miss and N-1 hits.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.service.optimizer_service import (
+        PlanRequest,
+        PlanResponse,
+        PlanService,
+    )
+
+__all__ = ["plan_batch"]
+
+#: Submission-pool bound: enough to keep a default service (4 workers)
+#: saturated, small enough not to spawn a thread per request.
+DEFAULT_CONCURRENCY = 8
+
+
+def plan_batch(
+    service: "PlanService",
+    requests: Sequence["PlanRequest"],
+    *,
+    concurrency: int | None = None,
+) -> "list[PlanResponse]":
+    """Plan ``requests`` through ``service``, one optimization per distinct query.
+
+    Args:
+        service: the :class:`~repro.service.optimizer_service.PlanService`
+            to plan through.
+        requests: any number of requests; duplicates (by fingerprint
+            and algorithm) are detected automatically.
+        concurrency: leader-submission threads; defaults to
+            ``min(DEFAULT_CONCURRENCY, number of distinct queries)``.
+
+    Returns:
+        Responses aligned index-by-index with ``requests``.
+    """
+    if not requests:
+        return []
+    metrics = service.metrics
+    metrics.counter("batch_requests").increment(len(requests))
+
+    fingerprints = [
+        service.fingerprint_of(request.graph, request.catalog)
+        for request in requests
+    ]
+    groups: "OrderedDict[str, list[int]]" = OrderedDict()
+    for index, (request, fingerprint) in enumerate(zip(requests, fingerprints)):
+        groups.setdefault(service.cache_key_of(request, fingerprint), []).append(index)
+    metrics.counter("batch_deduplicated").increment(len(requests) - len(groups))
+
+    responses: "list[PlanResponse | None]" = [None] * len(requests)
+    workers = concurrency if concurrency is not None else DEFAULT_CONCURRENCY
+    workers = max(1, min(workers, len(groups)))
+    with ThreadPoolExecutor(
+        max_workers=workers, thread_name_prefix="plan-batch"
+    ) as pool:
+        leader_jobs = {
+            key: pool.submit(
+                service.plan_prepared,
+                requests[members[0]],
+                fingerprints[members[0]],
+            )
+            for key, members in groups.items()
+        }
+        for key, members in groups.items():
+            responses[members[0]] = leader_jobs[key].result()
+
+    # Followers: the leader's entry is now cached (unless it degraded),
+    # so these resolve as cache hits — microseconds each, no DP rerun.
+    for members in groups.values():
+        for index in members[1:]:
+            responses[index] = service.plan_prepared(
+                requests[index], fingerprints[index]
+            )
+    return [response for response in responses if response is not None]

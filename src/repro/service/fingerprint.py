@@ -1,0 +1,136 @@
+"""Canonical cache keys for (query graph, catalog) pairs.
+
+The plan cache must recognize "the same query" across three kinds of
+surface variation:
+
+* **Relabeling** — the same join shape submitted with relations in a
+  different order. Handled by canonical relabeling
+  (:func:`repro.graph.canonical.canonical_order`), seeded with the
+  quantized statistics so that statistically distinct relations never
+  swap places.
+* **Statistical noise** — cardinality and selectivity estimates that
+  differ in digits no cost model meaningfully distinguishes (a 10 000.0
+  row estimate vs 10 001.7). Handled by quantizing both to a fixed
+  number of significant digits before they enter the key.
+* **Cosmetics** — relation names and predicate text, which never
+  affect plan shape or cost. Simply excluded from the key.
+
+The key is *sound by construction*: it encodes the complete relabeled
+edge structure plus quantized statistics, so two queries that share a
+key are guaranteed to be isomorphic up to quantization — the cached
+plan (stored in canonical numbering, translated back through
+:attr:`Fingerprint.old_of_new`) is a valid, identically-shaped plan for
+both. The reverse direction is best-effort: pathological automorphism
+ties may give isomorphic queries different keys, costing a cache miss
+but never a wrong plan.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.catalog.catalog import Catalog
+from repro.graph.canonical import canonical_order
+from repro.graph.querygraph import QueryGraph
+
+__all__ = ["Fingerprint", "compute_fingerprint", "quantize"]
+
+#: Significant digits kept of each cardinality / selectivity. Three
+#: digits keeps estimates that genuinely differ apart (synthetic
+#: catalogs draw log-uniformly, so collisions are ~1e-3 per pair) while
+#: merging estimation noise.
+DEFAULT_CARD_DIGITS = 3
+DEFAULT_SEL_DIGITS = 3
+
+
+def quantize(value: float, digits: int) -> float:
+    """Round ``value`` to ``digits`` significant decimal digits."""
+    return float(f"{value:.{digits}g}")
+
+
+@dataclass(frozen=True, slots=True)
+class Fingerprint:
+    """A canonical, relabeling-stable identity of one optimization request.
+
+    Attributes:
+        key: hex digest identifying the canonical (graph, stats) pair;
+            the cache key.
+        n_relations: number of relations in the query.
+        old_of_new: permutation sending canonical indices back to the
+            request's indices (``old_of_new[canonical] = requested``).
+        new_of_old: the inverse permutation
+            (``new_of_old[requested] = canonical``).
+    """
+
+    key: str
+    n_relations: int
+    old_of_new: tuple[int, ...] = field(repr=False)
+    new_of_old: tuple[int, ...] = field(repr=False)
+
+    def canonical_instance(
+        self, graph: QueryGraph, catalog: Catalog | None
+    ) -> tuple[QueryGraph, Catalog | None]:
+        """Permute a (graph, catalog) pair into canonical numbering.
+
+        ``graph``/``catalog`` must be the pair this fingerprint was
+        computed from (or an identically-shaped one).
+        """
+        new_of_old = list(self.new_of_old)
+        canonical_graph = graph.relabelled(new_of_old)
+        canonical_catalog = (
+            catalog.relabelled(new_of_old) if catalog is not None else None
+        )
+        return canonical_graph, canonical_catalog
+
+
+def compute_fingerprint(
+    graph: QueryGraph,
+    catalog: Catalog | None = None,
+    *,
+    card_digits: int = DEFAULT_CARD_DIGITS,
+    sel_digits: int = DEFAULT_SEL_DIGITS,
+) -> Fingerprint:
+    """Fingerprint a query: canonical relabeling + quantized statistics.
+
+    Args:
+        graph: a connected query graph.
+        catalog: optional statistics; without one, only the shape and
+            selectivities enter the key (all cost models then see
+            uniform default cardinalities, so this stays sound).
+        card_digits / sel_digits: quantization granularity.
+    """
+    n = graph.n_relations
+    quantized_edges: dict[tuple[int, int], float] = {
+        (edge.left, edge.right): quantize(edge.selectivity, sel_digits)
+        for edge in graph.edges
+    }
+    if catalog is not None:
+        node_keys: list[float] = [
+            quantize(catalog.cardinality(index), card_digits) for index in range(n)
+        ]
+    else:
+        node_keys = [0.0] * n
+
+    order = canonical_order(graph, node_keys=node_keys, edge_keys=quantized_edges)
+    new_of_old = [0] * n
+    for new_index, old_index in enumerate(order):
+        new_of_old[old_index] = new_index
+
+    canonical_edges = sorted(
+        (
+            min(new_of_old[left], new_of_old[right]),
+            max(new_of_old[left], new_of_old[right]),
+            selectivity,
+        )
+        for (left, right), selectivity in quantized_edges.items()
+    )
+    canonical_cards = tuple(node_keys[old_index] for old_index in order)
+    payload = repr((n, canonical_edges, canonical_cards)).encode()
+    key = hashlib.sha256(payload).hexdigest()
+    return Fingerprint(
+        key=key,
+        n_relations=n,
+        old_of_new=tuple(order),
+        new_of_old=tuple(new_of_old),
+    )

@@ -1,0 +1,203 @@
+"""Lightweight service metrics: counters and latency histograms.
+
+No third-party dependencies and no background threads — just
+lock-guarded counters and bounded latency reservoirs, cheap enough to
+sit on the request hot path. A :class:`MetricsRegistry` owns named
+instruments and renders point-in-time snapshots as a plain dict
+(JSON-ready) or a monospace table (for the CLI ``stats`` command).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from typing import Mapping
+
+__all__ = [
+    "Counter",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "render_snapshot",
+]
+
+#: Samples retained per histogram. Percentiles are computed over a
+#: sliding window of the most recent observations; 8192 samples bound
+#: both memory and snapshot sort cost while keeping tail estimates
+#: stable for the workloads the CLI generates.
+DEFAULT_WINDOW = 8192
+
+
+class Counter:
+    """A monotonically increasing, thread-safe counter."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1) to the counter."""
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        """Current count."""
+        with self._lock:
+            return self._value
+
+
+class LatencyHistogram:
+    """Latency summary over a sliding window of observations.
+
+    Records durations in seconds; reports milliseconds (the natural
+    unit for optimizer latencies). Tracks exact count/mean/min/max over
+    *all* observations and percentiles over the retained window.
+    """
+
+    __slots__ = ("_lock", "_samples", "_count", "_sum", "_min", "_max")
+
+    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
+        self._lock = threading.Lock()
+        self._samples: deque[float] = deque(maxlen=window)
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one duration (in seconds)."""
+        with self._lock:
+            self._samples.append(seconds)
+            self._count += 1
+            self._sum += seconds
+            self._min = min(self._min, seconds)
+            self._max = max(self._max, seconds)
+
+    @property
+    def count(self) -> int:
+        """Total number of observations ever recorded."""
+        with self._lock:
+            return self._count
+
+    def summary(self) -> dict[str, float | int]:
+        """Point-in-time summary with p50/p95/p99 in milliseconds."""
+        with self._lock:
+            count = self._count
+            if count == 0:
+                return {"count": 0}
+            ordered = sorted(self._samples)
+            mean = self._sum / count
+            minimum, maximum = self._min, self._max
+        return {
+            "count": count,
+            "mean_ms": mean * 1000.0,
+            "min_ms": minimum * 1000.0,
+            "p50_ms": _percentile(ordered, 0.50) * 1000.0,
+            "p95_ms": _percentile(ordered, 0.95) * 1000.0,
+            "p99_ms": _percentile(ordered, 0.99) * 1000.0,
+            "max_ms": maximum * 1000.0,
+        }
+
+
+def _percentile(ordered: list[float], fraction: float) -> float:
+    """Nearest-rank percentile over an ascending sample list."""
+    if not ordered:
+        return 0.0
+    rank = max(0, min(len(ordered) - 1, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+class MetricsRegistry:
+    """Named counters and histograms with snapshot rendering.
+
+    Instruments are created on first use, so call sites read as
+    ``metrics.counter("requests").increment()``.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, LatencyHistogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created if needed."""
+        with self._lock:
+            if name not in self._counters:
+                self._counters[name] = Counter()
+            return self._counters[name]
+
+    def histogram(self, name: str) -> LatencyHistogram:
+        """The histogram called ``name``, created if needed."""
+        with self._lock:
+            if name not in self._histograms:
+                self._histograms[name] = LatencyHistogram()
+            return self._histograms[name]
+
+    def snapshot(self) -> dict:
+        """All instruments as a plain, JSON-serializable dict."""
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {
+                name: counter.value for name, counter in sorted(counters.items())
+            },
+            "histograms": {
+                name: histogram.summary()
+                for name, histogram in sorted(histograms.items())
+            },
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """The snapshot as a JSON document."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+
+def render_snapshot(snapshot: Mapping) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` dict as monospace tables."""
+    from repro.bench.reporting import render_table
+
+    sections: list[str] = []
+    cache: Mapping = snapshot.get("cache", {})
+    if cache:
+        sections.append(
+            "plan cache\n"
+            + render_table(
+                ["stat", "value"],
+                [
+                    [
+                        name,
+                        f"{value:.3f}" if name == "hit_rate" else value,
+                    ]
+                    for name, value in cache.items()
+                ],
+            )
+        )
+    counters: Mapping[str, int] = snapshot.get("counters", {})
+    if counters:
+        sections.append(
+            "counters\n"
+            + render_table(
+                ["name", "value"], [[name, value] for name, value in counters.items()]
+            )
+        )
+    histograms: Mapping[str, Mapping] = snapshot.get("histograms", {})
+    populated = {
+        name: summary for name, summary in histograms.items() if summary.get("count")
+    }
+    if populated:
+        columns = ("count", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "max_ms")
+        sections.append(
+            "latency histograms\n"
+            + render_table(
+                ["name", *columns],
+                [
+                    [name, *(summary.get(column) for column in columns)]
+                    for name, summary in populated.items()
+                ],
+            )
+        )
+    return "\n\n".join(sections) if sections else "no metrics recorded"

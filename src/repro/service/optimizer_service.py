@@ -1,0 +1,417 @@
+"""The plan service: a long-lived, caching optimizer front door.
+
+:class:`PlanService` turns the one-shot optimizer library into
+something a query engine can keep resident and hammer:
+
+* every request is **fingerprinted** (canonical relabeling + quantized
+  stats) and answered from the :class:`~repro.service.plancache.PlanCache`
+  when an equivalent query was planned before — cached plans are stored
+  in canonical numbering and translated back to the request's
+  numbering, so isomorphic queries share one entry;
+* misses run on a bounded :class:`~concurrent.futures.ThreadPoolExecutor`
+  so a burst of cold queries cannot monopolize the caller's thread, and
+  concurrent identical misses are **coalesced** into one optimization
+  (the cache's stampede guard);
+* every request may carry a **deadline**; when the exact DP cannot
+  answer in time the service *degrades* instead of failing — it runs
+  the configured polynomial fallback (GOO or QuickPick, see
+  :data:`repro.core.FALLBACK_ALGORITHMS`) on the caller's thread,
+  returns its plan flagged ``degraded=True``, and lets the DP finish in
+  the background so the *next* request hits the cache;
+* counters and latency histograms record all of the above
+  (:class:`~repro.service.metrics.MetricsRegistry`).
+
+Caching never changes what a plan costs: a hit returns a plan with
+exactly the cost a fresh optimization of the cached instance produced.
+The only approximation is the fingerprint's stat quantization — two
+queries whose statistics agree to ``card_digits``/``sel_digits``
+significant digits deliberately share an entry.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+
+from repro.catalog.catalog import Catalog
+from repro.core import ALGORITHMS, FALLBACK_ALGORITHMS, make_algorithm
+from repro.errors import ServiceError
+from repro.graph.querygraph import QueryGraph
+from repro.plans.jointree import JoinTree
+from repro.plans.visitors import relabel_plan
+from repro.service.fingerprint import (
+    DEFAULT_CARD_DIGITS,
+    DEFAULT_SEL_DIGITS,
+    Fingerprint,
+    compute_fingerprint,
+)
+from repro.service.metrics import MetricsRegistry
+from repro.service.plancache import CacheStats, PlanCache
+
+__all__ = ["PlanRequest", "PlanResponse", "PlanService"]
+
+
+@dataclass(frozen=True, slots=True)
+class PlanRequest:
+    """One optimization request.
+
+    Attributes:
+        graph: connected query graph in the caller's numbering.
+        catalog: optional statistics aligned with ``graph``.
+        deadline_seconds: per-request budget; ``None`` inherits the
+            service default (which may also be ``None`` = unbounded).
+        algorithm: registry name overriding the service default.
+    """
+
+    graph: QueryGraph
+    catalog: Catalog | None = None
+    deadline_seconds: float | None = None
+    algorithm: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class PlanResponse:
+    """What the service returns for one request.
+
+    Attributes:
+        plan: join tree in the *request's* numbering.
+        algorithm: name of the algorithm that produced the plan.
+        cache_hit: the plan came from the cache or from a computation
+            another request had already started.
+        degraded: the deadline expired and ``plan`` is the fallback
+            heuristic's answer, not the exact DP optimum.
+        fingerprint_key: the request's canonical identity (cache key
+            sans algorithm prefix).
+        elapsed_seconds: wall-clock time this request spent in the
+            service, queueing and waiting included.
+        optimize_seconds: time the underlying optimization itself took
+            (the cached value for hits; the fallback's time when
+            degraded).
+    """
+
+    plan: JoinTree
+    algorithm: str
+    cache_hit: bool
+    degraded: bool
+    fingerprint_key: str
+    elapsed_seconds: float
+    optimize_seconds: float
+
+    @property
+    def cost(self) -> float:
+        """Cost of the returned plan."""
+        return self.plan.cost
+
+
+@dataclass(frozen=True, slots=True)
+class _CacheEntry:
+    """A cached optimization, stored in canonical numbering."""
+
+    canonical_plan: JoinTree = field(repr=False)
+    algorithm: str
+    optimize_seconds: float
+
+
+class PlanService:
+    """Long-lived plan-caching optimizer service.
+
+    Args:
+        algorithm: default algorithm registry name (``adaptive`` picks
+            DPsub on near-cliques, DPccp elsewhere — the paper's own
+            recommendation).
+        fallback: heuristic to run when a deadline expires; one of
+            :data:`repro.core.FALLBACK_ALGORITHMS`.
+        cache_capacity / ttl_seconds: plan cache bounds.
+        workers: optimizer thread-pool size.
+        default_deadline_seconds: deadline applied to requests that do
+            not carry their own; ``None`` means unbounded.
+        card_digits / sel_digits: fingerprint quantization.
+
+    The service is a context manager; :meth:`close` drains the worker
+    pool.
+    """
+
+    def __init__(
+        self,
+        algorithm: str = "adaptive",
+        fallback: str = "goo",
+        cache_capacity: int = 1024,
+        ttl_seconds: float | None = None,
+        workers: int = 4,
+        default_deadline_seconds: float | None = None,
+        card_digits: int = DEFAULT_CARD_DIGITS,
+        sel_digits: int = DEFAULT_SEL_DIGITS,
+    ) -> None:
+        if algorithm not in ALGORITHMS:
+            known = ", ".join(sorted(ALGORITHMS))
+            raise ServiceError(
+                f"unknown algorithm {algorithm!r}; expected one of: {known}"
+            )
+        if fallback not in FALLBACK_ALGORITHMS:
+            known = ", ".join(FALLBACK_ALGORITHMS)
+            raise ServiceError(
+                f"fallback must be a deadline-safe heuristic ({known}), "
+                f"got {fallback!r}"
+            )
+        if workers < 1:
+            raise ServiceError(f"need at least one worker, got {workers}")
+        if default_deadline_seconds is not None and default_deadline_seconds < 0:
+            raise ServiceError("default_deadline_seconds must be >= 0")
+        self._algorithm = algorithm
+        self._fallback = fallback
+        self._default_deadline = default_deadline_seconds
+        self._card_digits = card_digits
+        self._sel_digits = sel_digits
+        self._cache = PlanCache(capacity=cache_capacity, ttl_seconds=ttl_seconds)
+        self._metrics = MetricsRegistry()
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="plan-service"
+        )
+        self._closed = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+
+    def plan(
+        self,
+        graph: QueryGraph,
+        catalog: Catalog | None = None,
+        *,
+        deadline_seconds: float | None = None,
+        algorithm: str | None = None,
+    ) -> PlanResponse:
+        """Plan one query; the convenience form of :meth:`plan_request`."""
+        return self.plan_request(
+            PlanRequest(
+                graph=graph,
+                catalog=catalog,
+                deadline_seconds=deadline_seconds,
+                algorithm=algorithm,
+            )
+        )
+
+    def plan_request(self, request: PlanRequest) -> PlanResponse:
+        """Plan one :class:`PlanRequest` through cache, pool and deadline."""
+        fingerprint = self.fingerprint_of(request.graph, request.catalog)
+        return self.plan_prepared(request, fingerprint)
+
+    def plan_prepared(
+        self, request: PlanRequest, fingerprint: Fingerprint
+    ) -> PlanResponse:
+        """Plan a request whose fingerprint the caller already computed.
+
+        This is the batch layer's entry point — it fingerprints every
+        request up front to group duplicates, then feeds each group
+        through here without paying for a second canonicalization.
+        """
+        if self._closed.is_set():
+            raise ServiceError("the plan service is closed")
+        started = time.perf_counter()
+        self._metrics.counter("requests").increment()
+        algorithm = request.algorithm or self._algorithm
+        if algorithm not in ALGORITHMS:
+            known = ", ".join(sorted(ALGORITHMS))
+            raise ServiceError(
+                f"unknown algorithm {algorithm!r}; expected one of: {known}"
+            )
+        deadline = (
+            request.deadline_seconds
+            if request.deadline_seconds is not None
+            else self._default_deadline
+        )
+        cache_key = f"{algorithm}:{fingerprint.key}"
+
+        status, payload = self._cache.get_or_join(cache_key)
+        if status == "hit":
+            entry: _CacheEntry = payload
+            self._metrics.counter("cache_hits").increment()
+            return self._respond(
+                request, fingerprint, entry, started, cache_hit=True
+            )
+
+        if status == "leader":
+            job = self._executor.submit(
+                self._optimize_canonical, request, fingerprint, algorithm
+            )
+            job.add_done_callback(
+                lambda finished: self._complete(cache_key, finished)
+            )
+            self._metrics.counter("cache_misses").increment()
+        else:
+            self._metrics.counter("coalesced").increment()
+
+        future: Future = payload if status == "follower" else job
+        try:
+            if deadline is not None:
+                entry = future.result(timeout=max(0.0, deadline))
+            else:
+                entry = future.result()
+        except FutureTimeoutError:
+            return self._degrade(request, fingerprint, started)
+        if status == "leader":
+            # The done-callback stores the entry; count the outcome as a
+            # fresh optimization for this response.
+            return self._respond(
+                request, fingerprint, entry, started, cache_hit=False
+            )
+        return self._respond(request, fingerprint, entry, started, cache_hit=True)
+
+    def _optimize_canonical(
+        self, request: PlanRequest, fingerprint: Fingerprint, algorithm: str
+    ) -> _CacheEntry:
+        """Worker-pool body: optimize the canonical twin of the request."""
+        canonical_graph, canonical_catalog = fingerprint.canonical_instance(
+            request.graph, request.catalog
+        )
+        result = make_algorithm(algorithm).optimize(
+            canonical_graph, catalog=canonical_catalog
+        )
+        self._metrics.histogram("optimize_seconds").observe(result.elapsed_seconds)
+        return _CacheEntry(
+            canonical_plan=result.plan,
+            algorithm=result.algorithm,
+            optimize_seconds=result.elapsed_seconds,
+        )
+
+    def _complete(self, cache_key: str, job: Future) -> None:
+        """Pipe a finished worker job into the cache (or abandon it)."""
+        error = None if job.cancelled() else job.exception()
+        if job.cancelled() or error is not None:
+            self._metrics.counter("errors").increment()
+            self._cache.abandon(cache_key, error)
+        else:
+            self._cache.fulfill(cache_key, job.result())
+
+    def _respond(
+        self,
+        request: PlanRequest,
+        fingerprint: Fingerprint,
+        entry: _CacheEntry,
+        started: float,
+        cache_hit: bool,
+    ) -> PlanResponse:
+        """Translate a canonical cache entry into the request's numbering."""
+        plan = relabel_plan(
+            entry.canonical_plan,
+            fingerprint.old_of_new,
+            names=request.graph.names,
+        )
+        elapsed = time.perf_counter() - started
+        self._metrics.histogram("plan_latency").observe(elapsed)
+        return PlanResponse(
+            plan=plan,
+            algorithm=entry.algorithm,
+            cache_hit=cache_hit,
+            degraded=False,
+            fingerprint_key=fingerprint.key,
+            elapsed_seconds=elapsed,
+            optimize_seconds=entry.optimize_seconds,
+        )
+
+    def _degrade(
+        self, request: PlanRequest, fingerprint: Fingerprint, started: float
+    ) -> PlanResponse:
+        """Deadline expired: answer with the fallback heuristic.
+
+        Runs on the caller's thread (the pool may be what is
+        saturated), against the request's own numbering (no relabeling
+        needed). The exact optimization keeps running in the background
+        and lands in the cache for future requests. Degraded plans are
+        never cached.
+        """
+        self._metrics.counter("degraded").increment()
+        result = make_algorithm(self._fallback).optimize(
+            request.graph, catalog=request.catalog
+        )
+        elapsed = time.perf_counter() - started
+        self._metrics.histogram("plan_latency").observe(elapsed)
+        return PlanResponse(
+            plan=result.plan,
+            algorithm=f"{result.algorithm} (degraded)",
+            cache_hit=False,
+            degraded=True,
+            fingerprint_key=fingerprint.key,
+            elapsed_seconds=elapsed,
+            optimize_seconds=result.elapsed_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    # Batch, introspection, lifecycle
+    # ------------------------------------------------------------------
+
+    def plan_batch(
+        self, requests: "list[PlanRequest]", concurrency: int | None = None
+    ) -> list[PlanResponse]:
+        """Plan many requests, deduplicating identical fingerprints.
+
+        See :func:`repro.service.batch.plan_batch`.
+        """
+        from repro.service.batch import plan_batch
+
+        return plan_batch(self, requests, concurrency=concurrency)
+
+    def fingerprint_of(
+        self, graph: QueryGraph, catalog: Catalog | None = None
+    ) -> Fingerprint:
+        """The fingerprint this service computes for a query."""
+        return compute_fingerprint(
+            graph,
+            catalog,
+            card_digits=self._card_digits,
+            sel_digits=self._sel_digits,
+        )
+
+    def cache_key_of(self, request: PlanRequest, fingerprint: Fingerprint) -> str:
+        """The full cache key (algorithm-qualified) for a request."""
+        return f"{request.algorithm or self._algorithm}:{fingerprint.key}"
+
+    def cache_stats(self) -> CacheStats:
+        """Plan-cache counters."""
+        return self._cache.stats()
+
+    def clear_cache(self) -> None:
+        """Drop every cached plan (counters are preserved)."""
+        self._cache.clear()
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The service's metrics registry."""
+        return self._metrics
+
+    def snapshot(self) -> dict:
+        """Metrics plus cache stats as one JSON-ready dict."""
+        stats = self._cache.stats()
+        snapshot = self._metrics.snapshot()
+        snapshot["cache"] = {
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "coalesced": stats.coalesced,
+            "evictions": stats.evictions,
+            "expirations": stats.expirations,
+            "size": stats.size,
+            "capacity": stats.capacity,
+            "hit_rate": stats.hit_rate,
+        }
+        return snapshot
+
+    def close(self, wait: bool = True) -> None:
+        """Refuse new requests and shut the worker pool down."""
+        self._closed.set()
+        self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "PlanService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        stats = self._cache.stats()
+        return (
+            f"PlanService(algorithm={self._algorithm!r}, "
+            f"fallback={self._fallback!r}, cache={stats.size}/{stats.capacity})"
+        )

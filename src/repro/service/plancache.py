@@ -1,0 +1,269 @@
+"""A thread-safe LRU + TTL cache with an anti-stampede in-flight table.
+
+Built for plan caching but value-agnostic. Three behaviors matter for
+an optimizer front door:
+
+* **LRU + TTL** — bounded memory under unbounded distinct queries,
+  and bounded staleness when catalog statistics drift (entries expire
+  ``ttl_seconds`` after insertion).
+* **Stampede guard** — when N threads miss on the same key
+  concurrently, exactly one (the *leader*) computes; the rest
+  (*followers*) wait on a shared future. Without this, a cold cache
+  under concurrent identical queries runs N identical ``O(3^n)``
+  optimizations.
+* **Observability** — hit/miss/eviction/expiration/coalesced counters,
+  exposed as a :class:`CacheStats` snapshot.
+
+The waiting protocol is deadline-friendly: :meth:`get_or_join` hands
+followers the leader's future so they can bound their own wait and
+degrade independently (see ``optimizer_service``), while
+:meth:`get_or_compute` wraps the same machinery in a synchronous
+convenience API.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Any, Callable, Literal
+
+from repro.errors import ServiceError
+
+__all__ = ["CacheStats", "PlanCache"]
+
+
+@dataclass(frozen=True, slots=True)
+class CacheStats:
+    """Point-in-time cache counters.
+
+    Attributes:
+        hits: lookups answered from a live entry.
+        misses: lookups that started a computation (leader path).
+        coalesced: lookups that joined an in-flight computation
+            instead of starting their own (stampede guard savings).
+        evictions: entries dropped by the LRU bound.
+        expirations: entries dropped because their TTL lapsed.
+        size: entries currently stored.
+        capacity: the LRU bound.
+    """
+
+    hits: int
+    misses: int
+    coalesced: int
+    evictions: int
+    expirations: int
+    size: int
+    capacity: int
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups: hits + misses + coalesced."""
+        return self.hits + self.misses + self.coalesced
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served without a fresh computation.
+
+        Coalesced lookups count as hits — the work was shared — so
+        this is ``(hits + coalesced) / lookups``; 0.0 before any
+        lookup.
+        """
+        lookups = self.lookups
+        if lookups == 0:
+            return 0.0
+        return (self.hits + self.coalesced) / lookups
+
+
+class PlanCache:
+    """Thread-safe LRU + TTL cache with in-flight deduplication.
+
+    Args:
+        capacity: maximum number of stored entries (> 0).
+        ttl_seconds: entry lifetime; ``None`` disables expiry.
+        clock: monotonic time source, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        ttl_seconds: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity <= 0:
+            raise ServiceError(f"cache capacity must be positive, got {capacity}")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ServiceError(f"ttl_seconds must be positive, got {ttl_seconds}")
+        self._capacity = capacity
+        self._ttl = ttl_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, tuple[Any, float | None]]" = OrderedDict()
+        self._inflight: dict[str, Future] = {}
+        self._hits = 0
+        self._misses = 0
+        self._coalesced = 0
+        self._evictions = 0
+        self._expirations = 0
+
+    # ------------------------------------------------------------------
+    # Core dictionary operations
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> Any | None:
+        """Return the live value for ``key`` or ``None``; counts hit/miss."""
+        with self._lock:
+            value = self._lookup(key)
+            if value is not None:
+                self._hits += 1
+            else:
+                self._misses += 1
+            return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Insert/refresh ``key``, evicting LRU entries past capacity."""
+        if value is None:
+            raise ServiceError("cache values must not be None")
+        with self._lock:
+            self._store(key, value)
+
+    def _lookup(self, key: str) -> Any | None:
+        """Unlocked lookup: expire, then promote to most-recently-used."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        value, expires_at = entry
+        if expires_at is not None and self._clock() >= expires_at:
+            del self._entries[key]
+            self._expirations += 1
+            return None
+        self._entries.move_to_end(key)
+        return value
+
+    def _store(self, key: str, value: Any) -> None:
+        """Unlocked insert with LRU eviction."""
+        expires_at = None if self._ttl is None else self._clock() + self._ttl
+        self._entries[key] = (value, expires_at)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return False
+            _, expires_at = entry
+            return expires_at is None or self._clock() < expires_at
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Stampede guard
+    # ------------------------------------------------------------------
+
+    def get_or_join(
+        self, key: str
+    ) -> tuple[Literal["hit", "leader", "follower"], Any]:
+        """Classify a lookup for callers that manage their own waiting.
+
+        Returns one of:
+
+        * ``("hit", value)`` — a live entry existed.
+        * ``("leader", future)`` — no entry and no computation in
+          flight; the caller MUST compute the value and finish with
+          :meth:`fulfill` (or :meth:`abandon` on failure), else
+          followers wait forever.
+        * ``("follower", future)`` — another thread is computing;
+          wait on the future (with any timeout policy) for the value.
+        """
+        with self._lock:
+            value = self._lookup(key)
+            if value is not None:
+                self._hits += 1
+                return "hit", value
+            future = self._inflight.get(key)
+            if future is not None:
+                self._coalesced += 1
+                return "follower", future
+            self._misses += 1
+            future = Future()
+            self._inflight[key] = future
+            return "leader", future
+
+    def fulfill(self, key: str, value: Any) -> None:
+        """Leader path: store the computed value and wake followers."""
+        with self._lock:
+            self._store(key, value)
+            future = self._inflight.pop(key, None)
+        if future is not None:
+            future.set_result(value)
+
+    def abandon(self, key: str, error: BaseException | None = None) -> None:
+        """Leader path: computation failed; propagate to followers.
+
+        Nothing is cached. Followers waiting on the future receive
+        ``error`` (or a :class:`ServiceError` when none is given).
+        """
+        with self._lock:
+            future = self._inflight.pop(key, None)
+        if future is not None:
+            future.set_exception(
+                error
+                if error is not None
+                else ServiceError(f"computation for {key!r} was abandoned")
+            )
+
+    def get_or_compute(self, key: str, factory: Callable[[], Any]) -> Any:
+        """Synchronous convenience: hit, or compute-once-per-key.
+
+        Concurrent callers for the same key block until the single
+        leader's ``factory()`` finishes; a failing factory propagates
+        its exception to every waiter and caches nothing.
+        """
+        status, payload = self.get_or_join(key)
+        if status == "hit":
+            return payload
+        if status == "follower":
+            return payload.result()
+        try:
+            value = factory()
+        except BaseException as error:
+            self.abandon(key, error)
+            raise
+        self.fulfill(key, value)
+        return value
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> CacheStats:
+        """Current counters as an immutable snapshot."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                coalesced=self._coalesced,
+                evictions=self._evictions,
+                expirations=self._expirations,
+                size=len(self._entries),
+                capacity=self._capacity,
+            )
+
+    def clear(self) -> None:
+        """Drop all entries (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"PlanCache(size={stats.size}/{stats.capacity}, "
+            f"hits={stats.hits}, misses={stats.misses})"
+        )

@@ -1,0 +1,158 @@
+"""Tests for canonical graph ordering and QueryGraph.canonical_form().
+
+These lock in the determinism contract the service-layer fingerprints
+depend on: canonical numbering must be a pure function of graph
+structure (plus optional node keys), invariant under relabeling, and
+stable across repeated calls within and across processes.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import canonical_order
+from repro.graph.generators import (
+    chain_graph,
+    clique_graph,
+    cycle_graph,
+    graph_for_topology,
+    random_connected_graph,
+    star_graph,
+)
+from repro.graph.querygraph import QueryGraph
+
+TOPOLOGIES = ("chain", "cycle", "star", "clique")
+
+
+def canonical_signature(graph):
+    """Structure of the canonical twin, as a comparable value."""
+    twin, _ = graph.canonical_form()
+    return (
+        twin.n_relations,
+        tuple(
+            sorted(
+                (min(e.left, e.right), max(e.left, e.right), e.selectivity)
+                for e in twin.edges
+            )
+        ),
+    )
+
+
+class TestCanonicalOrder:
+    def test_is_a_permutation(self):
+        rng = random.Random(0)
+        graph = random_connected_graph(9, rng, 0.4)
+        order = canonical_order(graph)
+        assert sorted(order) == list(range(9))
+
+    def test_single_relation(self):
+        assert canonical_order(QueryGraph(1, [])) == [0]
+
+    def test_deterministic_across_calls(self):
+        rng = random.Random(4)
+        graph = random_connected_graph(8, rng, 0.5)
+        assert canonical_order(graph) == canonical_order(graph)
+
+    def test_rejects_disconnected(self):
+        graph = QueryGraph(4, [(0, 1, 0.5), (2, 3, 0.5)])
+        with pytest.raises(GraphError):
+            canonical_order(graph)
+
+    def test_rejects_wrong_node_key_count(self):
+        graph = chain_graph(4, selectivity=0.5)
+        with pytest.raises(GraphError):
+            canonical_order(graph, node_keys=[1, 2])
+
+    def test_node_keys_steer_the_order(self):
+        # a symmetric chain: endpoints are automorphic without keys
+        graph = chain_graph(3, selectivity=0.5)
+        left_heavy = canonical_order(graph, node_keys=[1, 2, 2])
+        right_heavy = canonical_order(graph, node_keys=[2, 2, 1])
+        # the distinguished endpoint must land in the same canonical slot
+        assert left_heavy.index(0) == right_heavy.index(2)
+
+    def test_edge_keys_override_selectivity(self):
+        graph = chain_graph(3, selectivity=0.5)
+        overridden = canonical_order(
+            graph, edge_keys={(0, 1): 0.9, (1, 2): 0.1}
+        )
+        flipped = canonical_order(
+            graph, edge_keys={(0, 1): 0.1, (1, 2): 0.9}
+        )
+        assert overridden.index(0) == flipped.index(2)
+
+
+class TestRelabelingInvariance:
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    def test_structured_topologies(self, topology):
+        rng = random.Random(11)
+        graph = graph_for_topology(topology, 9, rng=rng)
+        reference = canonical_signature(graph)
+        for seed in range(8):
+            permutation = list(range(9))
+            random.Random(seed).shuffle(permutation)
+            assert canonical_signature(graph.relabelled(permutation)) == reference
+
+    def test_random_graphs(self):
+        for seed in range(25):
+            rng = random.Random(seed)
+            n = rng.randrange(2, 12)
+            graph = random_connected_graph(n, rng, rng.random())
+            permutation = list(range(n))
+            rng.shuffle(permutation)
+            assert canonical_signature(graph.relabelled(permutation)) == (
+                canonical_signature(graph)
+            )
+
+    def test_distinct_shapes_stay_distinct(self):
+        signatures = {
+            canonical_signature(g)
+            for g in (
+                chain_graph(7, selectivity=0.25),
+                cycle_graph(7, selectivity=0.25),
+                star_graph(7, selectivity=0.25),
+                clique_graph(7, selectivity=0.25),
+            )
+        }
+        assert len(signatures) == 4
+
+
+class TestCanonicalForm:
+    def test_returns_isomorphic_graph_and_mapping(self):
+        rng = random.Random(2)
+        graph = random_connected_graph(7, rng, 0.3)
+        twin, old_of_new = graph.canonical_form()
+        assert sorted(old_of_new) == list(range(7))
+        assert twin.n_relations == graph.n_relations
+        assert len(twin.edges) == len(graph.edges)
+        # every canonical edge maps back to an original edge with the
+        # same selectivity
+        original = {
+            (min(e.left, e.right), max(e.left, e.right)): e.selectivity
+            for e in graph.edges
+        }
+        for edge in twin.edges:
+            a, b = old_of_new[edge.left], old_of_new[edge.right]
+            assert original[(min(a, b), max(a, b))] == edge.selectivity
+
+    def test_canonical_form_is_idempotent(self):
+        rng = random.Random(6)
+        graph = random_connected_graph(8, rng, 0.4)
+        twin, _ = graph.canonical_form()
+        twin_twice, identity_order = twin.canonical_form()
+        assert canonical_signature(twin) == canonical_signature(twin_twice)
+        # re-canonicalizing the canonical twin is a no-op relabeling
+        assert identity_order == list(range(8))
+
+    def test_names_follow_their_relations(self):
+        graph = QueryGraph(
+            3,
+            [(0, 1, 0.1), (1, 2, 0.2)],
+            names=["orders", "lineitem", "nation"],
+        )
+        twin, old_of_new = graph.canonical_form()
+        for new_index, old_index in enumerate(old_of_new):
+            assert twin.names[new_index] == graph.names[old_index]

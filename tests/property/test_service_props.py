@@ -1,0 +1,84 @@
+"""Property-based tests over the service layer (hypothesis).
+
+Two properties (ISSUE satellite):
+
+1. A cache hit returns a plan with cost identical (up to float
+   round-off) to a fresh optimization of the same query.
+2. Isomorphic relabelings of a query hit the same cache entry, and the
+   remapped plan is valid and optimal for the relabelled instance.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.catalog.synthetic import random_catalog
+from repro.core import optimize
+from repro.plans.visitors import validate_plan
+from repro.service import PlanService, compute_fingerprint
+from repro.graph.generators import graph_for_topology, random_connected_graph
+
+TOPOLOGIES = ("chain", "cycle", "star", "clique")
+
+
+@st.composite
+def instances(draw, max_n: int = 10):
+    """(graph, catalog) pairs over random and structured topologies."""
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    kind = draw(st.sampled_from(TOPOLOGIES + ("random",)))
+    rng = random.Random(seed)
+    if kind == "cycle":
+        n = max(n, 3)  # a cycle needs at least three relations
+    if kind == "random":
+        graph = random_connected_graph(n, rng, rng.random())
+    else:
+        graph = graph_for_topology(kind, n, rng=rng)
+    return graph, random_catalog(n, rng)
+
+
+class TestCacheHitFidelity:
+    @given(instances())
+    @settings(max_examples=30, deadline=None)
+    def test_hit_cost_equals_fresh_optimization(self, instance):
+        graph, catalog = instance
+        with PlanService(workers=1) as service:
+            first = service.plan(graph, catalog)
+            second = service.plan(graph, catalog)
+            assert not first.cache_hit and second.cache_hit
+            direct = optimize(graph, catalog=catalog, algorithm="adaptive")
+            assert second.cost == pytest.approx(direct.cost)
+            assert second.cost == first.cost
+            validate_plan(second.plan, graph)
+
+
+class TestIsomorphismProperty:
+    @given(instances(), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_relabelings_share_cache_entry(self, instance, perm_seed):
+        graph, catalog = instance
+        permutation = list(range(graph.n_relations))
+        random.Random(perm_seed).shuffle(permutation)
+        twin_graph = graph.relabelled(permutation)
+        twin_catalog = catalog.relabelled(permutation)
+
+        # the fingerprints agree before any service is involved
+        assert (
+            compute_fingerprint(graph, catalog).key
+            == compute_fingerprint(twin_graph, twin_catalog).key
+        )
+
+        with PlanService(workers=1) as service:
+            service.plan(graph, catalog)
+            response = service.plan(twin_graph, twin_catalog)
+            assert response.cache_hit, "isomorphic twin must hit the cache"
+            # the remapped plan is valid for the twin's own numbering
+            # and costs exactly what optimizing the twin directly would
+            validate_plan(response.plan, twin_graph)
+            direct = optimize(
+                twin_graph, catalog=twin_catalog, algorithm="adaptive"
+            )
+            assert response.cost == pytest.approx(direct.cost)

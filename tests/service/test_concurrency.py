@@ -1,0 +1,165 @@
+"""Concurrency hammer tests for PlanService (ISSUE satellite).
+
+Eight client threads drive a 70 %-repeated workload concurrently; the
+service must stay exception-free, achieve a hit-rate above 0.5, and a
+deliberately tiny deadline must degrade to the greedy fallback instead
+of erroring.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.catalog.synthetic import random_catalog
+from repro.graph.generators import star_graph
+from repro.plans.visitors import validate_plan
+from repro.service import PlanService
+
+N_THREADS = 8
+REQUESTS_PER_THREAD = 25
+UNIQUE_QUERIES = 15  # 8*25=200 requests over 15 queries => ~92% repeats
+N_RELATIONS = 8
+
+
+def build_pool(seed: int = 0):
+    instances = []
+    for index in range(UNIQUE_QUERIES):
+        rng = random.Random(seed + index)
+        instances.append(
+            (star_graph(N_RELATIONS, rng=rng), random_catalog(N_RELATIONS, rng))
+        )
+    return instances
+
+
+class TestHammer:
+    def test_eight_threads_shared_cache(self):
+        pool = build_pool()
+        errors: list[BaseException] = []
+        responses = []
+        responses_lock = threading.Lock()
+
+        with PlanService(cache_capacity=64, workers=4) as service:
+
+            def client(thread_index: int) -> None:
+                rng = random.Random(1000 + thread_index)
+                try:
+                    for _ in range(REQUESTS_PER_THREAD):
+                        graph, catalog = pool[rng.randrange(UNIQUE_QUERIES)]
+                        response = service.plan(graph, catalog)
+                        validate_plan(response.plan, graph)
+                        with responses_lock:
+                            responses.append(response)
+                except BaseException as error:  # noqa: BLE001 - collected for assert
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(target=client, args=(index,))
+                for index in range(N_THREADS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+
+            stats = service.cache_stats()
+
+        assert not errors, errors
+        assert len(responses) == N_THREADS * REQUESTS_PER_THREAD
+        assert not any(response.degraded for response in responses)
+        assert stats.hit_rate > 0.5, stats
+        # every distinct query was optimized at most once (stampede guard):
+        # misses cannot exceed the unique pool size
+        assert stats.misses <= UNIQUE_QUERIES
+
+    def test_identical_concurrent_queries_coalesce(self):
+        rng = random.Random(77)
+        graph = star_graph(10, rng=rng)
+        catalog = random_catalog(10, rng)
+        barrier = threading.Barrier(N_THREADS)
+        errors: list[BaseException] = []
+        responses = []
+        lock = threading.Lock()
+
+        with PlanService(cache_capacity=16, workers=2) as service:
+
+            def client() -> None:
+                try:
+                    barrier.wait(timeout=30)
+                    response = service.plan(graph, catalog)
+                    with lock:
+                        responses.append(response)
+                except BaseException as error:  # noqa: BLE001
+                    errors.append(error)
+
+            threads = [threading.Thread(target=client) for _ in range(N_THREADS)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            stats = service.cache_stats()
+
+        assert not errors, errors
+        assert len(responses) == N_THREADS
+        assert stats.misses == 1  # one leader, everyone else coalesced or hit
+        assert len({response.cost for response in responses}) == 1
+
+    def test_tiny_deadline_degrades_under_concurrency(self):
+        # large instances: the DP cannot finish within the 1 us deadline
+        rng = random.Random(500)
+        pool = [
+            (star_graph(13, rng=rng), random_catalog(13, rng))
+            for _ in range(UNIQUE_QUERIES)
+        ]
+        errors: list[BaseException] = []
+        responses = []
+        lock = threading.Lock()
+
+        with PlanService(cache_capacity=64, workers=2) as service:
+
+            def client(thread_index: int) -> None:
+                rng = random.Random(thread_index)
+                try:
+                    for _ in range(5):
+                        graph, catalog = pool[rng.randrange(UNIQUE_QUERIES)]
+                        response = service.plan(
+                            graph, catalog, deadline_seconds=1e-6
+                        )
+                        validate_plan(response.plan, graph)
+                        with lock:
+                            responses.append(response)
+                except BaseException as error:  # noqa: BLE001
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(target=client, args=(index,)) for index in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+
+        assert not errors, errors
+        assert len(responses) == 40
+        degraded = [response for response in responses if response.degraded]
+        assert degraded, "a 1 microsecond deadline must force degradation"
+        assert all("GOO" in response.algorithm for response in degraded)
+
+
+@pytest.mark.slow
+class TestSustainedLoad:
+    def test_many_rounds_stable(self):
+        pool = build_pool(seed=900)
+        with PlanService(cache_capacity=8, workers=4) as service:
+            rng = random.Random(1)
+            for _ in range(300):
+                graph, catalog = pool[rng.randrange(UNIQUE_QUERIES)]
+                response = service.plan(graph, catalog)
+                validate_plan(response.plan, graph)
+            stats = service.cache_stats()
+        # capacity 8 < 15 unique queries: evictions must have happened
+        # and the service must have stayed consistent throughout
+        assert stats.evictions > 0
+        assert stats.hits > 0

@@ -1,0 +1,152 @@
+"""Unit tests for canonical fingerprints."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.catalog.synthetic import random_catalog
+from repro.errors import GraphError
+from repro.graph.generators import (
+    chain_graph,
+    clique_graph,
+    cycle_graph,
+    graph_for_topology,
+    random_connected_graph,
+    star_graph,
+)
+from repro.graph.querygraph import JoinEdge, QueryGraph
+from repro.service.fingerprint import compute_fingerprint, quantize
+
+
+def shuffled_twin(graph, catalog, seed):
+    """The same instance under a random relabeling."""
+    rng = random.Random(seed)
+    permutation = list(range(graph.n_relations))
+    rng.shuffle(permutation)
+    return graph.relabelled(permutation), catalog.relabelled(permutation)
+
+
+class TestQuantize:
+    def test_keeps_significant_digits(self):
+        assert quantize(123456.0, 3) == 123000.0
+        assert quantize(0.012345, 3) == 0.0123
+
+    def test_merges_noise(self):
+        assert quantize(10001.7, 3) == quantize(10000.0, 3)
+
+
+class TestStability:
+    @pytest.mark.parametrize("topology", ["chain", "cycle", "star", "clique"])
+    def test_relabeling_preserves_key(self, topology):
+        rng = random.Random(42)
+        graph = graph_for_topology(topology, 8, rng=rng)
+        catalog = random_catalog(8, rng)
+        reference = compute_fingerprint(graph, catalog)
+        for seed in range(10):
+            twin_graph, twin_catalog = shuffled_twin(graph, catalog, seed)
+            twin = compute_fingerprint(twin_graph, twin_catalog)
+            assert twin.key == reference.key
+
+    def test_relabeling_preserves_key_random_graphs(self):
+        for seed in range(20):
+            rng = random.Random(seed)
+            n = rng.randrange(2, 11)
+            graph = random_connected_graph(n, rng, rng.random())
+            catalog = random_catalog(n, rng)
+            reference = compute_fingerprint(graph, catalog)
+            twin_graph, twin_catalog = shuffled_twin(graph, catalog, seed + 1000)
+            assert compute_fingerprint(twin_graph, twin_catalog).key == reference.key
+
+    def test_key_is_deterministic(self):
+        graph = star_graph(6, selectivity=0.1)
+        catalog = random_catalog(6, 3)
+        assert (
+            compute_fingerprint(graph, catalog).key
+            == compute_fingerprint(graph, catalog).key
+        )
+
+    def test_names_do_not_matter(self):
+        edges = [(0, 1, 0.1), (1, 2, 0.2)]
+        plain = QueryGraph(3, edges)
+        named = QueryGraph(3, edges, names=["orders", "customer", "nation"])
+        catalog = random_catalog(3, 1)
+        assert (
+            compute_fingerprint(plain, catalog).key
+            == compute_fingerprint(named, catalog).key
+        )
+
+
+class TestDiscrimination:
+    def test_different_shapes_differ(self):
+        catalog = random_catalog(6, 5)
+        keys = {
+            compute_fingerprint(g, catalog).key
+            for g in (
+                chain_graph(6, selectivity=0.1),
+                cycle_graph(6, selectivity=0.1),
+                star_graph(6, selectivity=0.1),
+                clique_graph(6, selectivity=0.1),
+            )
+        }
+        assert len(keys) == 4
+
+    def test_different_selectivities_differ(self):
+        catalog = random_catalog(5, 5)
+        a = compute_fingerprint(chain_graph(5, selectivity=0.1), catalog)
+        b = compute_fingerprint(chain_graph(5, selectivity=0.4), catalog)
+        assert a.key != b.key
+
+    def test_different_cardinalities_differ(self):
+        graph = chain_graph(5, selectivity=0.1)
+        a = compute_fingerprint(graph, random_catalog(5, 1))
+        b = compute_fingerprint(graph, random_catalog(5, 2))
+        assert a.key != b.key
+
+    def test_quantization_merges_near_identical_stats(self):
+        graph = chain_graph(3, selectivity=0.1)
+        from repro.catalog.catalog import Catalog
+
+        a = Catalog.from_cardinalities([10000.0, 500.0, 70.0])
+        b = Catalog.from_cardinalities([10001.7, 500.2, 70.01])
+        assert (
+            compute_fingerprint(graph, a).key == compute_fingerprint(graph, b).key
+        )
+
+    def test_catalog_none_is_sound(self):
+        graph = star_graph(5, selectivity=0.2)
+        with_stats = compute_fingerprint(graph, random_catalog(5, 1))
+        without = compute_fingerprint(graph, None)
+        assert with_stats.key != without.key
+
+
+class TestMappings:
+    def test_permutations_are_inverses(self):
+        rng = random.Random(9)
+        graph = random_connected_graph(7, rng, 0.3)
+        fingerprint = compute_fingerprint(graph, random_catalog(7, rng))
+        for canonical, requested in enumerate(fingerprint.old_of_new):
+            assert fingerprint.new_of_old[requested] == canonical
+
+    def test_canonical_instance_is_isomorphic(self):
+        rng = random.Random(5)
+        graph = random_connected_graph(6, rng, 0.5)
+        catalog = random_catalog(6, rng)
+        fingerprint = compute_fingerprint(graph, catalog)
+        canonical_graph, canonical_catalog = fingerprint.canonical_instance(
+            graph, catalog
+        )
+        assert canonical_graph.n_relations == graph.n_relations
+        assert len(canonical_graph.edges) == len(graph.edges)
+        # per-relation stats follow their relation through the permutation
+        for old_index in range(graph.n_relations):
+            new_index = fingerprint.new_of_old[old_index]
+            assert canonical_catalog.cardinality(new_index) == pytest.approx(
+                catalog.cardinality(old_index)
+            )
+
+    def test_disconnected_graph_rejected(self):
+        graph = QueryGraph(4, [(0, 1, 0.1), (2, 3, 0.1)])
+        with pytest.raises(GraphError):
+            compute_fingerprint(graph, None)

@@ -1,0 +1,174 @@
+"""Unit tests for the LRU + TTL plan cache and its stampede guard."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.plancache import PlanCache
+
+
+class FakeClock:
+    """Manually advanced monotonic clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = PlanCache(capacity=2)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+        assert stats.hit_rate == 0.5
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ServiceError):
+            PlanCache(capacity=0)
+        with pytest.raises(ServiceError):
+            PlanCache(capacity=1, ttl_seconds=0)
+        with pytest.raises(ServiceError):
+            PlanCache(capacity=1).put("k", None)
+
+    def test_contains_and_len(self):
+        cache = PlanCache(capacity=4)
+        cache.put("a", 1)
+        assert "a" in cache and "b" not in cache
+        assert len(cache) == 1
+
+    def test_clear_keeps_counters(self):
+        cache = PlanCache(capacity=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert cache.get("a") is None
+        assert cache.stats().hits == 1
+
+
+class TestLRU:
+    def test_evicts_least_recently_used(self):
+        cache = PlanCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a; b becomes LRU
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.stats().evictions == 1
+
+    def test_put_refreshes_recency(self):
+        cache = PlanCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # rewrite refreshes a
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 10
+
+
+class TestTTL:
+    def test_entries_expire(self):
+        clock = FakeClock()
+        cache = PlanCache(capacity=4, ttl_seconds=10.0, clock=clock)
+        cache.put("a", 1)
+        clock.advance(9.9)
+        assert cache.get("a") == 1
+        clock.advance(0.2)
+        assert cache.get("a") is None
+        assert cache.stats().expirations == 1
+
+    def test_reinsert_restarts_ttl(self):
+        clock = FakeClock()
+        cache = PlanCache(capacity=4, ttl_seconds=10.0, clock=clock)
+        cache.put("a", 1)
+        clock.advance(8.0)
+        cache.put("a", 2)
+        clock.advance(8.0)
+        assert cache.get("a") == 2
+
+
+class TestStampedeGuard:
+    def test_get_or_compute_computes_once(self):
+        cache = PlanCache(capacity=4)
+        calls = []
+        value = cache.get_or_compute("k", lambda: calls.append(1) or 42)
+        assert value == 42 and cache.get_or_compute("k", lambda: 99) == 42
+        assert len(calls) == 1
+
+    def test_failing_factory_propagates_and_caches_nothing(self):
+        cache = PlanCache(capacity=4)
+        with pytest.raises(RuntimeError):
+            cache.get_or_compute("k", self._boom)
+        assert cache.get("k") is None
+        # a later factory succeeds: the key is not poisoned
+        assert cache.get_or_compute("k", lambda: 7) == 7
+
+    @staticmethod
+    def _boom():
+        raise RuntimeError("factory failed")
+
+    def test_concurrent_misses_coalesce(self):
+        cache = PlanCache(capacity=4)
+        release = threading.Event()
+        calls = []
+
+        def slow_factory():
+            calls.append(1)
+            release.wait(timeout=5)
+            return "value"
+
+        results = []
+
+        def worker():
+            results.append(cache.get_or_compute("k", slow_factory))
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        # let every thread reach the cache before releasing the leader
+        deadline = time.monotonic() + 5.0
+        while cache.stats().coalesced < 5 and time.monotonic() < deadline:
+            time.sleep(0.001)
+        release.set()
+        for thread in threads:
+            thread.join(timeout=5)
+        assert results == ["value"] * 6
+        assert len(calls) == 1
+        stats = cache.stats()
+        assert stats.misses == 1
+        assert stats.coalesced == 5
+
+    def test_get_or_join_protocol(self):
+        cache = PlanCache(capacity=4)
+        status, future = cache.get_or_join("k")
+        assert status == "leader"
+        status2, future2 = cache.get_or_join("k")
+        assert status2 == "follower" and future2 is future
+        cache.fulfill("k", 5)
+        assert future.result(timeout=1) == 5
+        status3, value = cache.get_or_join("k")
+        assert (status3, value) == ("hit", 5)
+
+    def test_abandon_wakes_followers_with_error(self):
+        cache = PlanCache(capacity=4)
+        cache.get_or_join("k")
+        _, future = cache.get_or_join("k")
+        cache.abandon("k")
+        with pytest.raises(ServiceError):
+            future.result(timeout=1)
+        # the key is free for a new leader
+        status, _ = cache.get_or_join("k")
+        assert status == "leader"

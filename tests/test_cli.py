@@ -97,3 +97,108 @@ class TestCommands:
             ["optimize", "--topology", "cycle", "-n", "5", "--algorithm", "ikkbz"]
         ) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestServiceCommands:
+    def test_serve_batch_defaults(self):
+        args = build_parser().parse_args(["serve-batch"])
+        assert args.topology == "star"
+        assert args.requests == 200
+        assert args.repeat_ratio == 0.7
+
+    def test_serve_batch(self, capsys):
+        assert main(
+            [
+                "serve-batch",
+                "--topology",
+                "star",
+                "-n",
+                "8",
+                "--requests",
+                "60",
+                "--repeat-ratio",
+                "0.7",
+                "--seed",
+                "3",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "planned 60 requests" in out
+        assert "cache hit-rate:" in out
+        assert "p99_ms" in out
+
+    def test_serve_batch_tiny_deadline_degrades_without_error(self, capsys):
+        assert main(
+            [
+                "serve-batch",
+                "--topology",
+                "star",
+                "-n",
+                "13",
+                "--requests",
+                "6",
+                "--repeat-ratio",
+                "0.0",
+                "--deadline-ms",
+                "1",
+                "--seed",
+                "1",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "degraded" in out
+
+    def test_serve_batch_metrics_out_feeds_stats(self, tmp_path, capsys):
+        metrics_file = tmp_path / "metrics.json"
+        assert main(
+            [
+                "serve-batch",
+                "-n",
+                "6",
+                "--requests",
+                "20",
+                "--metrics-out",
+                str(metrics_file),
+            ]
+        ) == 0
+        assert metrics_file.exists()
+        capsys.readouterr()
+        assert main(["stats", "--metrics", str(metrics_file)]) == 0
+        out = capsys.readouterr().out
+        assert "plan cache" in out
+        assert "hit_rate" in out
+
+    def test_serve_batch_workload_file(self, tmp_path, capsys):
+        import json
+
+        workload = tmp_path / "workload.json"
+        workload.write_text(
+            json.dumps(
+                [
+                    {"topology": "chain", "n": 5, "seed": 1, "count": 3},
+                    {"topology": "star", "n": 6, "seed": 2},
+                ]
+            )
+        )
+        assert main(["serve-batch", "--workload", str(workload)]) == 0
+        assert "planned 4 requests" in capsys.readouterr().out
+
+    def test_stats_missing_metrics_file_reports_cleanly(self, capsys):
+        assert main(["stats", "--metrics", "/nonexistent/metrics.json"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_batch_malformed_workload_reports_cleanly(
+        self, tmp_path, capsys
+    ):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        assert main(["serve-batch", "--workload", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_stats_demo_json(self, capsys):
+        import json
+
+        assert main(["stats", "--demo-requests", "12", "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["counters"]["requests"] == 12
+        assert "cache" in snapshot
