@@ -168,7 +168,16 @@ on which topology, and the growth separations. See the per-figure notes.
             "Every cell matches the paper digit-for-digit, from the "
             "corrected closed forms (see DESIGN.md for the two OCR fixes) "
             "and confirmed by instrumented runs of the actual algorithms "
-            "for all cells with n <= 10."
+            "for all cells with n <= 10. Counter-to-column mapping via "
+            "`repro.obs`: `enumerator.DPsize.inner_loop_tests` is the "
+            "`DPsize` (I_DPsize) column, `enumerator.DPsub"
+            ".inner_loop_tests` the `DPsub` (I_DPsub) column, and "
+            "`enumerator.<Alg>.ccp_emitted` the `#ccp` column (identical "
+            "for all exact enumerators; for DPccp it also equals its "
+            "`inner_loop_tests` — no wasted work). "
+            "`python -m repro obs-report` prints these live and "
+            "cross-checks them against the closed forms; "
+            "`tests/test_counter_formulas.py` pins them in CI."
         ),
         "fig8": (
             "Paper: DPsize and DPccp nearly coincide; DPsub is worse by a "

@@ -8,6 +8,7 @@
     python -m repro bench    --figure 10 --budget 500000
     python -m repro serve-batch --topology star -n 10 --requests 200 --repeat-ratio 0.7
     python -m repro stats
+    python -m repro obs-report --topology star -n 8
 
 ``optimize`` plans one query and prints the tree; ``count`` prints the
 analytical and measured counters; ``table`` regenerates Figure 3;
@@ -15,7 +16,10 @@ analytical and measured counters; ``table`` regenerates Figure 3;
 replays a workload through the caching :class:`~repro.service.PlanService`
 and reports hit rates and latency percentiles; ``stats`` renders a
 metrics snapshot (from a ``--metrics`` JSON file or a built-in demo
-workload).
+workload); ``obs-report`` runs instrumented enumerations through the
+unified :mod:`repro.obs` layer, prints counters/timings/span trees, and
+cross-checks the observed ``InnerCounter``/``#ccp`` events against the
+paper's closed forms.
 """
 
 from __future__ import annotations
@@ -180,6 +184,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--demo-requests", type=int, default=60, help="demo workload size"
     )
     stats.add_argument("--json", action="store_true", help="emit raw JSON")
+
+    obs_report = commands.add_parser(
+        "obs-report",
+        help="instrumented enumeration report: counters, spans, and the "
+        "InnerCounter/#ccp formula cross-check",
+    )
+    obs_report.add_argument(
+        "--topology", choices=PAPER_TOPOLOGIES, default="star"
+    )
+    obs_report.add_argument("-n", "--relations", type=int, default=8)
+    obs_report.add_argument(
+        "--algorithms",
+        nargs="+",
+        choices=sorted(ALGORITHMS),
+        default=["dpsize", "dpsub", "dpccp"],
+        help="algorithms to run under one shared instrumentation context",
+    )
+    obs_report.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="also write the obs snapshot as JSON ('-' for stdout)",
+    )
+    obs_report.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="emit the snapshot in Prometheus text format instead of tables",
+    )
+    obs_report.add_argument(
+        "--no-spans", action="store_true", help="omit span trees from the report"
+    )
     return parser
 
 
@@ -447,6 +482,86 @@ def _command_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_obs_report(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.formulas import (
+        inner_counter_dpsize,
+        inner_counter_dpsub,
+    )
+    from repro.obs import Instrumentation, render_report, to_prometheus
+
+    n = args.relations
+    topology = args.topology
+    if topology == "cycle" and n < 3:
+        topology = "chain"  # a 2-cycle degenerates to a chain
+    graph = graph_for_topology(topology, n)
+
+    obs = Instrumentation()
+    for name in args.algorithms:
+        make_algorithm(name).optimize(graph, instrumentation=obs)
+
+    if args.prometheus:
+        print(to_prometheus(obs.snapshot(include_spans=False)), end="")
+    else:
+        print(f"obs report — {topology} query, n={n}\n")
+        print(render_report(obs, include_spans=not args.no_spans))
+
+    # Cross-check observed events against the paper's closed forms.
+    expectations: list[tuple[str, int, int]] = []
+    counters = obs.counters
+    expected_ccp = ccp_unordered(n, topology) if n >= 2 else 0
+    for name in args.algorithms:
+        algorithm = make_algorithm(name).name
+        if name == "dpsize":
+            expectations.append(
+                (
+                    f"I_DPsize ({topology}, n={n})",
+                    inner_counter_dpsize(n, topology),
+                    counters.value(f"enumerator.{algorithm}.inner_loop_tests"),
+                )
+            )
+        elif name == "dpsub":
+            expectations.append(
+                (
+                    f"I_DPsub ({topology}, n={n})",
+                    inner_counter_dpsub(n, topology),
+                    counters.value(f"enumerator.{algorithm}.inner_loop_tests"),
+                )
+            )
+        if name in ("dpsize", "dpsub", "dpccp"):
+            expectations.append(
+                (
+                    f"#ccp via {algorithm}",
+                    expected_ccp,
+                    counters.value(f"enumerator.{algorithm}.ccp_emitted"),
+                )
+            )
+    if not args.prometheus:
+        print("\nformula cross-check")
+        matches = True
+        for label, predicted, observed in expectations:
+            verdict = "ok" if predicted == observed else "MISMATCH"
+            print(f"  {label}: formula {predicted}, observed {observed}  [{verdict}]")
+            matches &= predicted == observed
+        print("all formulas match" if matches else "MISMATCH")
+    else:
+        matches = all(
+            predicted == observed for _, predicted, observed in expectations
+        )
+
+    if args.json is not None:
+        snapshot = obs.snapshot()
+        document = json.dumps(snapshot, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(document)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(document + "\n")
+            print(f"obs snapshot written to {args.json}")
+    return 0 if matches else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -461,6 +576,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "selfcheck": _command_selfcheck,
         "serve-batch": _command_serve_batch,
         "stats": _command_stats,
+        "obs-report": _command_obs_report,
     }
     try:
         return handlers[args.command](args)

@@ -56,10 +56,22 @@ class AdaptiveOptimizer(JoinOrderer):
         graph: QueryGraph,
         cost_model: CostModel | None = None,
         catalog: Catalog | None = None,
+        instrumentation=None,
     ) -> OptimizationResult:
-        """Dispatch to the chosen algorithm; result names the delegate."""
+        """Dispatch to the chosen algorithm; result names the delegate.
+
+        The delegate publishes its obs events under its own name
+        (``enumerator.DPccp.*``), which is what the paper's per-
+        algorithm accounting wants; only the returned result carries
+        the combined ``adaptive->`` label.
+        """
         delegate = self.choose(graph)
-        result = delegate.optimize(graph, cost_model=cost_model, catalog=catalog)
+        result = delegate.optimize(
+            graph,
+            cost_model=cost_model,
+            catalog=catalog,
+            instrumentation=instrumentation,
+        )
         result.algorithm = f"{self.name}->{delegate.name}"
         return result
 

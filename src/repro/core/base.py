@@ -12,8 +12,9 @@ from __future__ import annotations
 
 import abc
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro import bitset
 from repro.catalog.catalog import Catalog
@@ -26,6 +27,9 @@ from repro.errors import (
 )
 from repro.graph.querygraph import QueryGraph
 from repro.plans.jointree import JoinTree
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.instrumentation import Instrumentation
 
 __all__ = ["CounterSet", "PlanTable", "OptimizationResult", "JoinOrderer"]
 
@@ -80,10 +84,15 @@ class PlanTable:
     across enumeration orders that produce equal-cost plans.
     """
 
-    __slots__ = ("_plans",)
+    __slots__ = ("_plans", "probes", "improvements")
 
     def __init__(self) -> None:
         self._plans: dict[int, JoinTree] = {}
+        #: register/consider calls (cheap plain ints, published to the
+        #: obs layer once per run as plan_table_probes/_improvements).
+        self.probes = 0
+        #: probes that changed the table (new set or cheaper plan).
+        self.improvements = 0
 
     def get(self, mask: int) -> JoinTree | None:
         """Best plan known for ``mask``, or ``None``."""
@@ -109,9 +118,11 @@ class PlanTable:
 
         Returns ``True`` when the table changed.
         """
+        self.probes += 1
         incumbent = self._plans.get(plan.relations)
         if incumbent is None or plan.cost < incumbent.cost:
             self._plans[plan.relations] = plan
+            self.improvements += 1
             return True
         return False
 
@@ -125,6 +136,7 @@ class PlanTable:
         ``CreateJoinTree`` every production DP optimizer uses. Returns
         ``True`` when the table changed.
         """
+        self.probes += 1
         cardinality, cost, operator = cost_model.price(left, right)
         mask = left.relations | right.relations
         incumbent = self._plans.get(mask)
@@ -133,6 +145,7 @@ class PlanTable:
         self._plans[mask] = JoinTree.join(
             left, right, cardinality=cardinality, cost=cost, operator=operator
         )
+        self.improvements += 1
         return True
 
     def masks(self) -> Iterator[int]:
@@ -152,6 +165,8 @@ class OptimizationResult:
         table_size: number of entries in the final ``BestPlan`` table
             (equals ``#csg`` for the DP algorithms).
         elapsed_seconds: wall-clock optimization time.
+        table_probes: plan-table register/consider calls during the run.
+        table_improvements: probes that changed the table.
     """
 
     plan: JoinTree
@@ -160,6 +175,8 @@ class OptimizationResult:
     n_relations: int
     table_size: int
     elapsed_seconds: float
+    table_probes: int = 0
+    table_improvements: int = 0
 
     @property
     def cost(self) -> float:
@@ -189,6 +206,7 @@ class JoinOrderer(abc.ABC):
         graph: QueryGraph,
         cost_model: CostModel | None = None,
         catalog: Catalog | None = None,
+        instrumentation: "Instrumentation | None" = None,
     ) -> OptimizationResult:
         """Find the optimal bushy cross-product-free join tree.
 
@@ -198,6 +216,12 @@ class JoinOrderer(abc.ABC):
                 :class:`~repro.cost.cout.CoutModel` over ``catalog``.
             catalog: statistics used only when ``cost_model`` is not
                 given.
+            instrumentation: optional :class:`repro.obs.Instrumentation`
+                context; the run is wrapped in an ``optimize:<name>``
+                span and its counters are published once, after the
+                enumeration, as ``enumerator.<name>.*`` events. ``None``
+                (the default) keeps the uninstrumented fast path: no
+                obs call happens anywhere.
 
         Raises:
             EmptyQueryError: zero relations (unreachable via
@@ -221,26 +245,45 @@ class JoinOrderer(abc.ABC):
             )
 
         counters = CounterSet()
-        started = time.perf_counter()
-        if graph.n_relations == 1:
-            plan = cost_model.leaf(0)
-            table_size = 1
-        else:
-            table = PlanTable()
-            for index in range(graph.n_relations):
-                table.register(cost_model.leaf(index))
-            self._run(graph, cost_model, table, counters)
-            plan = table[graph.all_relations]
-            table_size = len(table)
-        elapsed = time.perf_counter() - started
-        return OptimizationResult(
+        span_context = (
+            instrumentation.span(
+                f"optimize:{self.name}",
+                algorithm=self.name,
+                n_relations=graph.n_relations,
+            )
+            if instrumentation is not None
+            else nullcontext()
+        )
+        table_probes = 0
+        table_improvements = 0
+        with span_context:
+            started = time.perf_counter()
+            if graph.n_relations == 1:
+                plan = cost_model.leaf(0)
+                table_size = 1
+            else:
+                table = PlanTable()
+                for index in range(graph.n_relations):
+                    table.register(cost_model.leaf(index))
+                self._run(graph, cost_model, table, counters)
+                plan = table[graph.all_relations]
+                table_size = len(table)
+                table_probes = table.probes
+                table_improvements = table.improvements
+            elapsed = time.perf_counter() - started
+        result = OptimizationResult(
             plan=plan,
             counters=counters,
             algorithm=self.name,
             n_relations=graph.n_relations,
             table_size=table_size,
             elapsed_seconds=elapsed,
+            table_probes=table_probes,
+            table_improvements=table_improvements,
         )
+        if instrumentation is not None:
+            instrumentation.record_optimization(result)
+        return result
 
     @abc.abstractmethod
     def _run(

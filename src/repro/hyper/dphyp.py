@@ -20,6 +20,7 @@ the same csg-cmp-pairs as DPccp (the tests pin this).
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 from repro import bitset
@@ -39,7 +40,13 @@ __all__ = ["DPhyp", "HyperOptimizationResult"]
 
 @dataclass(slots=True)
 class HyperOptimizationResult:
-    """Result of a DPhyp run (mirrors OptimizationResult)."""
+    """Result of a DPhyp run (mirrors OptimizationResult).
+
+    ``table_probes``/``table_improvements`` mirror the simple-graph
+    result so :meth:`repro.obs.Instrumentation.record_optimization`
+    accepts either; DPhyp's direct-dict table counts its probes as
+    ``create_join_tree_calls`` (every emit prices and probes once).
+    """
 
     plan: JoinTree
     counters: CounterSet
@@ -47,6 +54,8 @@ class HyperOptimizationResult:
     n_relations: int
     table_size: int
     elapsed_seconds: float
+    table_probes: int = 0
+    table_improvements: int = 0
 
     @property
     def cost(self) -> float:
@@ -64,8 +73,16 @@ class DPhyp:
         hypergraph: Hypergraph,
         cost_model: HyperCoutModel | None = None,
         catalog: Catalog | None = None,
+        instrumentation=None,
     ) -> HyperOptimizationResult:
         """Find the optimal bushy cross-product-free tree.
+
+        Args:
+            instrumentation: optional :class:`repro.obs.Instrumentation`;
+                the run is spanned and its counters published as
+                ``enumerator.DPhyp.*`` events, exactly like the
+                simple-graph enumerators. ``None`` keeps the
+                uninstrumented fast path.
 
         Raises:
             DisconnectedGraphError: the hypergraph is not connected.
@@ -81,29 +98,44 @@ class DPhyp:
             cost_model = HyperCoutModel(hypergraph, catalog)
 
         counters = CounterSet()
-        started = time.perf_counter()
-        table: dict[int, JoinTree] = {}
-        for index in range(hypergraph.n_relations):
-            table[bitset.bit(index)] = cost_model.leaf(index)
-
-        if hypergraph.n_relations > 1:
-            self._solve(hypergraph, cost_model, table, counters)
-        plan = table.get(hypergraph.all_relations)
-        if plan is None:
-            raise OptimizerError(
-                "no cross-product-free join tree exists: the hypergraph "
-                "is connected only through hyperedges whose sides are "
-                "not themselves joinable"
+        span_context = (
+            instrumentation.span(
+                f"optimize:{self.name}",
+                algorithm=self.name,
+                n_relations=hypergraph.n_relations,
             )
-        counters.csg_cmp_pair_counter = 2 * counters.ono_lohman_counter
-        return HyperOptimizationResult(
+            if instrumentation is not None
+            else nullcontext()
+        )
+        with span_context:
+            started = time.perf_counter()
+            table: dict[int, JoinTree] = {}
+            for index in range(hypergraph.n_relations):
+                table[bitset.bit(index)] = cost_model.leaf(index)
+
+            if hypergraph.n_relations > 1:
+                self._solve(hypergraph, cost_model, table, counters)
+            plan = table.get(hypergraph.all_relations)
+            if plan is None:
+                raise OptimizerError(
+                    "no cross-product-free join tree exists: the hypergraph "
+                    "is connected only through hyperedges whose sides are "
+                    "not themselves joinable"
+                )
+            counters.csg_cmp_pair_counter = 2 * counters.ono_lohman_counter
+            elapsed = time.perf_counter() - started
+        result = HyperOptimizationResult(
             plan=plan,
             counters=counters,
             algorithm=self.name,
             n_relations=hypergraph.n_relations,
             table_size=len(table),
-            elapsed_seconds=time.perf_counter() - started,
+            elapsed_seconds=elapsed,
+            table_probes=counters.create_join_tree_calls,
         )
+        if instrumentation is not None:
+            instrumentation.record_optimization(result)
+        return result
 
     # ------------------------------------------------------------------
     # The 2008 paper's Solve / EnumerateCsgRec / EmitCsg / EnumerateCmpRec

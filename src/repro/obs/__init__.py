@@ -1,0 +1,56 @@
+"""repro.obs — unified tracing and metrics for enumerators and the service.
+
+One lightweight observability layer shared by every part of the system:
+
+* :class:`CounterRegistry` — named monotonic counters; the paper's
+  ``InnerCounter`` / ``#ccp`` become first-class observable events
+  (``enumerator.DPccp.inner_loop_tests``, ``enumerator.DPccp.ccp_emitted``);
+* :class:`Histogram` / :class:`HistogramRegistry` — latency percentiles
+  over a sliding window (the logic the service layer now reuses);
+* :class:`Tracer` / :class:`Span` — nested spans with wall and CPU
+  timings, per-thread trees, bounded retention;
+* :class:`Instrumentation` — the bundle call sites thread through
+  (``optimize(graph, instrumentation=obs)``,
+  ``PlanService(instrumentation=obs)``);
+* :mod:`~repro.obs.export` — JSON, Prometheus text format, and the
+  human report behind ``python -m repro obs-report``.
+
+Overhead contract: when no instrumentation is passed (the default) or a
+disabled one is used, **no obs call happens on any enumeration hot
+path** — counters are published once per run from the accumulated
+:class:`~repro.core.base.CounterSet`, so the uninstrumented fast path
+is the pre-obs fast path.
+
+Quick start::
+
+    from repro.obs import Instrumentation
+    from repro.core import DPccp
+    from repro.graph import star_graph
+
+    obs = Instrumentation()
+    DPccp().optimize(star_graph(8, selectivity=0.1), instrumentation=obs)
+    print(obs.counters.value("enumerator.DPccp.inner_loop_tests"))
+    print(obs.tracer.last_root())
+"""
+
+from repro.obs.counters import Counter, CounterRegistry
+from repro.obs.export import render_report, to_json, to_prometheus
+from repro.obs.histogram import DEFAULT_WINDOW, Histogram, HistogramRegistry
+from repro.obs.instrumentation import NULL_INSTRUMENTATION, Instrumentation
+from repro.obs.tracer import Span, Tracer, render_span_tree
+
+__all__ = [
+    "Counter",
+    "CounterRegistry",
+    "Histogram",
+    "HistogramRegistry",
+    "DEFAULT_WINDOW",
+    "Span",
+    "Tracer",
+    "render_span_tree",
+    "Instrumentation",
+    "NULL_INSTRUMENTATION",
+    "render_report",
+    "to_json",
+    "to_prometheus",
+]

@@ -1,0 +1,88 @@
+"""Named monotonic counters — the obs layer's accounting primitive.
+
+The paper's entire methodology is counting work (``InnerCounter``,
+``CsgCmpPairCounter``); a :class:`CounterRegistry` makes those counts
+first-class observable events shared by every enumerator and the plan
+service instead of ad-hoc per-algorithm fields. Counters are
+lock-guarded (a Python ``+=`` is not atomic across threads) and
+monotonic; registries hand out one :class:`Counter` instance per name so
+call sites can hoist the lookup out of their loops.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["Counter", "CounterRegistry"]
+
+
+class Counter:
+    """A monotonically increasing, thread-safe counter."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1) to the counter."""
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        """Current count."""
+        with self._lock:
+            return self._value
+
+
+class CounterRegistry:
+    """Named counters, created on first use.
+
+    ``registry.increment("enumerator.inner_loop_tests", 42)`` is the
+    one-shot form; ``registry.counter(name)`` returns the instrument
+    itself for call sites that increment repeatedly.
+    """
+
+    __slots__ = ("_lock", "_counters")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created if needed."""
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = self._counters[name] = Counter()
+            return counter
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        """Increment the counter called ``name`` by ``amount``."""
+        self.counter(name).increment(amount)
+
+    def value(self, name: str) -> int:
+        """Current value of ``name`` (0 for a never-touched counter)."""
+        with self._lock:
+            counter = self._counters.get(name)
+        return 0 if counter is None else counter.value
+
+    def names(self) -> list[str]:
+        """Sorted names of every registered counter."""
+        with self._lock:
+            return sorted(self._counters)
+
+    def snapshot(self) -> dict[str, int]:
+        """All counters as a plain name → value dict (sorted by name)."""
+        with self._lock:
+            counters = sorted(self._counters.items())
+        return {name: counter.value for name, counter in counters}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._counters)
+
+    def __repr__(self) -> str:
+        return f"CounterRegistry({len(self)} counters)"

@@ -1,0 +1,114 @@
+"""Exporters for instrumentation snapshots.
+
+Three formats, all fed from :meth:`Instrumentation.snapshot`:
+
+* :func:`to_json` — the snapshot as a JSON document (CI artifacts,
+  ``--json`` CLI flags);
+* :func:`to_prometheus` — the Prometheus text exposition format
+  (counters as ``counter``, histograms as ``summary`` with quantiles
+  in seconds), for scraping a long-lived service;
+* :func:`render_report` — monospace tables plus span trees for humans
+  (the CLI ``obs-report`` and ``stats`` commands).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Mapping
+
+from repro.obs.instrumentation import Instrumentation
+from repro.obs.tracer import Span
+
+__all__ = ["to_json", "to_prometheus", "render_report"]
+
+_INVALID_METRIC_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Summary keys exported as Prometheus quantiles (values arrive in ms).
+_QUANTILE_KEYS = (("p50_ms", "0.5"), ("p95_ms", "0.95"), ("p99_ms", "0.99"))
+
+
+def to_json(snapshot: Mapping, indent: int | None = 2) -> str:
+    """Serialize a snapshot dict as JSON."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
+
+
+def metric_name(name: str, prefix: str = "repro") -> str:
+    """A Prometheus-legal metric name for an obs instrument name."""
+    sanitized = _INVALID_METRIC_CHARS.sub("_", name)
+    return f"{prefix}_{sanitized}" if prefix else sanitized
+
+
+def to_prometheus(snapshot: Mapping, prefix: str = "repro") -> str:
+    """Render counters and histograms in the Prometheus text format.
+
+    Spans have no Prometheus equivalent and are skipped. Histogram
+    summaries are exported as the ``summary`` type with quantiles and
+    ``_sum`` converted from the snapshot's milliseconds to seconds (the
+    Prometheus base unit).
+    """
+    lines: list[str] = []
+    for name, value in snapshot.get("counters", {}).items():
+        metric = metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+    for name, summary in snapshot.get("histograms", {}).items():
+        metric = metric_name(f"{name}_seconds", prefix)
+        count = summary.get("count", 0)
+        lines.append(f"# TYPE {metric} summary")
+        for key, quantile in _QUANTILE_KEYS:
+            if key in summary:
+                lines.append(
+                    f'{metric}{{quantile="{quantile}"}} {summary[key] / 1000.0:.9g}'
+                )
+        mean_ms = summary.get("mean_ms", 0.0)
+        lines.append(f"{metric}_sum {mean_ms * count / 1000.0:.9g}")
+        lines.append(f"{metric}_count {count}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def render_report(
+    instrumentation: Instrumentation,
+    include_spans: bool = True,
+    span_limit: int = 4,
+) -> str:
+    """Human-readable report: counter table, histogram table, span trees."""
+    from repro.bench.reporting import render_table
+    from repro.obs.tracer import render_span_tree
+
+    snapshot = instrumentation.snapshot(include_spans=False)
+    sections: list[str] = []
+    counters: Mapping[str, int] = snapshot["counters"]
+    if counters:
+        sections.append(
+            "counters\n"
+            + render_table(
+                ["name", "value"],
+                [[name, value] for name, value in counters.items()],
+            )
+        )
+    histograms: Mapping[str, Mapping] = snapshot["histograms"]
+    populated = {
+        name: summary for name, summary in histograms.items() if summary.get("count")
+    }
+    if populated:
+        columns = ("count", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "max_ms")
+        sections.append(
+            "timings\n"
+            + render_table(
+                ["name", *columns],
+                [
+                    [name, *(_round(summary.get(column)) for column in columns)]
+                    for name, summary in populated.items()
+                ],
+            )
+        )
+    if include_spans:
+        roots: list[Span] = instrumentation.tracer.roots()
+        for root in roots[-span_limit:]:
+            sections.append("span tree\n" + render_span_tree(root))
+    return "\n\n".join(sections) if sections else "no observations recorded"
+
+
+def _round(value):
+    return round(value, 3) if isinstance(value, float) else value

@@ -1,0 +1,155 @@
+"""The shared instrumentation context every layer threads through.
+
+An :class:`Instrumentation` bundles one :class:`CounterRegistry`, one
+:class:`HistogramRegistry` and one :class:`Tracer` so enumerators, the
+plan service and the CLI all report into the *same* instruments. It is
+the only obs type call sites need to know.
+
+Design rule (the overhead guard enforces it): **nothing on an
+enumeration hot path calls into this module.** Enumerators accumulate
+their paper counters in the existing :class:`~repro.core.base.CounterSet`
+plain-int fields exactly as before and publish the totals *once per
+run* via :meth:`Instrumentation.record_optimization`; when no
+instrumentation is passed (or a disabled one), that publish is a no-op
+and enumeration runs the pre-obs fast path.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager, nullcontext
+from typing import TYPE_CHECKING, ContextManager
+
+from repro.obs.counters import CounterRegistry
+from repro.obs.histogram import HistogramRegistry
+from repro.obs.tracer import DEFAULT_SPAN_CAPACITY, Span, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.base import OptimizationResult
+
+__all__ = ["Instrumentation", "NULL_INSTRUMENTATION"]
+
+#: CounterSet field → published counter suffix. ``inner_counter`` is
+#: the paper's InnerCounter; ``ono_lohman_counter`` the Figure 3
+#: ``#ccp`` column (unordered csg-cmp-pairs).
+_COUNTER_EVENTS: tuple[tuple[str, str], ...] = (
+    ("inner_counter", "inner_loop_tests"),
+    ("csg_cmp_pair_counter", "csg_cmp_pairs"),
+    ("ono_lohman_counter", "ccp_emitted"),
+    ("create_join_tree_calls", "cost_evaluations"),
+    ("connectivity_check_failures", "connectivity_check_failures"),
+)
+
+
+class Instrumentation:
+    """One tracer + counter registry + histogram registry, shared.
+
+    Args:
+        enabled: a disabled instrumentation accepts every call as a
+            cheap no-op, so library code can hold a reference
+            unconditionally.
+        span_capacity: completed root spans retained by the tracer.
+    """
+
+    __slots__ = ("enabled", "counters", "histograms", "tracer")
+
+    def __init__(
+        self, enabled: bool = True, span_capacity: int = DEFAULT_SPAN_CAPACITY
+    ) -> None:
+        self.enabled = enabled
+        self.counters = CounterRegistry()
+        self.histograms = HistogramRegistry()
+        self.tracer = Tracer(capacity=span_capacity)
+
+    # ------------------------------------------------------------------
+    # Primitive operations
+    # ------------------------------------------------------------------
+
+    def span(self, name: str, **attributes) -> "ContextManager[Span | None]":
+        """A tracer span, or an inert context when disabled."""
+        if not self.enabled:
+            return nullcontext(None)
+        return self.tracer.span(name, **attributes)
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Increment the counter called ``name``."""
+        if self.enabled:
+            self.counters.increment(name, amount)
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record a duration into the histogram called ``name``."""
+        if self.enabled:
+            self.histograms.observe(name, seconds)
+
+    @contextmanager
+    def timed(self, histogram_name: str, span_name: str | None = None, **attributes):
+        """Time a block into a histogram (and optionally a span)."""
+        import time
+
+        if not self.enabled:
+            yield None
+            return
+        started = time.perf_counter()
+        if span_name is None:
+            yield None
+        else:
+            with self.tracer.span(span_name, **attributes) as span:
+                yield span
+        self.histograms.observe(histogram_name, time.perf_counter() - started)
+
+    # ------------------------------------------------------------------
+    # Enumerator integration
+    # ------------------------------------------------------------------
+
+    def record_optimization(self, result: "OptimizationResult") -> None:
+        """Publish one optimizer run's counters as observable events.
+
+        Called once per ``optimize()`` (never from the enumeration hot
+        loop) by :class:`~repro.core.base.JoinOrderer` and
+        :class:`~repro.hyper.dphyp.DPhyp`. Counter names are
+        namespaced per algorithm (``enumerator.DPccp.inner_loop_tests``)
+        because the paper's analysis is *per algorithm per graph*;
+        aggregate views sum over the namespace.
+        """
+        if not self.enabled:
+            return
+        increment = self.counters.increment
+        prefix = f"enumerator.{result.algorithm}"
+        increment("enumerator.runs")
+        counters = result.counters
+        for field, suffix in _COUNTER_EVENTS:
+            amount = getattr(counters, field)
+            if amount:
+                increment(f"{prefix}.{suffix}", amount)
+        if result.table_probes:
+            increment(f"{prefix}.plan_table_probes", result.table_probes)
+        if result.table_improvements:
+            increment(f"{prefix}.plan_table_improvements", result.table_improvements)
+        self.histograms.observe(
+            f"{prefix}.optimize_seconds", result.elapsed_seconds
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def snapshot(self, include_spans: bool = True) -> dict:
+        """Counters, histograms and (optionally) span trees as one dict."""
+        snapshot: dict = {
+            "counters": self.counters.snapshot(),
+            "histograms": self.histograms.snapshot(),
+        }
+        if include_spans:
+            snapshot["spans"] = [root.as_dict() for root in self.tracer.roots()]
+        return snapshot
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return (
+            f"Instrumentation({state}, {len(self.counters)} counters, "
+            f"{len(self.histograms)} histograms, {len(self.tracer)} spans)"
+        )
+
+
+#: A process-wide disabled instance: hold it where an Instrumentation
+#: is structurally required but observation is off.
+NULL_INSTRUMENTATION = Instrumentation(enabled=False)

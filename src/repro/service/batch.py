@@ -62,10 +62,13 @@ def plan_batch(
     metrics = service.metrics
     metrics.counter("batch_requests").increment(len(requests))
 
-    fingerprints = [
-        service.fingerprint_of(request.graph, request.catalog)
-        for request in requests
-    ]
+    with service.instrumentation.span(
+        "service.batch_fingerprint", requests=len(requests)
+    ):
+        fingerprints = [
+            service.fingerprint_of(request.graph, request.catalog)
+            for request in requests
+        ]
     groups: "OrderedDict[str, list[int]]" = OrderedDict()
     for index, (request, fingerprint) in enumerate(zip(requests, fingerprints)):
         groups.setdefault(service.cache_key_of(request, fingerprint), []).append(index)

@@ -1,113 +1,34 @@
-"""Lightweight service metrics: counters and latency histograms.
+"""Service metrics, backed by the unified :mod:`repro.obs` layer.
 
-No third-party dependencies and no background threads — just
-lock-guarded counters and bounded latency reservoirs, cheap enough to
-sit on the request hot path. A :class:`MetricsRegistry` owns named
-instruments and renders point-in-time snapshots as a plain dict
-(JSON-ready) or a monospace table (for the CLI ``stats`` command).
+Historically this module owned its own counter and histogram
+implementations; those now live in :mod:`repro.obs` (one accounting
+system for enumerators *and* the service) and are re-exported here
+under their original names. :class:`MetricsRegistry` keeps its API but
+is a thin view over an obs :class:`~repro.obs.CounterRegistry` and
+:class:`~repro.obs.HistogramRegistry` — pass the registries of a shared
+:class:`~repro.obs.Instrumentation` and service counters, enumerator
+counters and span timings all land in the same snapshot.
 """
 
 from __future__ import annotations
 
 import json
-import threading
-from collections import deque
 from typing import Mapping
+
+from repro.obs.counters import Counter, CounterRegistry
+from repro.obs.histogram import DEFAULT_WINDOW, Histogram, HistogramRegistry
 
 __all__ = [
     "Counter",
     "LatencyHistogram",
     "MetricsRegistry",
     "render_snapshot",
+    "DEFAULT_WINDOW",
 ]
 
-#: Samples retained per histogram. Percentiles are computed over a
-#: sliding window of the most recent observations; 8192 samples bound
-#: both memory and snapshot sort cost while keeping tail estimates
-#: stable for the workloads the CLI generates.
-DEFAULT_WINDOW = 8192
-
-
-class Counter:
-    """A monotonically increasing, thread-safe counter."""
-
-    __slots__ = ("_lock", "_value")
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._value = 0
-
-    def increment(self, amount: int = 1) -> None:
-        """Add ``amount`` (default 1) to the counter."""
-        with self._lock:
-            self._value += amount
-
-    @property
-    def value(self) -> int:
-        """Current count."""
-        with self._lock:
-            return self._value
-
-
-class LatencyHistogram:
-    """Latency summary over a sliding window of observations.
-
-    Records durations in seconds; reports milliseconds (the natural
-    unit for optimizer latencies). Tracks exact count/mean/min/max over
-    *all* observations and percentiles over the retained window.
-    """
-
-    __slots__ = ("_lock", "_samples", "_count", "_sum", "_min", "_max")
-
-    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
-        self._lock = threading.Lock()
-        self._samples: deque[float] = deque(maxlen=window)
-        self._count = 0
-        self._sum = 0.0
-        self._min = float("inf")
-        self._max = 0.0
-
-    def observe(self, seconds: float) -> None:
-        """Record one duration (in seconds)."""
-        with self._lock:
-            self._samples.append(seconds)
-            self._count += 1
-            self._sum += seconds
-            self._min = min(self._min, seconds)
-            self._max = max(self._max, seconds)
-
-    @property
-    def count(self) -> int:
-        """Total number of observations ever recorded."""
-        with self._lock:
-            return self._count
-
-    def summary(self) -> dict[str, float | int]:
-        """Point-in-time summary with p50/p95/p99 in milliseconds."""
-        with self._lock:
-            count = self._count
-            if count == 0:
-                return {"count": 0}
-            ordered = sorted(self._samples)
-            mean = self._sum / count
-            minimum, maximum = self._min, self._max
-        return {
-            "count": count,
-            "mean_ms": mean * 1000.0,
-            "min_ms": minimum * 1000.0,
-            "p50_ms": _percentile(ordered, 0.50) * 1000.0,
-            "p95_ms": _percentile(ordered, 0.95) * 1000.0,
-            "p99_ms": _percentile(ordered, 0.99) * 1000.0,
-            "max_ms": maximum * 1000.0,
-        }
-
-
-def _percentile(ordered: list[float], fraction: float) -> float:
-    """Nearest-rank percentile over an ascending sample list."""
-    if not ordered:
-        return 0.0
-    rank = max(0, min(len(ordered) - 1, round(fraction * (len(ordered) - 1))))
-    return ordered[rank]
+#: Backwards-compatible alias: the service's latency histogram is the
+#: obs histogram (seconds in, milliseconds out).
+LatencyHistogram = Histogram
 
 
 class MetricsRegistry:
@@ -115,40 +36,36 @@ class MetricsRegistry:
 
     Instruments are created on first use, so call sites read as
     ``metrics.counter("requests").increment()``.
+
+    Args:
+        counters / histograms: existing obs registries to share; by
+            default the registry owns private ones (the pre-obs
+            behavior).
     """
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._counters: dict[str, Counter] = {}
-        self._histograms: dict[str, LatencyHistogram] = {}
+    def __init__(
+        self,
+        counters: CounterRegistry | None = None,
+        histograms: HistogramRegistry | None = None,
+    ) -> None:
+        self._counters = counters if counters is not None else CounterRegistry()
+        self._histograms = (
+            histograms if histograms is not None else HistogramRegistry()
+        )
 
     def counter(self, name: str) -> Counter:
         """The counter called ``name``, created if needed."""
-        with self._lock:
-            if name not in self._counters:
-                self._counters[name] = Counter()
-            return self._counters[name]
+        return self._counters.counter(name)
 
-    def histogram(self, name: str) -> LatencyHistogram:
+    def histogram(self, name: str) -> Histogram:
         """The histogram called ``name``, created if needed."""
-        with self._lock:
-            if name not in self._histograms:
-                self._histograms[name] = LatencyHistogram()
-            return self._histograms[name]
+        return self._histograms.histogram(name)
 
     def snapshot(self) -> dict:
         """All instruments as a plain, JSON-serializable dict."""
-        with self._lock:
-            counters = dict(self._counters)
-            histograms = dict(self._histograms)
         return {
-            "counters": {
-                name: counter.value for name, counter in sorted(counters.items())
-            },
-            "histograms": {
-                name: histogram.summary()
-                for name, histogram in sorted(histograms.items())
-            },
+            "counters": self._counters.snapshot(),
+            "histograms": self._histograms.snapshot(),
         }
 
     def to_json(self, indent: int | None = 2) -> str:

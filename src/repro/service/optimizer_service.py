@@ -48,6 +48,7 @@ from repro.service.fingerprint import (
     Fingerprint,
     compute_fingerprint,
 )
+from repro.obs.instrumentation import Instrumentation
 from repro.service.metrics import MetricsRegistry
 from repro.service.plancache import CacheStats, PlanCache
 
@@ -129,6 +130,11 @@ class PlanService:
         default_deadline_seconds: deadline applied to requests that do
             not carry their own; ``None`` means unbounded.
         card_digits / sel_digits: fingerprint quantization.
+        instrumentation: shared :class:`repro.obs.Instrumentation`; the
+            service creates a private one when not given. Cache
+            counters, request counters/latencies, per-request span
+            trees and the enumerators' ``enumerator.*`` events all land
+            in this one context.
 
     The service is a context manager; :meth:`close` drains the worker
     pool.
@@ -144,6 +150,7 @@ class PlanService:
         default_deadline_seconds: float | None = None,
         card_digits: int = DEFAULT_CARD_DIGITS,
         sel_digits: int = DEFAULT_SEL_DIGITS,
+        instrumentation: Instrumentation | None = None,
     ) -> None:
         if algorithm not in ALGORITHMS:
             known = ", ".join(sorted(ALGORITHMS))
@@ -165,8 +172,17 @@ class PlanService:
         self._default_deadline = default_deadline_seconds
         self._card_digits = card_digits
         self._sel_digits = sel_digits
-        self._cache = PlanCache(capacity=cache_capacity, ttl_seconds=ttl_seconds)
-        self._metrics = MetricsRegistry()
+        self._obs = (
+            instrumentation if instrumentation is not None else Instrumentation()
+        )
+        self._cache = PlanCache(
+            capacity=cache_capacity,
+            ttl_seconds=ttl_seconds,
+            counters=self._obs.counters,
+        )
+        self._metrics = MetricsRegistry(
+            counters=self._obs.counters, histograms=self._obs.histograms
+        )
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="plan-service"
         )
@@ -210,6 +226,25 @@ class PlanService:
         """
         if self._closed.is_set():
             raise ServiceError("the plan service is closed")
+        with self._obs.span(
+            "service.request",
+            algorithm=request.algorithm or self._algorithm,
+            n_relations=request.graph.n_relations,
+        ) as span:
+            response = self._plan_under_span(request, fingerprint)
+            if span is not None:
+                span.attributes["outcome"] = (
+                    "degraded"
+                    if response.degraded
+                    else "hit" if response.cache_hit else "miss"
+                )
+                span.attributes["elapsed_seconds"] = response.elapsed_seconds
+            return response
+
+    def _plan_under_span(
+        self, request: PlanRequest, fingerprint: Fingerprint
+    ) -> PlanResponse:
+        """The request pipeline proper (cache → pool → deadline)."""
         started = time.perf_counter()
         self._metrics.counter("requests").increment()
         algorithm = request.algorithm or self._algorithm
@@ -225,7 +260,8 @@ class PlanService:
         )
         cache_key = f"{algorithm}:{fingerprint.key}"
 
-        status, payload = self._cache.get_or_join(cache_key)
+        with self._obs.span("service.cache_lookup"):
+            status, payload = self._cache.get_or_join(cache_key)
         if status == "hit":
             entry: _CacheEntry = payload
             self._metrics.counter("cache_hits").increment()
@@ -246,10 +282,11 @@ class PlanService:
 
         future: Future = payload if status == "follower" else job
         try:
-            if deadline is not None:
-                entry = future.result(timeout=max(0.0, deadline))
-            else:
-                entry = future.result()
+            with self._obs.span("service.wait", role=status):
+                if deadline is not None:
+                    entry = future.result(timeout=max(0.0, deadline))
+                else:
+                    entry = future.result()
         except FutureTimeoutError:
             return self._degrade(request, fingerprint, started)
         if status == "leader":
@@ -267,8 +304,13 @@ class PlanService:
         canonical_graph, canonical_catalog = fingerprint.canonical_instance(
             request.graph, request.catalog
         )
+        # Runs on a pool thread: the enumerator's optimize:<name> span
+        # becomes its own root there, and its counters land in the
+        # shared registries.
         result = make_algorithm(algorithm).optimize(
-            canonical_graph, catalog=canonical_catalog
+            canonical_graph,
+            catalog=canonical_catalog,
+            instrumentation=self._obs,
         )
         self._metrics.histogram("optimize_seconds").observe(result.elapsed_seconds)
         return _CacheEntry(
@@ -295,11 +337,12 @@ class PlanService:
         cache_hit: bool,
     ) -> PlanResponse:
         """Translate a canonical cache entry into the request's numbering."""
-        plan = relabel_plan(
-            entry.canonical_plan,
-            fingerprint.old_of_new,
-            names=request.graph.names,
-        )
+        with self._obs.span("service.relabel"):
+            plan = relabel_plan(
+                entry.canonical_plan,
+                fingerprint.old_of_new,
+                names=request.graph.names,
+            )
         elapsed = time.perf_counter() - started
         self._metrics.histogram("plan_latency").observe(elapsed)
         return PlanResponse(
@@ -324,9 +367,10 @@ class PlanService:
         never cached.
         """
         self._metrics.counter("degraded").increment()
-        result = make_algorithm(self._fallback).optimize(
-            request.graph, catalog=request.catalog
-        )
+        with self._obs.span("service.degrade", fallback=self._fallback):
+            result = make_algorithm(self._fallback).optimize(
+                request.graph, catalog=request.catalog, instrumentation=self._obs
+            )
         elapsed = time.perf_counter() - started
         self._metrics.histogram("plan_latency").observe(elapsed)
         return PlanResponse(
@@ -379,8 +423,13 @@ class PlanService:
 
     @property
     def metrics(self) -> MetricsRegistry:
-        """The service's metrics registry."""
+        """The service's metrics registry (a view over the obs context)."""
         return self._metrics
+
+    @property
+    def instrumentation(self) -> Instrumentation:
+        """The shared obs context: counters, histograms, span trees."""
+        return self._obs
 
     def snapshot(self) -> dict:
         """Metrics plus cache stats as one JSON-ready dict."""

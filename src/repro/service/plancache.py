@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Literal
 
 from repro.errors import ServiceError
+from repro.obs.counters import CounterRegistry
 
 __all__ = ["CacheStats", "PlanCache"]
 
@@ -84,6 +85,11 @@ class PlanCache:
         capacity: maximum number of stored entries (> 0).
         ttl_seconds: entry lifetime; ``None`` disables expiry.
         clock: monotonic time source, injectable for tests.
+        counters: obs counter registry to publish ``cache.*`` counters
+            into; the cache owns a private registry when not given.
+            Passing a shared :class:`~repro.obs.Instrumentation`'s
+            registry is how the plan service funnels cache hit-rates
+            into the unified snapshot.
     """
 
     def __init__(
@@ -91,6 +97,7 @@ class PlanCache:
         capacity: int = 1024,
         ttl_seconds: float | None = None,
         clock: Callable[[], float] = time.monotonic,
+        counters: CounterRegistry | None = None,
     ) -> None:
         if capacity <= 0:
             raise ServiceError(f"cache capacity must be positive, got {capacity}")
@@ -102,11 +109,16 @@ class PlanCache:
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, tuple[Any, float | None]]" = OrderedDict()
         self._inflight: dict[str, Future] = {}
-        self._hits = 0
-        self._misses = 0
-        self._coalesced = 0
-        self._evictions = 0
-        self._expirations = 0
+        registry = counters if counters is not None else CounterRegistry()
+        self._counters = registry
+        # One obs Counter per stat, hoisted so the hot path never does
+        # a name lookup. Counter locks nest inside the cache lock and
+        # acquire nothing else, so ordering is deadlock-free.
+        self._hits = registry.counter("cache.hits")
+        self._misses = registry.counter("cache.misses")
+        self._coalesced = registry.counter("cache.coalesced")
+        self._evictions = registry.counter("cache.evictions")
+        self._expirations = registry.counter("cache.expirations")
 
     # ------------------------------------------------------------------
     # Core dictionary operations
@@ -117,9 +129,9 @@ class PlanCache:
         with self._lock:
             value = self._lookup(key)
             if value is not None:
-                self._hits += 1
+                self._hits.increment()
             else:
-                self._misses += 1
+                self._misses.increment()
             return value
 
     def put(self, key: str, value: Any) -> None:
@@ -137,7 +149,7 @@ class PlanCache:
         value, expires_at = entry
         if expires_at is not None and self._clock() >= expires_at:
             del self._entries[key]
-            self._expirations += 1
+            self._expirations.increment()
             return None
         self._entries.move_to_end(key)
         return value
@@ -149,7 +161,7 @@ class PlanCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self._capacity:
             self._entries.popitem(last=False)
-            self._evictions += 1
+            self._evictions.increment()
 
     def __contains__(self, key: str) -> bool:
         with self._lock:
@@ -185,13 +197,13 @@ class PlanCache:
         with self._lock:
             value = self._lookup(key)
             if value is not None:
-                self._hits += 1
+                self._hits.increment()
                 return "hit", value
             future = self._inflight.get(key)
             if future is not None:
-                self._coalesced += 1
+                self._coalesced.increment()
                 return "follower", future
-            self._misses += 1
+            self._misses.increment()
             future = Future()
             self._inflight[key] = future
             return "leader", future
@@ -247,11 +259,11 @@ class PlanCache:
         """Current counters as an immutable snapshot."""
         with self._lock:
             return CacheStats(
-                hits=self._hits,
-                misses=self._misses,
-                coalesced=self._coalesced,
-                evictions=self._evictions,
-                expirations=self._expirations,
+                hits=self._hits.value,
+                misses=self._misses.value,
+                coalesced=self._coalesced.value,
+                evictions=self._evictions.value,
+                expirations=self._expirations.value,
                 size=len(self._entries),
                 capacity=self._capacity,
             )

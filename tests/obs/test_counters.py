@@ -1,0 +1,45 @@
+"""Unit tests for the obs counter registry."""
+
+from __future__ import annotations
+
+from repro.obs import Counter, CounterRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter()
+        assert counter.value == 0
+        counter.increment()
+        counter.increment(41)
+        assert counter.value == 42
+
+
+class TestCounterRegistry:
+    def test_counters_are_singletons_by_name(self):
+        registry = CounterRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.counter("a") is not registry.counter("b")
+
+    def test_increment_and_value(self):
+        registry = CounterRegistry()
+        registry.increment("x")
+        registry.increment("x", 4)
+        assert registry.value("x") == 5
+
+    def test_value_of_unknown_counter_is_zero_without_creating_it(self):
+        registry = CounterRegistry()
+        assert registry.value("never") == 0
+        assert len(registry) == 0
+
+    def test_snapshot_is_sorted_and_plain(self):
+        registry = CounterRegistry()
+        registry.increment("b", 2)
+        registry.increment("a", 1)
+        assert registry.snapshot() == {"a": 1, "b": 2}
+        assert list(registry.snapshot()) == ["a", "b"]
+
+    def test_names(self):
+        registry = CounterRegistry()
+        registry.increment("z")
+        registry.increment("m")
+        assert registry.names() == ["m", "z"]

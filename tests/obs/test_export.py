@@ -1,0 +1,75 @@
+"""Exporter tests: JSON snapshot, Prometheus text format, human report."""
+
+from __future__ import annotations
+
+import json
+
+from repro.core import DPccp
+from repro.graph.generators import star_graph
+from repro.obs import Instrumentation, render_report, to_json, to_prometheus
+from repro.obs.export import metric_name
+
+
+def instrumented_run() -> Instrumentation:
+    obs = Instrumentation()
+    DPccp().optimize(star_graph(6, selectivity=0.1), instrumentation=obs)
+    return obs
+
+
+class TestJson:
+    def test_snapshot_round_trips(self):
+        obs = instrumented_run()
+        snapshot = json.loads(to_json(obs.snapshot()))
+        assert snapshot["counters"]["enumerator.DPccp.inner_loop_tests"] == 80
+        assert (
+            snapshot["histograms"]["enumerator.DPccp.optimize_seconds"]["count"]
+            == 1
+        )
+        spans = snapshot["spans"]
+        assert spans and spans[-1]["name"] == "optimize:DPccp"
+        assert spans[-1]["attributes"]["n_relations"] == 6
+
+    def test_spans_can_be_omitted(self):
+        obs = instrumented_run()
+        assert "spans" not in obs.snapshot(include_spans=False)
+
+
+class TestPrometheus:
+    def test_metric_names_are_sanitized(self):
+        assert (
+            metric_name("enumerator.DPccp.inner_loop_tests")
+            == "repro_enumerator_DPccp_inner_loop_tests"
+        )
+
+    def test_counters_and_summaries(self):
+        obs = instrumented_run()
+        text = to_prometheus(obs.snapshot(include_spans=False))
+        assert "# TYPE repro_enumerator_DPccp_inner_loop_tests counter" in text
+        assert "repro_enumerator_DPccp_inner_loop_tests 80" in text
+        assert (
+            "# TYPE repro_enumerator_DPccp_optimize_seconds_seconds summary"
+            in text
+        )
+        assert 'quantile="0.99"' in text
+        assert "repro_enumerator_DPccp_optimize_seconds_seconds_count 1" in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert to_prometheus({"counters": {}, "histograms": {}}) == ""
+
+
+class TestReport:
+    def test_report_sections(self):
+        obs = instrumented_run()
+        text = render_report(obs)
+        assert "counters" in text
+        assert "enumerator.DPccp.ccp_emitted" in text
+        assert "timings" in text
+        assert "span tree" in text
+        assert "optimize:DPccp" in text
+
+    def test_report_without_spans(self):
+        obs = instrumented_run()
+        assert "span tree" not in render_report(obs, include_spans=False)
+
+    def test_empty_report(self):
+        assert "no observations" in render_report(Instrumentation())

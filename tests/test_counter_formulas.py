@@ -1,0 +1,112 @@
+"""Observed obs-layer counters exactly match the paper's closed forms.
+
+The paper's §2.1–2.3 derive ``InnerCounter`` and ``#ccp`` formulas for
+chain/cycle/star/clique (Figure 3). Here the *observable events* the
+new obs layer publishes — not the raw ``CounterSet`` fields — are
+checked against those formulas for n = 2..12. This pins the whole
+pipeline: enumerator loop structure, CounterSet accumulation, and the
+once-per-run publication into the shared
+:class:`~repro.obs.CounterRegistry`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.formulas import (
+    ccp_symmetric,
+    ccp_unordered,
+    csg_count,
+    inner_counter_dpsize,
+    inner_counter_dpsub,
+)
+from repro.core import DPccp, DPsize, DPsub
+from repro.graph.generators import graph_for_topology
+from repro.obs import Instrumentation
+
+TOPOLOGIES = ("chain", "cycle", "star", "clique")
+
+#: Paper Figure 3 starts at n=2; 12 keeps the largest DPsize clique run
+#: (~4M inner iterations) within a few seconds of pure-Python looping.
+SIZES = range(2, 13)
+
+
+def cases():
+    for topology in TOPOLOGIES:
+        for n in SIZES:
+            if topology == "cycle" and n < 3:
+                continue  # a 2-cycle is not a valid cycle instance
+            yield topology, n
+
+
+@pytest.fixture(scope="module")
+def observed():
+    """Run all three algorithms instrumented, once per (topology, n).
+
+    One shared Instrumentation per instance keeps the test honest about
+    the obs layer being *shared*: three enumerators report into the
+    same registry and must not clobber one another.
+    """
+    cache: dict[tuple[str, int], Instrumentation] = {}
+
+    def run(topology: str, n: int) -> Instrumentation:
+        key = (topology, n)
+        if key not in cache:
+            graph = graph_for_topology(topology, n)
+            obs = Instrumentation()
+            for algorithm in (DPsize(), DPsub(), DPccp()):
+                algorithm.optimize(graph, instrumentation=obs)
+            cache[key] = obs
+        return cache[key]
+
+    return run
+
+
+@pytest.mark.parametrize("topology,n", cases())
+def test_inner_counter_dpsize(observed, topology, n):
+    obs = observed(topology, n)
+    assert obs.counters.value(
+        "enumerator.DPsize.inner_loop_tests"
+    ) == inner_counter_dpsize(n, topology)
+
+
+@pytest.mark.parametrize("topology,n", cases())
+def test_inner_counter_dpsub(observed, topology, n):
+    obs = observed(topology, n)
+    assert obs.counters.value(
+        "enumerator.DPsub.inner_loop_tests"
+    ) == inner_counter_dpsub(n, topology)
+
+
+@pytest.mark.parametrize("topology,n", cases())
+def test_ccp_all_algorithms(observed, topology, n):
+    """Every correct algorithm emits exactly #ccp csg-cmp-pairs."""
+    obs = observed(topology, n)
+    unordered = ccp_unordered(n, topology)
+    symmetric = ccp_symmetric(n, topology)
+    for algorithm in ("DPsize", "DPsub", "DPccp"):
+        assert (
+            obs.counters.value(f"enumerator.{algorithm}.ccp_emitted") == unordered
+        ), algorithm
+        assert (
+            obs.counters.value(f"enumerator.{algorithm}.csg_cmp_pairs")
+            == symmetric
+        ), algorithm
+
+
+@pytest.mark.parametrize("topology,n", cases())
+def test_dpccp_does_no_wasted_work(observed, topology, n):
+    """DPccp's InnerCounter equals the Ono-Lohman lower bound (#ccp)."""
+    obs = observed(topology, n)
+    assert obs.counters.value(
+        "enumerator.DPccp.inner_loop_tests"
+    ) == ccp_unordered(n, topology)
+
+
+@pytest.mark.parametrize("topology,n", cases())
+def test_dpsub_connectivity_failures(observed, topology, n):
+    """The (*)-check fails exactly 2^n - #csg - 1 times (paper §2.2)."""
+    obs = observed(topology, n)
+    assert obs.counters.value(
+        "enumerator.DPsub.connectivity_check_failures"
+    ) == 2**n - csg_count(n, topology) - 1
