@@ -74,6 +74,7 @@ from repro.graph import (
     random_tree_graph,
     star_graph,
 )
+from repro.parallel import ParallelDPsize, PlanningPool
 from repro.plans import JoinTree, render_indented, render_inline, validate_plan
 from repro.service import PlanCache, PlanRequest, PlanResponse, PlanService
 
@@ -130,6 +131,9 @@ __all__ = [
     "render_inline",
     "render_indented",
     "validate_plan",
+    # parallel planning
+    "ParallelDPsize",
+    "PlanningPool",
     # service layer
     "PlanService",
     "PlanRequest",

@@ -1,0 +1,192 @@
+"""Parallel-scaling benchmark: sequential DPsize vs the sharded driver.
+
+Seeds the bench trajectory for :mod:`repro.parallel` with a
+machine-readable artifact (``BENCH_parallel.json``): wall-clock times of
+the sequential enumerator against :class:`~repro.parallel.ParallelDPsize`
+at 2 and 4 workers on the hardest paper workload (cliques), plus the
+host facts needed to interpret them. Worker counts the host cannot
+honor (``jobs > cpu_count``) are recorded as *skipped* with a reason
+rather than producing meaningless oversubscribed numbers, so the
+artifact is stable across machines of any size.
+
+Every measured parallel run is also checked for exactness against the
+sequential plan (cost and paper counters) — a speedup over a wrong
+answer is not a speedup.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.catalog.synthetic import random_catalog
+from repro.core.dpsize import DPsize
+from repro.graph.generators import graph_for_topology
+
+__all__ = [
+    "DEFAULT_SIZES",
+    "DEFAULT_JOBS",
+    "run_parallel_scaling",
+    "render_parallel_bench",
+    "write_parallel_bench",
+]
+
+#: Clique sizes measured by default: n=13 is where one Python core
+#: takes tens of seconds and parallelism starts to matter.
+DEFAULT_SIZES: tuple[int, ...] = (10, 11, 12, 13)
+
+#: Worker counts measured by default (the ISSUE's 2- and 4-worker
+#: points). Counts beyond the host's cores are skipped, not faked.
+DEFAULT_JOBS: tuple[int, ...] = (2, 4)
+
+
+def _host_facts() -> dict:
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "platform": platform.platform(),
+        "python": sys.version.split()[0],
+    }
+
+
+def run_parallel_scaling(
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    jobs: tuple[int, ...] = DEFAULT_JOBS,
+    topology: str = "clique",
+    seed: int = 7,
+    min_pairs_per_shard: int | None = None,
+) -> dict:
+    """Measure sequential vs parallel wall times; returns a JSON-ready dict.
+
+    Args:
+        sizes: relation counts to sweep.
+        jobs: worker-process counts to measure per size; a count
+            exceeding the host's cores yields a skipped entry.
+        topology: workload family (cliques by default — the Θ(3^n)
+            case the parallel driver exists for).
+        seed: catalog/selectivity seed, one instance per size.
+        min_pairs_per_shard: dispatch threshold override for the
+            parallel engine (``None`` keeps the engine default).
+
+    The process pool is warmed with a small query before any
+    measurement so fork/startup cost is paid outside the timings, and
+    each parallel result is verified cost- and counter-identical to
+    the sequential run.
+    """
+    import random
+
+    from repro.parallel import DEFAULT_MIN_PAIRS_PER_SHARD, ParallelDPsize
+
+    if min_pairs_per_shard is None:
+        min_pairs_per_shard = DEFAULT_MIN_PAIRS_PER_SHARD
+    host = _host_facts()
+    cpu_count = host["cpu_count"]
+    runnable = [count for count in jobs if count <= cpu_count]
+
+    entries: list[dict] = []
+    sequential = DPsize()
+    for n in sizes:
+        rng = random.Random(seed + n)
+        graph = graph_for_topology(topology, n, rng=rng)
+        catalog = random_catalog(n, rng)
+
+        started = time.perf_counter()
+        reference = sequential.optimize(graph, catalog=catalog)
+        sequential_seconds = time.perf_counter() - started
+
+        runs: dict[str, dict] = {}
+        for count in jobs:
+            if count > cpu_count:
+                runs[str(count)] = {
+                    "skipped": f"host has {cpu_count} core(s), "
+                    f"cannot measure {count} workers"
+                }
+                continue
+            with ParallelDPsize(
+                jobs=count, min_pairs_per_shard=min_pairs_per_shard
+            ) as engine:
+                # Pay fork/startup and module import outside the timing.
+                warmup = graph_for_topology(topology, min(5, n))
+                engine.optimize(warmup)
+                started = time.perf_counter()
+                result = engine.optimize(graph, catalog=catalog)
+                parallel_seconds = time.perf_counter() - started
+            runs[str(count)] = {
+                "seconds": parallel_seconds,
+                "speedup": (
+                    sequential_seconds / parallel_seconds
+                    if parallel_seconds > 0
+                    else float("inf")
+                ),
+                "exact": (
+                    result.cost == reference.cost
+                    and result.counters.as_dict() == reference.counters.as_dict()
+                ),
+            }
+        entries.append(
+            {
+                "n": n,
+                "topology": topology,
+                "sequential_seconds": sequential_seconds,
+                "runs": runs,
+            }
+        )
+
+    return {
+        "benchmark": "parallel_scaling",
+        "host": host,
+        "jobs_measured": runnable,
+        "jobs_requested": list(jobs),
+        "min_pairs_per_shard": min_pairs_per_shard,
+        "entries": entries,
+    }
+
+
+def render_parallel_bench(results: dict) -> str:
+    """Monospace table view of :func:`run_parallel_scaling` results."""
+    from repro.bench.reporting import render_table
+
+    host = results["host"]
+    jobs = [str(count) for count in results["jobs_requested"]]
+    header = ["topology", "n", "sequential [s]"]
+    for count in jobs:
+        header += [f"{count}w [s]", f"{count}w speedup"]
+    rows: list[list] = []
+    for entry in results["entries"]:
+        row: list = [
+            entry["topology"],
+            entry["n"],
+            f"{entry['sequential_seconds']:.3f}",
+        ]
+        for count in jobs:
+            run = entry["runs"].get(count)
+            if run is None or "skipped" in (run or {}):
+                row += ["skip", "-"]
+            else:
+                mark = "" if run["exact"] else " (INEXACT)"
+                row += [f"{run['seconds']:.3f}", f"{run['speedup']:.2f}x{mark}"]
+        rows.append(row)
+    skips = {
+        run["skipped"]
+        for entry in results["entries"]
+        for run in entry["runs"].values()
+        if "skipped" in run
+    }
+    lines = [
+        f"parallel scaling — host: {host['cpu_count']} core(s), "
+        f"python {host['python']}",
+        render_table(header, rows),
+    ]
+    for reason in sorted(skips):
+        lines.append(f"skipped: {reason}")
+    return "\n".join(lines)
+
+
+def write_parallel_bench(path: str | Path, results: dict) -> Path:
+    """Write the results dict as JSON; returns the path written."""
+    path = Path(path)
+    path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    return path

@@ -3,6 +3,7 @@
 ::
 
     python -m repro optimize --topology star -n 8 --algorithm dpccp
+    python -m repro plan     --topology clique -n 12 --jobs 4
     python -m repro count    --topology chain -n 12
     python -m repro table    --figure 3
     python -m repro bench    --figure 10 --budget 500000
@@ -10,7 +11,9 @@
     python -m repro stats
     python -m repro obs-report --topology star -n 8
 
-``optimize`` plans one query and prints the tree; ``count`` prints the
+``optimize`` plans one query and prints the tree; ``plan`` does the
+same on multiple cores via the level-synchronous parallel DPsize
+(:mod:`repro.parallel`), exactly; ``count`` prints the
 analytical and measured counters; ``table`` regenerates Figure 3;
 ``bench`` runs the timing experiments of Figures 8-12; ``serve-batch``
 replays a workload through the caching :class:`~repro.service.PlanService`
@@ -68,6 +71,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     optimize.add_argument(
         "--seed", type=int, default=7, help="seed for catalog and selectivities"
+    )
+
+    plan = commands.add_parser(
+        "plan",
+        help="plan one query on multiple cores (level-synchronous "
+        "parallel DPsize; exact)",
+    )
+    plan.add_argument("--topology", choices=PAPER_TOPOLOGIES, default="clique")
+    plan.add_argument("-n", "--relations", type=int, default=10)
+    plan.add_argument(
+        "--seed", type=int, default=7, help="seed for catalog and selectivities"
+    )
+    plan.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes; 1 = in-process (no pool); "
+        "default = host core count",
+    )
+    plan.add_argument(
+        "--min-shard-pairs",
+        type=int,
+        default=None,
+        help="dispatch threshold in candidate pairs per level "
+        "(smaller levels run in-process)",
+    )
+    plan.add_argument(
+        "--verify",
+        action="store_true",
+        help="also run sequential DPsize and check the plans match",
     )
 
     count = commands.add_parser(
@@ -152,7 +185,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--workers", type=int, default=4)
     serve.add_argument(
-        "--concurrency", type=int, default=8, help="batch submission threads"
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for enumeration; >= 2 plans distinct "
+        "queries on a process pool (off the GIL)",
+    )
+    serve.add_argument(
+        "--concurrency",
+        type=int,
+        default=None,
+        help="batch submission threads; default derives from --workers",
     )
     serve.add_argument("--cache-capacity", type=int, default=1024)
     serve.add_argument("--ttl-seconds", type=float, default=None)
@@ -228,6 +271,52 @@ def _command_optimize(args: argparse.Namespace) -> int:
     print(f"counters  : {result.counters.as_dict()}")
     print(f"elapsed   : {result.elapsed_seconds * 1000:.2f} ms")
     print(render_indented(result.plan))
+    return 0
+
+
+def _command_plan(args: argparse.Namespace) -> int:
+    from repro.obs import Instrumentation
+    from repro.parallel import DEFAULT_MIN_PAIRS_PER_SHARD, ParallelDPsize
+
+    rng = random.Random(args.seed)
+    graph = graph_for_topology(args.topology, args.relations, rng=rng)
+    catalog = random_catalog(args.relations, rng)
+    min_pairs = (
+        args.min_shard_pairs
+        if args.min_shard_pairs is not None
+        else DEFAULT_MIN_PAIRS_PER_SHARD
+    )
+    obs = Instrumentation()
+    with ParallelDPsize(jobs=args.jobs, min_pairs_per_shard=min_pairs) as engine:
+        result = engine.optimize(graph, catalog=catalog, instrumentation=obs)
+        jobs = engine.jobs
+        spawned = engine.pool_spawned
+    counters = obs.counters
+    print(f"algorithm : {result.algorithm} (jobs={jobs})")
+    print(f"cost      : {result.cost:g}")
+    print(f"counters  : {result.counters.as_dict()}")
+    print(f"elapsed   : {result.elapsed_seconds * 1000:.2f} ms")
+    levels = counters.value("parallel.levels")
+    dispatched = counters.value("parallel.levels_dispatched")
+    shards = counters.value("parallel.shards")
+    print(
+        f"parallel  : {levels} levels, {dispatched} dispatched to the "
+        f"pool, {shards} shards total, pool spawned: {spawned}"
+    )
+    print(render_indented(result.plan))
+    if args.verify:
+        reference = make_algorithm("dpsize").optimize(graph, catalog=catalog)
+        if (
+            reference.cost == result.cost
+            and reference.counters.as_dict() == result.counters.as_dict()
+        ):
+            print("verify    : matches sequential DPsize (cost and counters)")
+        else:
+            print(
+                "verify    : MISMATCH — sequential DPsize cost "
+                f"{reference.cost:g}, counters {reference.counters.as_dict()}"
+            )
+            return 1
     return 0
 
 
@@ -414,6 +503,7 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
         cache_capacity=args.cache_capacity,
         ttl_seconds=args.ttl_seconds,
         workers=args.workers,
+        jobs=args.jobs,
     ) as service:
         started = time.perf_counter()
         responses = service.plan_batch(requests, concurrency=args.concurrency)
@@ -568,6 +658,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     handlers = {
         "optimize": _command_optimize,
+        "plan": _command_plan,
         "count": _command_count,
         "table": _command_table,
         "bench": _command_bench,

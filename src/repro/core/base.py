@@ -148,6 +148,17 @@ class PlanTable:
         self.improvements += 1
         return True
 
+    def adopt(self, plan: JoinTree) -> None:
+        """Install ``plan`` as its relation set's entry, unconditionally.
+
+        Used by drivers that resolve the compare-and-replace step
+        elsewhere (the parallel merge step does it over shard results)
+        and account probes/improvements in bulk; unlike
+        :meth:`register` this neither compares against an incumbent nor
+        touches the probe counters.
+        """
+        self._plans[plan.relations] = plan
+
     def masks(self) -> Iterator[int]:
         """All relation sets with a registered plan."""
         return iter(self._plans)

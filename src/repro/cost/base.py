@@ -44,6 +44,18 @@ class CostModel(abc.ABC):
     #: commutativity may be handled inside ``CreateJoinTree`` (§3.1).
     symmetric: bool = False
 
+    #: Operator label to use when the model's join cost is *separable*
+    #: in the C_out shape:
+    #: ``cost(join) = (cost(left) + cost(right)) + out_cardinality``.
+    #: ``None`` (the default) declares nothing. Separable symmetric
+    #: models are eligible for the sharded parallel driver
+    #: (:mod:`repro.parallel`), whose workers compare candidate splits
+    #: by ``cost(left) + cost(right)`` without the model and whose
+    #: coordinator re-adds the cardinality once per relation set, with
+    #: the same float expression — only this exact shape makes the
+    #: recomposition bit-identical.
+    separable_join_operator: str | None = None
+
     def __init__(self, graph: QueryGraph, catalog: Catalog | None = None) -> None:
         self._estimator = CardinalityEstimator(graph, catalog)
 

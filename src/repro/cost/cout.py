@@ -21,6 +21,10 @@ class CoutModel(CostModel):
 
     name = "Cout"
     symmetric = True  # output cardinality does not depend on input order
+    #: C_out is the canonical separable model: the join cost below is
+    #: exactly (left + right) + out_cardinality, which qualifies it for
+    #: the sharded parallel driver (see CostModel.separable_join_operator).
+    separable_join_operator = "Join"
 
     def _join_cost(
         self, left: JoinTree, right: JoinTree, out_cardinality: float

@@ -1,0 +1,31 @@
+"""repro.parallel — multi-core planning on top of the exact enumerators.
+
+Two levels of parallelism over one shared pool of warm worker
+processes:
+
+* **Intra-query** — :class:`ParallelDPsize` shards each level of the
+  size-driven DP across the pool and merges deterministically, giving
+  bit-identical plans, costs and paper counters to the sequential
+  :class:`~repro.core.dpsize.DPsize`.
+* **Inter-query** — :class:`PlanningPool.submit_query` plans whole
+  queries on worker processes; :class:`~repro.service.PlanService`
+  uses it (``jobs=N``) to move distinct-group leader planning off the
+  GIL.
+
+See :mod:`repro.parallel.engine` for the exactness protocol and
+:mod:`repro.parallel.partition` for the shard math.
+"""
+
+from repro.parallel.engine import DEFAULT_MIN_PAIRS_PER_SHARD, ParallelDPsize
+from repro.parallel.partition import iter_pair_range, pair_count, split_range
+from repro.parallel.pool import PlanningPool, default_jobs
+
+__all__ = [
+    "ParallelDPsize",
+    "PlanningPool",
+    "DEFAULT_MIN_PAIRS_PER_SHARD",
+    "default_jobs",
+    "pair_count",
+    "split_range",
+    "iter_pair_range",
+]

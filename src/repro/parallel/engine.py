@@ -1,0 +1,347 @@
+"""Level-synchronous parallel DPsize: exact DP on multiple cores.
+
+:class:`ParallelDPsize` parallelizes the size-driven dynamic program
+*within* one query. The DP has a natural barrier structure — every
+plan of size ``s`` combines two plans of sizes summing to ``s``, all of
+which exist once level ``s - 1`` is merged — so each level's candidate
+pair space is partitioned into contiguous shards
+(:mod:`repro.parallel.partition`), fanned out to a persistent pool of
+warm worker processes (:mod:`repro.parallel.pool`), and merged
+deterministically before the next level starts.
+
+**Exactness.** The result is not just cost-identical but bit-identical
+to the sequential :class:`~repro.core.dpsize.DPsize` run:
+
+* shards partition the *exact* sequential candidate order, and the
+  merge walks shards in range order applying the same
+  strict-improvement (keep the incumbent on ties) rule, so the winning
+  split per relation set is the one the sequential run picks;
+* the cardinality memoized per relation set is the one computed at the
+  set's globally-first connected pair — exactly the value the
+  sequential estimator caches — and it is broadcast to every worker
+  with the next level, so no worker-local float drift can leak into a
+  later level;
+* costs recompose on the coordinator as ``(cost_L + cost_R) + |S|``
+  with the same float expression the C_out model evaluates.
+
+That last step is what restricts the parallel path to *separable*
+symmetric cost models (``cost = cost_L + cost_R + f(cardinality)``,
+declared via
+:attr:`~repro.cost.base.CostModel.separable_join_operator`). For any
+other model the engine transparently falls back to the sequential
+DPsize loop — correct, just not parallel — and says so in the obs
+counters (``parallel.sequential_fallbacks``).
+
+With ``jobs=1`` no process pool is ever spawned: the same shard
+scanner runs in-process as one shard per level, which is how the
+differential tests pin the sharded code path against the sequential
+enumerators without paying for fork.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import time
+from contextlib import nullcontext
+
+from repro.core.base import CounterSet, JoinOrderer, PlanTable
+from repro.core.dpsize import DPsize
+from repro.cost.base import CostModel
+from repro.graph.querygraph import QueryGraph
+from repro.parallel.partition import pair_count, split_range
+from repro.parallel.pool import PlanningPool, default_jobs
+from repro.parallel.worker import QuerySpec, ShardTask, run_shard
+from repro.plans.jointree import JoinTree
+from repro.service.fingerprint import compute_fingerprint
+
+__all__ = ["ParallelDPsize", "DEFAULT_MIN_PAIRS_PER_SHARD"]
+
+#: Below this many candidate pairs a level is evaluated in-process:
+#: dispatching costs more than the work. Roughly one millisecond of
+#: pure-Python scanning.
+DEFAULT_MIN_PAIRS_PER_SHARD = 16384
+
+
+class ParallelDPsize(JoinOrderer):
+    """Multi-core size-driven DP, bit-identical to :class:`DPsize`.
+
+    Args:
+        jobs: worker process count; ``None`` means one per host core;
+            ``1`` disables the pool entirely (pure in-process run).
+        pool: share an existing :class:`PlanningPool` instead of
+            owning one; its ``jobs`` takes precedence.
+        shards_per_worker: shards dispatched per worker per level
+            (> 1 smooths load imbalance between contiguous ranges).
+        min_pairs_per_shard: dispatch threshold; levels smaller than
+            this run in-process even when a pool is available.
+
+    The engine keeps its pool (and the workers' per-query warm state)
+    alive across :meth:`optimize` calls; it is a context manager, and
+    :meth:`close` shuts an *owned* pool down (a shared pool is left to
+    its owner).
+    """
+
+    name = "ParallelDPsize"
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        pool: PlanningPool | None = None,
+        shards_per_worker: int = 2,
+        min_pairs_per_shard: int = DEFAULT_MIN_PAIRS_PER_SHARD,
+    ) -> None:
+        if pool is not None:
+            self._pool: PlanningPool | None = pool
+            self._owns_pool = False
+            self._jobs = pool.jobs
+        else:
+            self._pool = None
+            self._owns_pool = True
+            self._jobs = default_jobs() if jobs is None else jobs
+            if self._jobs < 1:
+                from repro.errors import OptimizerError
+
+                raise OptimizerError(f"jobs must be >= 1, got {jobs}")
+        if shards_per_worker < 1:
+            from repro.errors import OptimizerError
+
+            raise OptimizerError(
+                f"shards_per_worker must be >= 1, got {shards_per_worker}"
+            )
+        self._shards_per_worker = shards_per_worker
+        self._min_pairs_per_shard = max(1, min_pairs_per_shard)
+        self._active_obs = None
+
+    # ------------------------------------------------------------------
+    # Introspection & lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def jobs(self) -> int:
+        """Configured degree of parallelism."""
+        return self._jobs
+
+    @property
+    def pool_spawned(self) -> bool:
+        """Whether any worker process has been started."""
+        return self._pool is not None and self._pool.spawned
+
+    def close(self) -> None:
+        """Shut down an owned pool (shared pools are the owner's)."""
+        if self._owns_pool and self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelDPsize":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # JoinOrderer plumbing
+    # ------------------------------------------------------------------
+
+    def optimize(self, graph, cost_model=None, catalog=None, instrumentation=None):
+        # Capture the instrumentation so _run can emit per-level spans;
+        # the base class owns the outer optimize:<name> span and the
+        # once-per-run counter publication.
+        self._active_obs = instrumentation
+        try:
+            return super().optimize(
+                graph,
+                cost_model=cost_model,
+                catalog=catalog,
+                instrumentation=instrumentation,
+            )
+        finally:
+            self._active_obs = None
+
+    def _run(
+        self,
+        graph: QueryGraph,
+        cost_model: CostModel,
+        table: PlanTable,
+        counters: CounterSet,
+    ) -> None:
+        operator = getattr(cost_model, "separable_join_operator", None)
+        if operator is None or not cost_model.symmetric:
+            # Non-separable or asymmetric model: the merge protocol
+            # cannot recompose exact costs, so run the sequential loop.
+            if self._active_obs is not None:
+                self._active_obs.count("parallel.sequential_fallbacks")
+            DPsize()._run(graph, cost_model, table, counters)
+            return
+        self._run_level_synchronous(graph, cost_model, table, counters, operator)
+
+    # ------------------------------------------------------------------
+    # The level-synchronous driver
+    # ------------------------------------------------------------------
+
+    def _run_level_synchronous(
+        self,
+        graph: QueryGraph,
+        cost_model: CostModel,
+        table: PlanTable,
+        counters: CounterSet,
+        operator: str,
+    ) -> None:
+        obs = self._active_obs
+        n = graph.n_relations
+        spec = self._build_spec(graph, cost_model)
+        use_pool = self._jobs > 1
+        if use_pool and self._pool is None:
+            self._pool = PlanningPool(self._jobs)
+
+        buckets: list[list[int]] = [[] for _ in range(n + 1)]
+        buckets[1] = [1 << index for index in range(n)]
+        level_blobs: list[tuple[int, bytes]] = []
+        probes = improvements = 0
+
+        for size in range(2, n + 1):
+            bucket_sizes = [len(bucket) for bucket in buckets]
+            total = pair_count(bucket_sizes, size)
+            if total == 0:
+                continue
+            started = time.perf_counter()
+            if use_pool and total >= self._min_pairs_per_shard:
+                shard_count = min(
+                    self._jobs * self._shards_per_worker,
+                    max(1, total // self._min_pairs_per_shard),
+                )
+            else:
+                shard_count = 1
+            ranges = split_range(total, shard_count)
+            tasks = [
+                ShardTask(
+                    spec=spec,
+                    levels=tuple(level_blobs),
+                    size=size,
+                    start=start,
+                    stop=stop,
+                )
+                for start, stop in ranges
+            ]
+            span = (
+                obs.span(
+                    "parallel.level",
+                    size=size,
+                    pairs=total,
+                    shards=len(tasks),
+                    dispatched=len(tasks) > 1,
+                )
+                if obs is not None
+                else nullcontext()
+            )
+            with span:
+                if len(tasks) == 1:
+                    results = [run_shard(tasks[0])]
+                else:
+                    assert self._pool is not None
+                    results = self._pool.run_shards(tasks)
+
+            # Deterministic merge: shards in range order, strict
+            # improvement only — the sequential incumbent rule over the
+            # concatenated (= sequential) candidate order.
+            merged: dict[int, list] = {}
+            order: list[int] = []
+            worker_cpu = 0.0
+            for result in results:
+                counters.inner_counter += result.inner
+                counters.ono_lohman_counter += result.ccp_unordered
+                counters.csg_cmp_pair_counter += 2 * result.ccp_unordered
+                counters.create_join_tree_calls += result.create_join_tree_calls
+                probes += result.probes
+                improvements += result.improvements
+                worker_cpu += result.cpu_seconds
+                for mask, first_index, cardinality, base, left, right in result.unions:
+                    record = merged.get(mask)
+                    if record is None:
+                        # First shard to reach the set: its first_index
+                        # is the global minimum (shards are ordered),
+                        # so its cardinality is the one the sequential
+                        # estimator would have memoized.
+                        merged[mask] = [first_index, cardinality, base, left, right]
+                        order.append(mask)
+                    elif base + record[1] < record[2] + record[1]:
+                        # Full-cost comparison with the authoritative
+                        # cardinality — see the same rule in run_shard.
+                        record[2] = base
+                        record[3] = left
+                        record[4] = right
+
+            bucket_entries: list[tuple[int, float, float]] = []
+            for mask in order:
+                _, cardinality, base, left, right = merged[mask]
+                cost = base + cardinality
+                table.adopt(
+                    JoinTree.join(
+                        table[left],
+                        table[right],
+                        cardinality=cardinality,
+                        cost=cost,
+                        operator=operator,
+                    )
+                )
+                bucket_entries.append((mask, cardinality, cost))
+            buckets[size] = order
+            level_blobs.append(
+                (size, pickle.dumps(bucket_entries, pickle.HIGHEST_PROTOCOL))
+            )
+            if obs is not None:
+                elapsed = time.perf_counter() - started
+                obs.count("parallel.levels")
+                obs.count("parallel.shards", len(results))
+                if len(results) > 1:
+                    obs.count("parallel.levels_dispatched")
+                    obs.observe("parallel.worker_cpu_seconds", worker_cpu)
+                obs.observe("parallel.level_seconds", elapsed)
+
+        table.probes += probes
+        table.improvements += improvements
+
+    # ------------------------------------------------------------------
+    # Query shipping
+    # ------------------------------------------------------------------
+
+    def _build_spec(self, graph: QueryGraph, cost_model: CostModel) -> QuerySpec:
+        """Package the query for the workers, keyed for warm reuse."""
+        n = graph.n_relations
+        leaves = [cost_model.leaf(index) for index in range(n)]
+        edges = tuple(
+            (edge.left, edge.right, edge.selectivity) for edge in graph.edges
+        )
+        cardinalities = tuple(leaf.cardinality for leaf in leaves)
+        costs = tuple(leaf.cost for leaf in leaves)
+        return QuerySpec(
+            key=self._spec_key(graph, cost_model, edges, cardinalities, costs),
+            n_relations=n,
+            edges=edges,
+            leaf_cardinalities=cardinalities,
+            leaf_costs=costs,
+        )
+
+    @staticmethod
+    def _spec_key(
+        graph: QueryGraph,
+        cost_model: CostModel,
+        edges: tuple,
+        cardinalities: tuple,
+        costs: tuple,
+    ) -> str:
+        """Instance identity: canonical fingerprint + exact-stat digest.
+
+        The canonical fingerprint identifies the query up to relabeling
+        and stat quantization; the digest over the *exact* instance
+        data (numbering, selectivities, leaf stats, cost model) keeps
+        two near-identical instances from ever sharing a worker's warm
+        state.
+        """
+        fingerprint = compute_fingerprint(graph, cost_model.estimator.catalog)
+        exact = hashlib.sha256(
+            repr(
+                (fingerprint.new_of_old, cost_model.name, edges, cardinalities, costs)
+            ).encode()
+        ).hexdigest()[:16]
+        return f"{fingerprint.key}:{exact}"

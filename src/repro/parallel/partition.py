@@ -1,0 +1,167 @@
+"""Shard partitioning of the size-driven DP candidate-pair space.
+
+The level-synchronous parallel driver (:mod:`repro.parallel.engine`)
+parallelizes one DPsize *level* at a time. At level ``s`` the candidate
+space is the exact sequence of ``(left, right)`` bucket pairs the
+sequential :class:`~repro.core.dpsize.DPsize` inner loops enumerate:
+
+::
+
+    for left_size in 1 .. s // 2:
+        right_size = s - left_size
+        for position, left in enumerate(buckets[left_size]):
+            partners = buckets[right_size][position + 1:]  if left_size == right_size
+                       else buckets[right_size]
+            for right in partners:
+                yield (left, right)
+
+This module gives that sequence a *global index*: candidate ``i`` is
+the ``i``-th pair the sequential algorithm would test at this level.
+Workers receive contiguous index ranges (shards), enumerate exactly
+their slice with :func:`iter_pair_range`, and because concatenating the
+shards in range order reproduces the sequential candidate order, the
+merge step can resolve ties with the same keep-the-incumbent rule the
+sequential plan table uses — making the parallel result not merely
+cost-identical but *bit-identical* to the sequential run.
+
+All functions are pure and operate on plain bucket lists (sequences of
+relation bitsets indexed by plan size), so the coordinator and the
+worker processes share one definition of the candidate order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+__all__ = ["pair_count", "split_range", "iter_pair_range"]
+
+
+def pair_count(bucket_sizes: Sequence[int], size: int) -> int:
+    """Number of candidate pairs DPsize tests at level ``size``.
+
+    Args:
+        bucket_sizes: ``bucket_sizes[s]`` is the number of connected
+            sets of size ``s`` discovered so far (index 0 unused).
+        size: the level, ``>= 2``.
+
+    >>> pair_count([0, 3, 2], 3)   # 3 singletons x 2 two-sets
+    6
+    >>> pair_count([0, 4], 2)      # unordered singleton pairs: C(4, 2)
+    6
+    """
+    if size < 2:
+        raise ValueError(f"levels start at size 2, got {size}")
+    total = 0
+    for left_size in range(1, size // 2 + 1):
+        right_size = size - left_size
+        left_count = bucket_sizes[left_size] if left_size < len(bucket_sizes) else 0
+        right_count = (
+            bucket_sizes[right_size] if right_size < len(bucket_sizes) else 0
+        )
+        if left_size == right_size:
+            total += left_count * (left_count - 1) // 2
+        else:
+            total += left_count * right_count
+    return total
+
+
+def split_range(total: int, shards: int) -> list[tuple[int, int]]:
+    """Partition ``range(total)`` into at most ``shards`` contiguous ranges.
+
+    Ranges are near-equal (sizes differ by at most one), ordered, and
+    never empty; fewer than ``shards`` ranges are returned when
+    ``total < shards``.
+
+    >>> split_range(10, 3)
+    [(0, 4), (4, 7), (7, 10)]
+    >>> split_range(2, 4)
+    [(0, 1), (1, 2)]
+    >>> split_range(0, 4)
+    []
+    """
+    if shards < 1:
+        raise ValueError(f"need at least one shard, got {shards}")
+    shards = min(shards, total)
+    if shards == 0:
+        return []
+    base, remainder = divmod(total, shards)
+    ranges: list[tuple[int, int]] = []
+    start = 0
+    for index in range(shards):
+        stop = start + base + (1 if index < remainder else 0)
+        ranges.append((start, stop))
+        start = stop
+    return ranges
+
+
+def iter_pair_range(
+    buckets: Sequence[Sequence[int]], size: int, start: int, stop: int
+) -> Iterator[tuple[int, int]]:
+    """Yield candidates ``start <= i < stop`` of level ``size`` in order.
+
+    ``buckets[s]`` must hold the connected sets of size ``s`` in their
+    canonical (sequential-discovery) order for every ``s < size``; the
+    candidate order is then exactly the sequential DPsize enumeration
+    order, so ``iter_pair_range(b, s, 0, pair_count(...))`` enumerates
+    the whole level and adjacent shards concatenate seamlessly.
+
+    Skipping to ``start`` costs O(levels + |left bucket|) arithmetic,
+    not O(start) iteration.
+    """
+    if start < 0 or stop < start:
+        raise ValueError(f"invalid candidate range [{start}, {stop})")
+    remaining = stop - start
+    if remaining == 0:
+        return
+    offset = start  # candidates still to skip before the first yield
+    for left_size in range(1, size // 2 + 1):
+        right_size = size - left_size
+        left_bucket = buckets[left_size] if left_size < len(buckets) else ()
+        right_bucket = buckets[right_size] if right_size < len(buckets) else ()
+        same_size = left_size == right_size
+        left_count = len(left_bucket)
+        right_count = len(right_bucket)
+        if same_size:
+            segment_total = left_count * (left_count - 1) // 2
+        else:
+            segment_total = left_count * right_count
+        if segment_total == 0:
+            continue
+        if offset >= segment_total:
+            offset -= segment_total
+            continue
+        if same_size:
+            # Partner counts decrease by one per position; walk the
+            # positions, subtracting, to land on the offset.
+            position = 0
+            while True:
+                partners = left_count - position - 1
+                if offset < partners:
+                    break
+                offset -= partners
+                position += 1
+            partner_index = position + 1 + offset
+            offset = 0
+            while position < left_count:
+                left = left_bucket[position]
+                while partner_index < left_count:
+                    yield left, left_bucket[partner_index]
+                    partner_index += 1
+                    remaining -= 1
+                    if remaining == 0:
+                        return
+                position += 1
+                partner_index = position + 1
+        else:
+            position, partner_index = divmod(offset, right_count)
+            offset = 0
+            while position < left_count:
+                left = left_bucket[position]
+                while partner_index < right_count:
+                    yield left, right_bucket[partner_index]
+                    partner_index += 1
+                    remaining -= 1
+                    if remaining == 0:
+                        return
+                position += 1
+                partner_index = 0

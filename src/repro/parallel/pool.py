@@ -1,0 +1,156 @@
+"""A persistent process pool for CPU-bound planning work.
+
+Pure-Python enumeration is GIL-bound: the service's thread pool
+overlaps waiting, never computing. :class:`PlanningPool` wraps a
+:class:`concurrent.futures.ProcessPoolExecutor` behind the two task
+shapes of :mod:`repro.parallel.worker` so both parallelism levels share
+one set of warm workers:
+
+* :meth:`submit_query` — plan a whole query in one worker process
+  (inter-query parallelism; what :class:`~repro.service.PlanService`
+  uses for distinct-group leaders),
+* :meth:`run_shards` — evaluate one DP level's shards and gather the
+  results in submission order (intra-query parallelism; what
+  :class:`~repro.parallel.engine.ParallelDPsize` uses).
+
+The underlying executor is spawned lazily on first use — a pool that
+is constructed but never asked to parallelize costs nothing — and
+``jobs=1`` callers are expected to take their in-process path instead
+of constructing a pool at all. Every ``submit*`` method returns a
+:class:`concurrent.futures.Future`, which is async-friendly as-is:
+``await asyncio.wrap_future(pool.submit_query(...))`` integrates with
+an event loop without any dedicated asyncio surface.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import TYPE_CHECKING, Callable, Sequence, TypeVar
+
+from repro.errors import OptimizerError
+from repro.parallel.worker import (
+    ShardResult,
+    ShardTask,
+    WholeQueryOutcome,
+    WholeQueryTask,
+    plan_query,
+    run_shard,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.catalog.catalog import Catalog
+    from repro.graph.querygraph import QueryGraph
+
+__all__ = ["PlanningPool", "default_jobs"]
+
+_T = TypeVar("_T")
+
+
+def default_jobs() -> int:
+    """The default worker count: every core the host advertises."""
+    return max(1, os.cpu_count() or 1)
+
+
+class PlanningPool:
+    """Persistent, lazily-spawned process pool of warm planning workers.
+
+    Args:
+        jobs: worker process count; defaults to the host core count.
+
+    The pool is a context manager; :meth:`close` shuts the workers
+    down. It is safe to share one pool between a
+    :class:`~repro.parallel.engine.ParallelDPsize` engine and a
+    :class:`~repro.service.PlanService` — warm per-query worker state
+    is keyed by query, not by submitter.
+    """
+
+    def __init__(self, jobs: int | None = None) -> None:
+        if jobs is None:
+            jobs = default_jobs()
+        if jobs < 1:
+            raise OptimizerError(f"need at least one worker process, got {jobs}")
+        self._jobs = jobs
+        self._executor: ProcessPoolExecutor | None = None
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def jobs(self) -> int:
+        """Configured worker process count."""
+        return self._jobs
+
+    @property
+    def spawned(self) -> bool:
+        """Whether worker processes have actually been started."""
+        return self._executor is not None
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._closed:
+                raise OptimizerError("the planning pool is closed")
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(max_workers=self._jobs)
+            return self._executor
+
+    def submit(self, fn: Callable[..., _T], /, *args: object) -> "Future[_T]":
+        """Schedule ``fn(*args)`` on a worker process."""
+        return self._ensure_executor().submit(fn, *args)
+
+    def submit_query(
+        self,
+        graph: "QueryGraph",
+        catalog: "Catalog | None",
+        algorithm: str,
+    ) -> "Future[WholeQueryOutcome]":
+        """Plan one whole query on a worker process.
+
+        The returned future resolves to a
+        :class:`~repro.parallel.worker.WholeQueryOutcome` whose
+        ``result`` is a complete
+        :class:`~repro.core.base.OptimizationResult` (plan, paper
+        counters, timings) in the submitted graph's own numbering.
+        """
+        return self.submit(
+            plan_query, WholeQueryTask(graph=graph, catalog=catalog, algorithm=algorithm)
+        )
+
+    def run_shards(self, tasks: Sequence[ShardTask]) -> list[ShardResult]:
+        """Evaluate level shards concurrently; results in task order.
+
+        Order matters: the merge step resolves cost ties by shard
+        order to reproduce the sequential keep-the-incumbent rule.
+        """
+        futures = [self.submit(run_shard, task) for task in tasks]
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self, wait: bool = True) -> None:
+        """Shut the worker processes down; idempotent."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+            self._closed = True
+        if executor is not None:
+            executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "PlanningPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "spawned" if self.spawned else "cold"
+        return f"PlanningPool(jobs={self._jobs}, {state})"

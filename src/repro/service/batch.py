@@ -31,11 +31,24 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
         PlanService,
     )
 
-__all__ = ["plan_batch"]
+__all__ = ["plan_batch", "default_concurrency"]
 
-#: Submission-pool bound: enough to keep a default service (4 workers)
-#: saturated, small enough not to spawn a thread per request.
-DEFAULT_CONCURRENCY = 8
+#: Submission threads per service worker: two, so a new leader is
+#: always queued behind each in-flight optimization and an oversized
+#: worker pool is never starved by the submission side.
+SUBMITTERS_PER_WORKER = 2
+
+
+def default_concurrency(service: "PlanService") -> int:
+    """Submission-pool bound derived from the service's worker pool.
+
+    Submitter threads only enqueue work and wait; the service's worker
+    pool does the actual DP. Two submitters per worker keeps every
+    worker saturated (one waiting leader queued behind each running
+    one) regardless of how large the service was configured — a
+    hardcoded bound would starve services with more workers than it.
+    """
+    return max(1, SUBMITTERS_PER_WORKER * service.workers)
 
 
 def plan_batch(
@@ -52,7 +65,8 @@ def plan_batch(
         requests: any number of requests; duplicates (by fingerprint
             and algorithm) are detected automatically.
         concurrency: leader-submission threads; defaults to
-            ``min(DEFAULT_CONCURRENCY, number of distinct queries)``.
+            ``min(default_concurrency(service), number of distinct
+            queries)`` — two submitters per service worker.
 
     Returns:
         Responses aligned index-by-index with ``requests``.
@@ -75,7 +89,7 @@ def plan_batch(
     metrics.counter("batch_deduplicated").increment(len(requests) - len(groups))
 
     responses: "list[PlanResponse | None]" = [None] * len(requests)
-    workers = concurrency if concurrency is not None else DEFAULT_CONCURRENCY
+    workers = concurrency if concurrency is not None else default_concurrency(service)
     workers = max(1, min(workers, len(groups)))
     with ThreadPoolExecutor(
         max_workers=workers, thread_name_prefix="plan-batch"

@@ -127,6 +127,13 @@ class PlanService:
             :data:`repro.core.FALLBACK_ALGORITHMS`.
         cache_capacity / ttl_seconds: plan cache bounds.
         workers: optimizer thread-pool size.
+        jobs: worker *processes* for the actual enumeration. ``None``
+            or ``1`` keeps optimization in-process on the thread pool
+            (the GIL-bound baseline); ``>= 2`` moves every cache-miss
+            optimization onto a shared
+            :class:`~repro.parallel.pool.PlanningPool`, so distinct
+            batch leaders truly plan concurrently. The thread pool then
+            only coordinates (fingerprint, cache, relabel, wait).
         default_deadline_seconds: deadline applied to requests that do
             not carry their own; ``None`` means unbounded.
         card_digits / sel_digits: fingerprint quantization.
@@ -134,10 +141,12 @@ class PlanService:
             service creates a private one when not given. Cache
             counters, request counters/latencies, per-request span
             trees and the enumerators' ``enumerator.*`` events all land
-            in this one context.
+            in this one context — including the counters of runs that
+            executed on worker *processes*, which the service merges
+            back in when the result ships home.
 
     The service is a context manager; :meth:`close` drains the worker
-    pool.
+    pool (and the process pool when ``jobs`` enabled one).
     """
 
     def __init__(
@@ -147,6 +156,7 @@ class PlanService:
         cache_capacity: int = 1024,
         ttl_seconds: float | None = None,
         workers: int = 4,
+        jobs: int | None = None,
         default_deadline_seconds: float | None = None,
         card_digits: int = DEFAULT_CARD_DIGITS,
         sel_digits: int = DEFAULT_SEL_DIGITS,
@@ -165,6 +175,8 @@ class PlanService:
             )
         if workers < 1:
             raise ServiceError(f"need at least one worker, got {workers}")
+        if jobs is not None and jobs < 1:
+            raise ServiceError(f"jobs must be >= 1, got {jobs}")
         if default_deadline_seconds is not None and default_deadline_seconds < 0:
             raise ServiceError("default_deadline_seconds must be >= 0")
         self._algorithm = algorithm
@@ -183,9 +195,22 @@ class PlanService:
         self._metrics = MetricsRegistry(
             counters=self._obs.counters, histograms=self._obs.histograms
         )
+        self._workers = workers
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="plan-service"
         )
+        if jobs is not None and jobs > 1:
+            from repro.parallel.pool import PlanningPool
+
+            self._process_pool: "PlanningPool | None" = PlanningPool(jobs)
+        else:
+            self._process_pool = None
+        # Front door for submit_request(); created lazily and kept
+        # separate from self._executor — plan_prepared itself submits
+        # to and waits on the worker pool, so running it there could
+        # deadlock a fully-loaded pool.
+        self._front_door: ThreadPoolExecutor | None = None
+        self._front_door_lock = threading.Lock()
         self._closed = threading.Event()
 
     # ------------------------------------------------------------------
@@ -214,6 +239,26 @@ class PlanService:
         """Plan one :class:`PlanRequest` through cache, pool and deadline."""
         fingerprint = self.fingerprint_of(request.graph, request.catalog)
         return self.plan_prepared(request, fingerprint)
+
+    def submit_request(self, request: PlanRequest) -> "Future[PlanResponse]":
+        """Plan asynchronously; returns a future for the response.
+
+        The request runs through the full :meth:`plan_request` pipeline
+        on a dedicated front-door thread (separate from the optimizer
+        worker pool, which the pipeline itself blocks on), so callers
+        can fan out many requests without blocking and event loops can
+        ``await asyncio.wrap_future(service.submit_request(r))``.
+        """
+        if self._closed.is_set():
+            raise ServiceError("the plan service is closed")
+        with self._front_door_lock:
+            if self._front_door is None:
+                self._front_door = ThreadPoolExecutor(
+                    max_workers=max(2, self._workers),
+                    thread_name_prefix="plan-front",
+                )
+            front_door = self._front_door
+        return front_door.submit(self.plan_request, request)
 
     def plan_prepared(
         self, request: PlanRequest, fingerprint: Fingerprint
@@ -304,14 +349,34 @@ class PlanService:
         canonical_graph, canonical_catalog = fingerprint.canonical_instance(
             request.graph, request.catalog
         )
-        # Runs on a pool thread: the enumerator's optimize:<name> span
-        # becomes its own root there, and its counters land in the
-        # shared registries.
-        result = make_algorithm(algorithm).optimize(
-            canonical_graph,
-            catalog=canonical_catalog,
-            instrumentation=self._obs,
-        )
+        if self._process_pool is not None:
+            # CPU-bound enumeration runs off the GIL on a worker
+            # process; this pool thread just waits. The worker runs
+            # uninstrumented and ships the whole OptimizationResult
+            # home, where its counters are published into the shared
+            # obs registries exactly once — same events as the
+            # in-process path, plus process-pool accounting.
+            with self._obs.span(
+                "service.process_plan",
+                algorithm=algorithm,
+                n_relations=canonical_graph.n_relations,
+            ):
+                outcome = self._process_pool.submit_query(
+                    canonical_graph, canonical_catalog, algorithm
+                ).result()
+            result = outcome.result
+            self._obs.record_optimization(result)
+            self._metrics.counter("process_planned").increment()
+            self._obs.observe("service.worker_cpu_seconds", outcome.cpu_seconds)
+        else:
+            # Runs on a pool thread: the enumerator's optimize:<name>
+            # span becomes its own root there, and its counters land in
+            # the shared registries.
+            result = make_algorithm(algorithm).optimize(
+                canonical_graph,
+                catalog=canonical_catalog,
+                instrumentation=self._obs,
+            )
         self._metrics.histogram("optimize_seconds").observe(result.elapsed_seconds)
         return _CacheEntry(
             canonical_plan=result.plan,
@@ -422,6 +487,16 @@ class PlanService:
         self._cache.clear()
 
     @property
+    def workers(self) -> int:
+        """Size of the optimizer worker (thread) pool."""
+        return self._workers
+
+    @property
+    def jobs(self) -> int:
+        """Worker processes doing enumeration; 1 means in-process."""
+        return self._process_pool.jobs if self._process_pool is not None else 1
+
+    @property
     def metrics(self) -> MetricsRegistry:
         """The service's metrics registry (a view over the obs context)."""
         return self._metrics
@@ -448,9 +523,15 @@ class PlanService:
         return snapshot
 
     def close(self, wait: bool = True) -> None:
-        """Refuse new requests and shut the worker pool down."""
+        """Refuse new requests and shut every pool down."""
         self._closed.set()
+        with self._front_door_lock:
+            front_door, self._front_door = self._front_door, None
+        if front_door is not None:
+            front_door.shutdown(wait=wait)
         self._executor.shutdown(wait=wait)
+        if self._process_pool is not None:
+            self._process_pool.close(wait=wait)
 
     def __enter__(self) -> "PlanService":
         return self

@@ -1,0 +1,62 @@
+"""The parallel-scaling benchmark artifact (BENCH_parallel.json)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.parallel_bench import (
+    render_parallel_bench,
+    run_parallel_scaling,
+    write_parallel_bench,
+)
+
+
+def tiny_results():
+    # Tiny sizes, forced dispatch, and one absurd worker count that no
+    # host can honor — exercises measurement and the skip path at once.
+    return run_parallel_scaling(
+        sizes=(4, 5), jobs=(1, 4096), min_pairs_per_shard=1
+    )
+
+
+class TestRunParallelScaling:
+    def test_schema(self):
+        results = tiny_results()
+        assert results["benchmark"] == "parallel_scaling"
+        assert results["host"]["cpu_count"] >= 1
+        assert results["jobs_requested"] == [1, 4096]
+        assert [entry["n"] for entry in results["entries"]] == [4, 5]
+        for entry in results["entries"]:
+            assert entry["topology"] == "clique"
+            assert entry["sequential_seconds"] > 0
+
+    def test_oversized_jobs_skip_gracefully(self):
+        results = tiny_results()
+        for entry in results["entries"]:
+            skipped = entry["runs"]["4096"]
+            assert "skipped" in skipped
+            assert "4096 workers" in skipped["skipped"]
+
+    def test_measured_runs_are_exact(self):
+        results = tiny_results()
+        for entry in results["entries"]:
+            for run in entry["runs"].values():
+                if "skipped" not in run:
+                    assert run["exact"] is True
+                    assert run["seconds"] > 0
+                    assert run["speedup"] > 0
+
+
+class TestRendering:
+    def test_render_mentions_host_and_skips(self):
+        results = tiny_results()
+        text = render_parallel_bench(results)
+        assert "parallel scaling" in text
+        assert "core(s)" in text
+        assert "skipped: host has" in text
+
+    def test_write_round_trips(self, tmp_path):
+        results = tiny_results()
+        path = write_parallel_bench(tmp_path / "BENCH_parallel.json", results)
+        loaded = json.loads(path.read_text())
+        assert loaded["entries"] == results["entries"]

@@ -1,0 +1,87 @@
+"""Differential battery: the parallel driver vs the exact enumerators.
+
+The acceptance bar for :mod:`repro.parallel`: on chain/cycle/star/
+clique/random graphs up to n=10, parallel plans must cost exactly what
+the sequential exact enumerators (DPsize, DPccp) compute — for 1, 2 and
+4 workers. The multi-worker engines force pool dispatch on every level
+(``min_pairs_per_shard=1``) so the fork/merge path is what's tested,
+not the in-process shortcut; the pools are module-scoped because fork
+startup is the expensive part.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.core.dpccp import DPccp
+from repro.core.dpsize import DPsize
+from repro.graph.generators import graph_for_topology, random_connected_graph
+from repro.parallel import ParallelDPsize
+
+TOPOLOGIES = ("chain", "cycle", "star", "clique", "random")
+SIZES = (3, 5, 7, 10)
+
+
+@pytest.fixture(scope="module")
+def engines():
+    """One engine per worker count, pools shared across the battery."""
+    with ParallelDPsize(jobs=1) as one, ParallelDPsize(
+        jobs=2, min_pairs_per_shard=1
+    ) as two, ParallelDPsize(jobs=4, min_pairs_per_shard=1) as four:
+        yield {1: one, 2: two, 4: four}
+
+
+def instance(topology: str, n: int):
+    rng = random.Random(n * 101 + len(topology))
+    if topology == "random":
+        graph = random_connected_graph(n, rng=rng)
+    else:
+        graph = graph_for_topology(topology, n, rng=rng)
+    catalog = Catalog.from_cardinalities(
+        [float(rng.randint(10, 100000)) for _ in range(n)]
+    )
+    return graph, catalog
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+@pytest.mark.parametrize("n", SIZES)
+def test_parallel_matches_exact_enumerators(engines, topology, n):
+    if topology == "cycle" and n < 3:
+        pytest.skip("2-cycles degenerate to chains")
+    graph, catalog = instance(topology, n)
+    dpsize = DPsize().optimize(graph, catalog=catalog)
+    dpccp = DPccp().optimize(graph, catalog=catalog)
+    # Both are exact; their enumeration orders memoize cardinalities at
+    # different split points, so they can differ in the last float ulp.
+    assert dpsize.cost == pytest.approx(dpccp.cost)
+    # Sized-down battery for the 4-worker engine: full sweep at 1 and
+    # 2 workers, the largest instance per topology at 4.
+    worker_counts = (1, 2, 4) if n == SIZES[-1] else (1, 2)
+    for workers in worker_counts:
+        result = engines[workers].optimize(graph, catalog=catalog)
+        assert result.cost == dpsize.cost, (topology, n, workers)
+        assert result.counters.as_dict() == dpsize.counters.as_dict()
+        assert result.table_size == dpsize.table_size
+        assert repr(result.plan) == repr(dpsize.plan)
+
+
+def test_forced_dispatch_actually_used_the_pool(engines):
+    graph, catalog = instance("clique", 8)
+    engines[2].optimize(graph, catalog=catalog)
+    assert engines[2].pool_spawned
+    assert not engines[1].pool_spawned
+
+
+def test_warm_pool_reuse_stays_exact(engines):
+    """Re-planning the same query through a warm pool changes nothing."""
+    graph, catalog = instance("star", 9)
+    reference = DPsize().optimize(graph, catalog=catalog)
+    first = engines[2].optimize(graph, catalog=catalog)
+    second = engines[2].optimize(graph, catalog=catalog)
+    for result in (first, second):
+        assert result.cost == reference.cost
+        assert result.counters.as_dict() == reference.counters.as_dict()
+        assert repr(result.plan) == repr(reference.plan)

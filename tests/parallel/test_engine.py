@@ -1,0 +1,135 @@
+"""ParallelDPsize engine semantics: jobs=1 exactness, gating, lifecycle."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.core.dpsize import DPsize
+from repro.cost.disk import DiskCostModel
+from repro.errors import OptimizerError
+from repro.graph.generators import graph_for_topology, random_connected_graph
+from repro.obs import Instrumentation
+from repro.parallel import ParallelDPsize
+
+from tests.conftest import graph_of
+
+
+def random_instance(topology, n, seed):
+    rng = random.Random(seed)
+    graph = (
+        graph_for_topology(topology, n, rng=rng)
+        if topology != "random"
+        else random_connected_graph(n, rng=rng)
+    )
+    catalog = Catalog.from_cardinalities(
+        [float(rng.randint(10, 100000)) for _ in range(n)]
+    )
+    return graph, catalog
+
+
+class TestJobsOneExactness:
+    """jobs=1 must equal sequential DPsize bit for bit, pool-free."""
+
+    def test_identical_to_sequential(self, paper_topology):
+        engine = ParallelDPsize(jobs=1)
+        sequential = DPsize()
+        for n in (2, 3, 5, 8, 10):
+            if paper_topology == "cycle" and n < 3:
+                continue
+            graph, catalog = random_instance(paper_topology, n, seed=n * 31)
+            reference = sequential.optimize(graph, catalog=catalog)
+            result = engine.optimize(graph, catalog=catalog)
+            assert result.cost == reference.cost
+            assert result.counters.as_dict() == reference.counters.as_dict()
+            assert result.table_size == reference.table_size
+            assert result.table_probes == reference.table_probes
+            assert result.table_improvements == reference.table_improvements
+            assert repr(result.plan) == repr(reference.plan)
+        assert not engine.pool_spawned
+
+    def test_obs_counter_totals_match_sequential(self):
+        graph, catalog = random_instance("clique", 8, seed=3)
+        seq_obs = Instrumentation()
+        DPsize().optimize(graph, catalog=catalog, instrumentation=seq_obs)
+        par_obs = Instrumentation()
+        engine = ParallelDPsize(jobs=1)
+        engine.optimize(graph, catalog=catalog, instrumentation=par_obs)
+        seq = seq_obs.counters.snapshot()
+        par = par_obs.counters.snapshot()
+        # Same events, same totals, modulo the algorithm-name namespace
+        # and the parallel driver's own bookkeeping counters.
+        strip = lambda counters, name: {
+            key.replace(f"enumerator.{name}.", "enumerator."): value
+            for key, value in counters.items()
+            if not key.startswith("parallel.")
+        }
+        assert strip(par, "ParallelDPsize") == strip(seq, "DPsize")
+        assert not engine.pool_spawned
+
+    def test_single_relation(self):
+        graph = graph_of("chain", 1)
+        result = ParallelDPsize(jobs=1).optimize(graph)
+        assert result.n_relations == 1
+        assert result.table_size == 1
+
+    def test_two_relations(self):
+        graph, catalog = random_instance("chain", 2, seed=9)
+        reference = DPsize().optimize(graph, catalog=catalog)
+        result = ParallelDPsize(jobs=1).optimize(graph, catalog=catalog)
+        assert result.cost == reference.cost
+        assert repr(result.plan) == repr(reference.plan)
+
+
+class TestCostModelGating:
+    def test_non_separable_model_falls_back(self):
+        graph, _ = random_instance("star", 6, seed=4)
+        model = DiskCostModel(graph, Catalog.uniform(6))
+        assert model.separable_join_operator is None
+        reference_model = DiskCostModel(graph, Catalog.uniform(6))
+        reference = DPsize().optimize(graph, cost_model=reference_model)
+        obs = Instrumentation()
+        result = ParallelDPsize(jobs=1).optimize(
+            graph, cost_model=model, instrumentation=obs
+        )
+        assert result.cost == reference.cost
+        assert result.counters.as_dict() == reference.counters.as_dict()
+        assert obs.counters.value("parallel.sequential_fallbacks") == 1
+        # The sequential fallback never emits per-level parallel events.
+        assert obs.counters.value("parallel.levels") == 0
+
+
+class TestLifecycle:
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(OptimizerError):
+            ParallelDPsize(jobs=0)
+        with pytest.raises(OptimizerError):
+            ParallelDPsize(jobs=2, shards_per_worker=0)
+
+    def test_context_manager_and_close_idempotent(self):
+        with ParallelDPsize(jobs=1) as engine:
+            graph = graph_of("chain", 4)
+            engine.optimize(graph)
+        engine.close()
+        assert not engine.pool_spawned
+
+    def test_jobs_property(self):
+        assert ParallelDPsize(jobs=3).jobs == 3
+        assert ParallelDPsize(jobs=None).jobs >= 1
+
+
+class TestObsEvents:
+    def test_level_counters_published(self):
+        graph, catalog = random_instance("clique", 7, seed=6)
+        obs = Instrumentation()
+        ParallelDPsize(jobs=1).optimize(
+            graph, catalog=catalog, instrumentation=obs
+        )
+        counters = obs.counters
+        # One level per plan size 2..n, one in-process shard each.
+        assert counters.value("parallel.levels") == 6
+        assert counters.value("parallel.shards") == 6
+        assert counters.value("parallel.levels_dispatched") == 0
+        assert counters.value("enumerator.ParallelDPsize.inner_loop_tests") > 0

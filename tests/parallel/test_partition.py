@@ -1,0 +1,150 @@
+"""Unit tests for the shard partitioner (repro.parallel.partition)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.parallel.partition import iter_pair_range, pair_count, split_range
+
+
+def reference_pairs(buckets, size):
+    """The sequential DPsize candidate order, written as the naive loops."""
+    pairs = []
+    for left_size in range(1, size // 2 + 1):
+        right_size = size - left_size
+        left_bucket = buckets[left_size] if left_size < len(buckets) else []
+        right_bucket = buckets[right_size] if right_size < len(buckets) else []
+        for position, left in enumerate(left_bucket):
+            partners = (
+                right_bucket[position + 1 :]
+                if left_size == right_size
+                else right_bucket
+            )
+            for right in partners:
+                pairs.append((left, right))
+    return pairs
+
+
+def random_buckets(rng, max_size=6):
+    """Bucket lists with random sizes; entries are unique tokens."""
+    buckets = [[]]
+    token = 0
+    for _ in range(max_size):
+        bucket = []
+        for _ in range(rng.randrange(0, 7)):
+            bucket.append(token)
+            token += 1
+        buckets.append(bucket)
+    return buckets
+
+
+class TestPairCount:
+    def test_docstring_cases(self):
+        assert pair_count([0, 3, 2], 3) == 6
+        assert pair_count([0, 4], 2) == 6
+
+    def test_matches_reference_loops(self):
+        rng = random.Random(7)
+        for _ in range(50):
+            buckets = random_buckets(rng)
+            for size in range(2, len(buckets) + 1):
+                sizes = [len(b) for b in buckets]
+                assert pair_count(sizes, size) == len(
+                    reference_pairs(buckets, size)
+                ), (sizes, size)
+
+    def test_rejects_trivial_levels(self):
+        with pytest.raises(ValueError):
+            pair_count([0, 3], 1)
+
+
+class TestSplitRange:
+    def test_docstring_cases(self):
+        assert split_range(10, 3) == [(0, 4), (4, 7), (7, 10)]
+        assert split_range(2, 4) == [(0, 1), (1, 2)]
+        assert split_range(0, 4) == []
+
+    def test_properties(self):
+        rng = random.Random(11)
+        for _ in range(200):
+            total = rng.randrange(0, 500)
+            shards = rng.randrange(1, 20)
+            ranges = split_range(total, shards)
+            # Contiguous cover of range(total), in order.
+            cursor = 0
+            for start, stop in ranges:
+                assert start == cursor
+                assert stop > start  # never empty
+                cursor = stop
+            assert cursor == total
+            assert len(ranges) <= shards
+            if ranges:
+                widths = [stop - start for start, stop in ranges]
+                assert max(widths) - min(widths) <= 1  # near-equal
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            split_range(10, 0)
+
+
+class TestIterPairRange:
+    def test_full_range_equals_reference(self):
+        rng = random.Random(3)
+        for _ in range(30):
+            buckets = random_buckets(rng)
+            for size in range(2, len(buckets) + 1):
+                total = pair_count([len(b) for b in buckets], size)
+                assert (
+                    list(iter_pair_range(buckets, size, 0, total))
+                    == reference_pairs(buckets, size)
+                )
+
+    def test_shards_concatenate_to_reference(self):
+        rng = random.Random(5)
+        for _ in range(30):
+            buckets = random_buckets(rng)
+            size = rng.randrange(2, len(buckets) + 1)
+            total = pair_count([len(b) for b in buckets], size)
+            shards = rng.randrange(1, 8)
+            merged = []
+            for start, stop in split_range(total, shards):
+                merged.extend(iter_pair_range(buckets, size, start, stop))
+            assert merged == reference_pairs(buckets, size)
+
+    def test_arbitrary_subranges(self):
+        rng = random.Random(13)
+        buckets = random_buckets(rng)
+        size = 4
+        total = pair_count([len(b) for b in buckets], size)
+        reference = reference_pairs(buckets, size)
+        for _ in range(100):
+            start = rng.randrange(0, total + 1)
+            stop = rng.randrange(start, total + 1)
+            assert (
+                list(iter_pair_range(buckets, size, start, stop))
+                == reference[start:stop]
+            )
+
+    def test_empty_range(self):
+        assert list(iter_pair_range([[], [1, 2]], 2, 0, 0)) == []
+
+    def test_rejects_invalid_range(self):
+        with pytest.raises(ValueError):
+            list(iter_pair_range([[], [1, 2]], 2, 1, 0))
+        with pytest.raises(ValueError):
+            list(iter_pair_range([[], [1, 2]], 2, -1, 0))
+
+    def test_same_size_level_skips_correctly(self):
+        # Level 2 pairs singletons with later singletons only
+        # (unordered), the trickiest skip arithmetic.
+        buckets = [[], [10, 20, 30, 40]]
+        total = pair_count([0, 4], 2)
+        assert total == 6
+        full = list(iter_pair_range(buckets, 2, 0, total))
+        assert full == [
+            (10, 20), (10, 30), (10, 40), (20, 30), (20, 40), (30, 40),
+        ]
+        for start in range(total + 1):
+            assert list(iter_pair_range(buckets, 2, start, total)) == full[start:]

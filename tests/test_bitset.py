@@ -154,3 +154,66 @@ class TestFormatBits:
 
     def test_members(self):
         assert bitset.format_bits(0b101) == "{R0, R2}"
+
+
+class TestWordBoundaries:
+    """Masks at and beyond the 64-bit word boundary.
+
+    Python ints are unbounded, but 63/64/65 relations are exactly where
+    a fixed-width bitset implementation would wrap, overflow a sign
+    bit, or truncate — the shard partitioner and the DP plan tables
+    (dicts keyed by these masks) must be unaffected.
+    """
+
+    @pytest.mark.parametrize("n", [63, 64, 65])
+    def test_all_bits_set(self, n):
+        full = bitset.set_of(range(n))
+        assert full == (1 << n) - 1
+        assert bitset.popcount(full) == n
+        assert bitset.highest_bit_index(full) == n - 1
+        assert bitset.lowest_bit_index(full) == 0
+        assert not bitset.only_bit(full)
+
+    @pytest.mark.parametrize("n", [63, 64, 65])
+    def test_iteration_order_is_ascending(self, n):
+        full = bitset.set_of(range(n))
+        assert list(bitset.iter_bits(full)) == list(range(n))
+
+    @pytest.mark.parametrize("index", [62, 63, 64, 100])
+    def test_single_high_bit(self, index):
+        mask = bitset.bit(index)
+        assert bitset.only_bit(mask)
+        assert bitset.lowest_bit_index(mask) == index
+        assert bitset.highest_bit_index(mask) == index
+        assert list(bitset.iter_bits(mask)) == [index]
+
+    def test_boundary_straddling_disjointness(self):
+        below = bitset.set_of(range(0, 64))
+        above = bitset.set_of(range(64, 128))
+        assert bitset.is_disjoint(below, above)
+        assert not bitset.is_disjoint(below | bitset.bit(64), above)
+        assert bitset.is_subset(bitset.bit(63), below)
+        assert bitset.is_subset(bitset.bit(64), above)
+
+    def test_empty_set_behaviour(self):
+        assert bitset.EMPTY == 0
+        assert bitset.popcount(bitset.EMPTY) == 0
+        assert list(bitset.iter_bits(bitset.EMPTY)) == []
+        assert list(bitset.iter_subsets(bitset.EMPTY)) == []
+        assert bitset.is_subset(bitset.EMPTY, bitset.set_of(range(65)))
+        assert bitset.is_disjoint(bitset.EMPTY, bitset.EMPTY)
+
+    def test_subset_enumeration_crosses_the_boundary(self):
+        # A 3-member mask straddling bit 64: the Vance-Maier increment
+        # must enumerate all 2^3 - 2 strict non-empty subsets.
+        mask = bitset.set_of([63, 64, 65])
+        subsets = list(bitset.iter_subsets(mask))
+        assert len(subsets) == 2**3 - 2
+        assert all(
+            bitset.is_subset(subset, mask) and subset not in (0, mask)
+            for subset in subsets
+        )
+        assert subsets == sorted(subsets)
+
+    def test_format_bits_high_indices(self):
+        assert bitset.format_bits(bitset.bit(64)) == "{R64}"

@@ -99,12 +99,62 @@ class TestCommands:
         assert "error:" in capsys.readouterr().err
 
 
+class TestPlanCommand:
+    def test_defaults(self):
+        args = build_parser().parse_args(["plan"])
+        assert args.topology == "clique"
+        assert args.relations == 10
+        assert args.jobs is None
+
+    def test_jobs_one_runs_in_process(self, capsys):
+        assert main(
+            ["plan", "--topology", "star", "-n", "7", "--jobs", "1", "--verify"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "(jobs=1)" in out
+        assert "pool spawned: False" in out
+        assert "verify    : matches sequential DPsize" in out
+
+    def test_jobs_two_forced_dispatch(self, capsys):
+        assert main(
+            [
+                "plan",
+                "--topology", "chain",
+                "-n", "6",
+                "--jobs", "2",
+                "--min-shard-pairs", "1",
+                "--verify",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "pool spawned: True" in out
+        assert "verify    : matches sequential DPsize" in out
+
+
 class TestServiceCommands:
     def test_serve_batch_defaults(self):
         args = build_parser().parse_args(["serve-batch"])
         assert args.topology == "star"
         assert args.requests == 200
         assert args.repeat_ratio == 0.7
+        assert args.jobs is None
+        assert args.concurrency is None
+
+    def test_serve_batch_with_process_pool(self, capsys):
+        assert main(
+            [
+                "serve-batch",
+                "--topology", "star",
+                "-n", "7",
+                "--requests", "12",
+                "--jobs", "2",
+                "--workers", "2",
+                "--seed", "5",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "planned 12 requests" in out
+        assert "cache hit-rate:" in out
 
     def test_serve_batch(self, capsys):
         assert main(
