@@ -102,6 +102,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also run sequential DPsize and check the plans match",
     )
+    plan.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help="re-submissions after a worker-process crash before a "
+        "level degrades to in-process evaluation (default 2)",
+    )
 
     count = commands.add_parser(
         "count", help="analytical vs measured counters for one query graph"
@@ -200,6 +207,27 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-capacity", type=int, default=1024)
     serve.add_argument("--ttl-seconds", type=float, default=None)
     serve.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="re-submissions after a worker-process crash before a "
+        "request degrades to in-process planning",
+    )
+    serve.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        help="consecutive pool faults that open the circuit breaker "
+        "(planning then stays in-process until the cooldown probe)",
+    )
+    serve.add_argument(
+        "--breaker-cooldown-seconds",
+        type=float,
+        default=30.0,
+        help="open-breaker cooldown before a half-open probe retries "
+        "the process pool",
+    )
+    serve.add_argument(
         "--workload",
         default=None,
         metavar="FILE",
@@ -286,8 +314,17 @@ def _command_plan(args: argparse.Namespace) -> int:
         if args.min_shard_pairs is not None
         else DEFAULT_MIN_PAIRS_PER_SHARD
     )
+    retry_policy = None
+    if args.max_retries is not None:
+        from repro.parallel import RetryPolicy
+
+        retry_policy = RetryPolicy(max_retries=args.max_retries)
     obs = Instrumentation()
-    with ParallelDPsize(jobs=args.jobs, min_pairs_per_shard=min_pairs) as engine:
+    with ParallelDPsize(
+        jobs=args.jobs,
+        min_pairs_per_shard=min_pairs,
+        retry_policy=retry_policy,
+    ) as engine:
         result = engine.optimize(graph, catalog=catalog, instrumentation=obs)
         jobs = engine.jobs
         spawned = engine.pool_spawned
@@ -504,6 +541,9 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
         ttl_seconds=args.ttl_seconds,
         workers=args.workers,
         jobs=args.jobs,
+        max_retries=args.max_retries,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_seconds=args.breaker_cooldown_seconds,
     ) as service:
         started = time.perf_counter()
         responses = service.plan_batch(requests, concurrency=args.concurrency)
@@ -523,6 +563,13 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
         f"(hits={stats.hits}, misses={stats.misses}, "
         f"coalesced={stats.coalesced}, evictions={stats.evictions})"
     )
+    resilience = snapshot.get("resilience", {})
+    if resilience.get("pool_faults"):
+        print(
+            f"resilience: {resilience['pool_faults']} pool fault(s), "
+            f"{resilience['pool_respawns']} respawn(s), "
+            f"breaker {resilience['breaker_state']}"
+        )
     print()
     print(render_snapshot(snapshot))
     if args.metrics_out is not None:

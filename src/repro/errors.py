@@ -16,6 +16,7 @@ __all__ = [
     "PlanError",
     "CrossProductError",
     "OptimizerError",
+    "PoolBrokenError",
     "EmptyQueryError",
     "CatalogError",
     "WorkloadError",
@@ -54,6 +55,18 @@ class CrossProductError(PlanError):
 
 class OptimizerError(ReproError):
     """An optimizer was invoked with invalid inputs or configuration."""
+
+
+class PoolBrokenError(OptimizerError):
+    """The planning process pool faulted and retries were exhausted.
+
+    Raised by :class:`~repro.parallel.pool.PlanningPool` when worker
+    death (``BrokenProcessPool``: OOM kill, segfault, SIGKILL) persists
+    through the configured retry budget, or when the remaining request
+    deadline cannot accommodate another backoff-and-retry cycle.
+    Callers treat it as a degradation signal — fall back to in-process
+    sequential planning — never as a request failure.
+    """
 
 
 class EmptyQueryError(OptimizerError):

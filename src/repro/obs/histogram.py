@@ -10,6 +10,7 @@ latencies.
 
 from __future__ import annotations
 
+import math
 import threading
 from collections import deque
 
@@ -77,10 +78,16 @@ class Histogram:
 
 
 def _percentile(ordered: list[float], fraction: float) -> float:
-    """Nearest-rank percentile over an ascending sample list."""
+    """Ceil-based nearest-rank percentile over an ascending sample list.
+
+    ``ceil`` (not ``round``) resolves mid-window ranks *upward*: the
+    p50 of ``[1, 2]`` is 2. ``round()`` would pick the lower neighbor
+    — and being banker's rounding, do so dependent on rank parity —
+    which systematically understated tail latencies on even windows.
+    """
     if not ordered:
         return 0.0
-    rank = max(0, min(len(ordered) - 1, round(fraction * (len(ordered) - 1))))
+    rank = max(0, min(len(ordered) - 1, math.ceil(fraction * (len(ordered) - 1))))
     return ordered[rank]
 
 

@@ -12,17 +12,28 @@ processes:
   uses it (``jobs=N``) to move distinct-group leader planning off the
   GIL.
 
-See :mod:`repro.parallel.engine` for the exactness protocol and
-:mod:`repro.parallel.partition` for the shard math.
+Both levels are fault-tolerant: worker death (``BrokenProcessPool``)
+tears the executor down, respawns it lazily, and re-runs the lost work
+under a bounded :class:`~repro.parallel.resilience.RetryPolicy`;
+persistent faults trip a :class:`~repro.parallel.resilience.CircuitBreaker`
+and planning degrades transparently to the in-process sequential path
+— a broken pool costs throughput, never correctness.
+
+See :mod:`repro.parallel.engine` for the exactness protocol,
+:mod:`repro.parallel.partition` for the shard math and
+:mod:`repro.parallel.resilience` for the fault-tolerance policies.
 """
 
 from repro.parallel.engine import DEFAULT_MIN_PAIRS_PER_SHARD, ParallelDPsize
 from repro.parallel.partition import iter_pair_range, pair_count, split_range
 from repro.parallel.pool import PlanningPool, default_jobs
+from repro.parallel.resilience import CircuitBreaker, RetryPolicy
 
 __all__ = [
     "ParallelDPsize",
     "PlanningPool",
+    "CircuitBreaker",
+    "RetryPolicy",
     "DEFAULT_MIN_PAIRS_PER_SHARD",
     "default_jobs",
     "pair_count",

@@ -48,9 +48,11 @@ from contextlib import nullcontext
 from repro.core.base import CounterSet, JoinOrderer, PlanTable
 from repro.core.dpsize import DPsize
 from repro.cost.base import CostModel
+from repro.errors import PoolBrokenError
 from repro.graph.querygraph import QueryGraph
 from repro.parallel.partition import pair_count, split_range
 from repro.parallel.pool import PlanningPool, default_jobs
+from repro.parallel.resilience import CircuitBreaker, RetryPolicy
 from repro.parallel.worker import QuerySpec, ShardTask, run_shard
 from repro.plans.jointree import JoinTree
 from repro.service.fingerprint import compute_fingerprint
@@ -75,6 +77,14 @@ class ParallelDPsize(JoinOrderer):
             (> 1 smooths load imbalance between contiguous ranges).
         min_pairs_per_shard: dispatch threshold; levels smaller than
             this run in-process even when a pool is available.
+        retry_policy: fault-retry budget for an *owned* pool (a shared
+            pool keeps its own policy).
+        breaker: circuit breaker gating pool dispatch; the engine
+            builds a private one when not given. When the breaker is
+            open (too many consecutive pool faults), levels are
+            evaluated in-process by the same shard scanner — the plan
+            stays bit-identical, only the parallel speedup is lost —
+            until a post-cooldown probe heals the pool.
 
     The engine keeps its pool (and the workers' per-query warm state)
     alive across :meth:`optimize` calls; it is a context manager, and
@@ -90,6 +100,8 @@ class ParallelDPsize(JoinOrderer):
         pool: PlanningPool | None = None,
         shards_per_worker: int = 2,
         min_pairs_per_shard: int = DEFAULT_MIN_PAIRS_PER_SHARD,
+        retry_policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         if pool is not None:
             self._pool: PlanningPool | None = pool
@@ -111,6 +123,8 @@ class ParallelDPsize(JoinOrderer):
             )
         self._shards_per_worker = shards_per_worker
         self._min_pairs_per_shard = max(1, min_pairs_per_shard)
+        self._retry_policy = retry_policy
+        self._breaker = breaker if breaker is not None else CircuitBreaker()
         self._active_obs = None
 
     # ------------------------------------------------------------------
@@ -126,6 +140,11 @@ class ParallelDPsize(JoinOrderer):
     def pool_spawned(self) -> bool:
         """Whether any worker process has been started."""
         return self._pool is not None and self._pool.spawned
+
+    @property
+    def breaker(self) -> CircuitBreaker:
+        """The circuit breaker gating pool dispatch."""
+        return self._breaker
 
     def close(self) -> None:
         """Shut down an owned pool (shared pools are the owner's)."""
@@ -192,7 +211,14 @@ class ParallelDPsize(JoinOrderer):
         spec = self._build_spec(graph, cost_model)
         use_pool = self._jobs > 1
         if use_pool and self._pool is None:
-            self._pool = PlanningPool(self._jobs)
+            # The pool binds the obs context of its first use; later
+            # optimize() calls under other contexts still observe the
+            # engine-level parallel.* counters through `obs` directly.
+            self._pool = PlanningPool(
+                self._jobs,
+                retry_policy=self._retry_policy,
+                instrumentation=obs,
+            )
 
         buckets: list[list[int]] = [[] for _ in range(n + 1)]
         buckets[1] = [1 << index for index in range(n)]
@@ -239,7 +265,7 @@ class ParallelDPsize(JoinOrderer):
                     results = [run_shard(tasks[0])]
                 else:
                     assert self._pool is not None
-                    results = self._pool.run_shards(tasks)
+                    results = self._dispatch_shards(tasks, obs)
 
             # Deterministic merge: shards in range order, strict
             # improvement only — the sequential incumbent rule over the
@@ -300,6 +326,29 @@ class ParallelDPsize(JoinOrderer):
 
         table.probes += probes
         table.improvements += improvements
+
+    def _dispatch_shards(self, tasks, obs) -> list:
+        """Run one level's shards on the pool, degrading in-process.
+
+        The circuit breaker gates dispatch: while open, the shard
+        scanner runs in-process (identical results — shard evaluation
+        is pure), trading the speedup for not hammering a pool that
+        keeps dying. Exhausted retries trip a failure; a successful
+        dispatch (including the half-open probe) heals it.
+        """
+        if not self._breaker.allow():
+            if obs is not None:
+                obs.count("parallel.degraded_levels")
+            return [run_shard(task) for task in tasks]
+        try:
+            results = self._pool.run_shards(tasks)
+        except PoolBrokenError:
+            self._breaker.record_failure()
+            if obs is not None:
+                obs.count("parallel.degraded_levels")
+            return [run_shard(task) for task in tasks]
+        self._breaker.record_success()
+        return results
 
     # ------------------------------------------------------------------
     # Query shipping

@@ -32,7 +32,9 @@ gates the parallel path to cost models declaring that contract (see
 
 from __future__ import annotations
 
+import os
 import pickle
+import signal
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -50,6 +52,8 @@ __all__ = [
     "WholeQueryOutcome",
     "run_shard",
     "plan_query",
+    "worker_pid",
+    "crash_worker",
 ]
 
 #: Warm-state slots kept per worker. Small: a worker typically serves
@@ -265,6 +269,31 @@ def run_shard(task: ShardTask) -> ShardResult:
     result.improvements = improvements
     result.cpu_seconds = time.process_time() - cpu_started
     return result
+
+
+def worker_pid(token: object = None) -> int:
+    """Fault-injection probe: report the executing worker's PID.
+
+    ``token`` only defeats executor-side memoization concerns when the
+    same probe is submitted repeatedly; it is otherwise ignored. The
+    resilience test harness submits this to learn which OS processes
+    back the pool before SIGKILLing them mid-flight.
+    """
+    del token
+    return os.getpid()
+
+
+def crash_worker(signum: int = signal.SIGKILL) -> None:
+    """Fault-injection poison task: kill the executing worker process.
+
+    Submitting this simulates an OOM kill / segfault from inside: the
+    worker dies without unwinding, the executor observes the death and
+    raises ``BrokenProcessPool`` for every in-flight future — exactly
+    the failure mode :class:`~repro.parallel.pool.PlanningPool`'s
+    health machinery must absorb. Test harness only; never called by
+    production paths.
+    """
+    os.kill(os.getpid(), signum)
 
 
 def plan_query(task: WholeQueryTask) -> WholeQueryOutcome:

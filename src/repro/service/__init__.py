@@ -11,7 +11,15 @@ service suitable for heavy repeated traffic:
 * :mod:`~repro.service.optimizer_service` — :class:`PlanService`, the
   cache → worker pool → deadline/degradation pipeline;
 * :mod:`~repro.service.batch` — batch submission with in-flight
-  deduplication.
+  deduplication and per-group failure isolation.
+
+The pipeline is fault-tolerant end to end: worker-process crashes are
+retried on a respawned pool (:mod:`repro.parallel.resilience`),
+persistent faults trip a circuit breaker that degrades planning to the
+in-process sequential path, deadlines are wall-clock request budgets
+(cache waits, pool queueing and retries all draw from them), and a
+failed exact optimization answers with the fallback heuristic flagged
+``degraded=True`` — requests degrade, they do not raise.
 
 Quick start::
 

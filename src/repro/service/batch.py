@@ -102,14 +102,39 @@ def plan_batch(
             )
             for key, members in groups.items()
         }
+        # Failure isolation: one group's leader raising must not
+        # destroy the whole batch — its members get degraded responses
+        # carrying the failure, every other group proceeds untouched.
+        failures: "dict[str, BaseException]" = {}
         for key, members in groups.items():
-            responses[members[0]] = leader_jobs[key].result()
+            try:
+                responses[members[0]] = leader_jobs[key].result()
+            except Exception as error:
+                failures[key] = error
+                metrics.counter("batch_group_failures").increment()
+                responses[members[0]] = service.plan_degraded(
+                    requests[members[0]], fingerprints[members[0]], error=error
+                )
 
     # Followers: the leader's entry is now cached (unless it degraded),
     # so these resolve as cache hits — microseconds each, no DP rerun.
-    for members in groups.values():
+    # Members of a failed group go straight to the degraded path; a
+    # follower whose own service pass raises is isolated the same way.
+    for key, members in groups.items():
         for index in members[1:]:
-            responses[index] = service.plan_prepared(
-                requests[index], fingerprints[index]
-            )
+            error = failures.get(key)
+            if error is not None:
+                responses[index] = service.plan_degraded(
+                    requests[index], fingerprints[index], error=error
+                )
+                continue
+            try:
+                responses[index] = service.plan_prepared(
+                    requests[index], fingerprints[index]
+                )
+            except Exception as follower_error:
+                metrics.counter("batch_group_failures").increment()
+                responses[index] = service.plan_degraded(
+                    requests[index], fingerprints[index], error=follower_error
+                )
     return [response for response in responses if response is not None]

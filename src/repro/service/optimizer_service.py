@@ -38,7 +38,7 @@ from dataclasses import dataclass, field
 
 from repro.catalog.catalog import Catalog
 from repro.core import ALGORITHMS, FALLBACK_ALGORITHMS, make_algorithm
-from repro.errors import ServiceError
+from repro.errors import OptimizerError, PoolBrokenError, ServiceError
 from repro.graph.querygraph import QueryGraph
 from repro.plans.jointree import JoinTree
 from repro.plans.visitors import relabel_plan
@@ -91,6 +91,9 @@ class PlanResponse:
         optimize_seconds: time the underlying optimization itself took
             (the cached value for hits; the fallback's time when
             degraded).
+        error: short description of the exact optimization's failure
+            when this response degraded because of one (worker crash,
+            optimizer bug) rather than a deadline; ``None`` otherwise.
     """
 
     plan: JoinTree
@@ -100,6 +103,7 @@ class PlanResponse:
     fingerprint_key: str
     elapsed_seconds: float
     optimize_seconds: float
+    error: str | None = None
 
     @property
     def cost(self) -> float:
@@ -135,7 +139,18 @@ class PlanService:
             batch leaders truly plan concurrently. The thread pool then
             only coordinates (fingerprint, cache, relabel, wait).
         default_deadline_seconds: deadline applied to requests that do
-            not carry their own; ``None`` means unbounded.
+            not carry their own; ``None`` means unbounded. A deadline
+            is a *wall-clock request budget*: fingerprinting, cache
+            waits, pool queueing and fault retries all draw from it,
+            and expiry degrades to the fallback heuristic.
+        max_retries: re-submissions after a worker-process fault
+            (``BrokenProcessPool``) before the request degrades to
+            in-process planning; ``0`` fails over immediately.
+        breaker_threshold / breaker_cooldown_seconds: circuit breaker
+            over the process pool — after ``breaker_threshold``
+            consecutive exhausted-retry faults the service stops
+            touching the pool (planning in-process instead) until a
+            half-open probe after the cooldown heals it.
         card_digits / sel_digits: fingerprint quantization.
         instrumentation: shared :class:`repro.obs.Instrumentation`; the
             service creates a private one when not given. Cache
@@ -158,6 +173,9 @@ class PlanService:
         workers: int = 4,
         jobs: int | None = None,
         default_deadline_seconds: float | None = None,
+        max_retries: int = 2,
+        breaker_threshold: int = 3,
+        breaker_cooldown_seconds: float = 30.0,
         card_digits: int = DEFAULT_CARD_DIGITS,
         sel_digits: int = DEFAULT_SEL_DIGITS,
         instrumentation: Instrumentation | None = None,
@@ -179,6 +197,8 @@ class PlanService:
             raise ServiceError(f"jobs must be >= 1, got {jobs}")
         if default_deadline_seconds is not None and default_deadline_seconds < 0:
             raise ServiceError("default_deadline_seconds must be >= 0")
+        if max_retries < 0:
+            raise ServiceError(f"max_retries must be >= 0, got {max_retries}")
         self._algorithm = algorithm
         self._fallback = fallback
         self._default_deadline = default_deadline_seconds
@@ -199,10 +219,28 @@ class PlanService:
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="plan-service"
         )
+        # Resilience policy: the breaker exists even without a process
+        # pool (it is then permanently closed and free), so snapshots
+        # and configuration validation stay uniform.
+        from repro.parallel.resilience import CircuitBreaker, RetryPolicy
+
+        try:
+            self._retry_policy = RetryPolicy(max_retries=max_retries)
+            self._breaker = CircuitBreaker(
+                threshold=breaker_threshold,
+                cooldown_seconds=breaker_cooldown_seconds,
+                instrumentation=self._obs,
+            )
+        except OptimizerError as error:
+            raise ServiceError(str(error)) from error
         if jobs is not None and jobs > 1:
             from repro.parallel.pool import PlanningPool
 
-            self._process_pool: "PlanningPool | None" = PlanningPool(jobs)
+            self._process_pool: "PlanningPool | None" = PlanningPool(
+                jobs,
+                retry_policy=self._retry_policy,
+                instrumentation=self._obs,
+            )
         else:
             self._process_pool = None
         # Front door for submit_request(); created lazily and kept
@@ -315,8 +353,21 @@ class PlanService:
             )
 
         if status == "leader":
+            # The remaining budget (not the full deadline) flows into
+            # the worker job so pool fault retries stop once the
+            # request could no longer profit from them.
+            deadline_at = (
+                None
+                if deadline is None
+                else time.monotonic()
+                + max(0.0, deadline - (time.perf_counter() - started))
+            )
             job = self._executor.submit(
-                self._optimize_canonical, request, fingerprint, algorithm
+                self._optimize_canonical,
+                request,
+                fingerprint,
+                algorithm,
+                deadline_at,
             )
             job.add_done_callback(
                 lambda finished: self._complete(cache_key, finished)
@@ -329,11 +380,25 @@ class PlanService:
         try:
             with self._obs.span("service.wait", role=status):
                 if deadline is not None:
-                    entry = future.result(timeout=max(0.0, deadline))
+                    # The deadline is a wall-clock *request* budget:
+                    # whatever fingerprinting, cache lookup and span
+                    # overhead already consumed no longer remains.
+                    remaining = max(
+                        0.0, deadline - (time.perf_counter() - started)
+                    )
+                    entry = future.result(timeout=remaining)
                 else:
                     entry = future.result()
         except FutureTimeoutError:
             return self._degrade(request, fingerprint, started)
+        except Exception as error:
+            # The leader's optimization failed (worker crash past every
+            # retry, optimizer bug) — and for followers that failure
+            # arrived through PlanCache.abandon. Either way the request
+            # degrades to the fallback heuristic instead of re-raising
+            # an exception the caller cannot act on.
+            self._metrics.counter("error_fallbacks").increment()
+            return self._degrade(request, fingerprint, started, error=error)
         if status == "leader":
             # The done-callback stores the entry; count the outcome as a
             # fresh optimization for this response.
@@ -343,35 +408,63 @@ class PlanService:
         return self._respond(request, fingerprint, entry, started, cache_hit=True)
 
     def _optimize_canonical(
-        self, request: PlanRequest, fingerprint: Fingerprint, algorithm: str
+        self,
+        request: PlanRequest,
+        fingerprint: Fingerprint,
+        algorithm: str,
+        deadline_at: float | None = None,
     ) -> _CacheEntry:
-        """Worker-pool body: optimize the canonical twin of the request."""
+        """Worker-pool body: optimize the canonical twin of the request.
+
+        ``deadline_at`` is the request's remaining budget as a
+        :func:`time.monotonic` instant; it bounds pool *fault retries*
+        (a request nobody waits for anymore should not keep paying for
+        respawn-and-retry cycles), while a healthy optimization is
+        never cut short — a late result still lands in the cache.
+        """
         canonical_graph, canonical_catalog = fingerprint.canonical_instance(
             request.graph, request.catalog
         )
-        if self._process_pool is not None:
+        result = None
+        if self._process_pool is not None and self._breaker.allow():
             # CPU-bound enumeration runs off the GIL on a worker
             # process; this pool thread just waits. The worker runs
             # uninstrumented and ships the whole OptimizationResult
             # home, where its counters are published into the shared
             # obs registries exactly once — same events as the
-            # in-process path, plus process-pool accounting.
-            with self._obs.span(
-                "service.process_plan",
-                algorithm=algorithm,
-                n_relations=canonical_graph.n_relations,
-            ):
-                outcome = self._process_pool.submit_query(
-                    canonical_graph, canonical_catalog, algorithm
-                ).result()
-            result = outcome.result
-            self._obs.record_optimization(result)
-            self._metrics.counter("process_planned").increment()
-            self._obs.observe("service.worker_cpu_seconds", outcome.cpu_seconds)
-        else:
-            # Runs on a pool thread: the enumerator's optimize:<name>
-            # span becomes its own root there, and its counters land in
-            # the shared registries.
+            # in-process path, plus process-pool accounting. Worker
+            # death is retried inside run_query; exhausted retries
+            # trip the breaker and planning falls through to the
+            # in-process path below.
+            try:
+                with self._obs.span(
+                    "service.process_plan",
+                    algorithm=algorithm,
+                    n_relations=canonical_graph.n_relations,
+                ):
+                    outcome = self._process_pool.run_query(
+                        canonical_graph,
+                        canonical_catalog,
+                        algorithm,
+                        deadline_at=deadline_at,
+                    )
+            except PoolBrokenError:
+                self._breaker.record_failure()
+                self._metrics.counter("pool_fallbacks").increment()
+            else:
+                self._breaker.record_success()
+                result = outcome.result
+                self._obs.record_optimization(result)
+                self._metrics.counter("process_planned").increment()
+                self._obs.observe(
+                    "service.worker_cpu_seconds", outcome.cpu_seconds
+                )
+        if result is None:
+            # In-process sequential planning: the configured path when
+            # jobs <= 1, the degraded path when the pool is broken or
+            # the breaker is open. The enumerator's optimize:<name>
+            # span becomes its own root on this thread, and its
+            # counters land in the shared registries.
             result = make_algorithm(algorithm).optimize(
                 canonical_graph,
                 catalog=canonical_catalog,
@@ -421,18 +514,30 @@ class PlanService:
         )
 
     def _degrade(
-        self, request: PlanRequest, fingerprint: Fingerprint, started: float
+        self,
+        request: PlanRequest,
+        fingerprint: Fingerprint,
+        started: float,
+        error: BaseException | None = None,
     ) -> PlanResponse:
-        """Deadline expired: answer with the fallback heuristic.
+        """Deadline expired or the exact DP failed: answer with the
+        fallback heuristic.
 
         Runs on the caller's thread (the pool may be what is
         saturated), against the request's own numbering (no relabeling
-        needed). The exact optimization keeps running in the background
-        and lands in the cache for future requests. Degraded plans are
-        never cached.
+        needed). On deadline expiry the exact optimization keeps
+        running in the background and lands in the cache for future
+        requests; on failure (``error`` given) nothing was cached and
+        the response carries the failure description. Degraded plans
+        are never cached.
         """
         self._metrics.counter("degraded").increment()
-        with self._obs.span("service.degrade", fallback=self._fallback):
+        reason = None if error is None else f"{type(error).__name__}: {error}"
+        with self._obs.span(
+            "service.degrade", fallback=self._fallback
+        ) as span:
+            if span is not None and reason is not None:
+                span.attributes["error"] = reason
             result = make_algorithm(self._fallback).optimize(
                 request.graph, catalog=request.catalog, instrumentation=self._obs
             )
@@ -446,6 +551,25 @@ class PlanService:
             fingerprint_key=fingerprint.key,
             elapsed_seconds=elapsed,
             optimize_seconds=result.elapsed_seconds,
+            error=reason,
+        )
+
+    def plan_degraded(
+        self,
+        request: PlanRequest,
+        fingerprint: Fingerprint,
+        error: BaseException | None = None,
+    ) -> PlanResponse:
+        """Answer ``request`` with the fallback heuristic directly.
+
+        The batch layer's failure isolation uses this: when a group
+        leader's pipeline raised instead of returning, every member of
+        the group still gets a valid (degraded) plan carrying the
+        failure description, rather than the whole batch dying on one
+        exception.
+        """
+        return self._degrade(
+            request, fingerprint, time.perf_counter(), error=error
         )
 
     # ------------------------------------------------------------------
@@ -506,6 +630,11 @@ class PlanService:
         """The shared obs context: counters, histograms, span trees."""
         return self._obs
 
+    @property
+    def breaker_state(self) -> str:
+        """The process-pool circuit breaker's current state."""
+        return self._breaker.state
+
     def snapshot(self) -> dict:
         """Metrics plus cache stats as one JSON-ready dict."""
         stats = self._cache.stats()
@@ -519,6 +648,14 @@ class PlanService:
             "size": stats.size,
             "capacity": stats.capacity,
             "hit_rate": stats.hit_rate,
+        }
+        pool = self._process_pool
+        snapshot["resilience"] = {
+            "breaker_state": self._breaker.state,
+            "max_retries": self._retry_policy.max_retries,
+            "pool_healthy": pool.healthy if pool is not None else True,
+            "pool_faults": pool.fault_count if pool is not None else 0,
+            "pool_respawns": pool.respawn_count if pool is not None else 0,
         }
         return snapshot
 

@@ -155,13 +155,36 @@ class PlanCache:
         return value
 
     def _store(self, key: str, value: Any) -> None:
-        """Unlocked insert with LRU eviction."""
+        """Unlocked insert with expiry sweep, then LRU eviction.
+
+        Dead entries are swept (and counted as *expirations*) before
+        any live entry is evicted, so a TTL lapse never masquerades as
+        LRU pressure in the counters and never costs a live entry its
+        slot.
+        """
         expires_at = None if self._ttl is None else self._clock() + self._ttl
         self._entries[key] = (value, expires_at)
         self._entries.move_to_end(key)
+        if len(self._entries) > self._capacity:
+            self._sweep_expired()
         while len(self._entries) > self._capacity:
             self._entries.popitem(last=False)
             self._evictions.increment()
+
+    def _sweep_expired(self) -> None:
+        """Unlocked: drop every expired entry, counting expirations."""
+        if self._ttl is None or not self._entries:
+            return
+        now = self._clock()
+        expired = [
+            key
+            for key, (_, expires_at) in self._entries.items()
+            if expires_at is not None and now >= expires_at
+        ]
+        for key in expired:
+            del self._entries[key]
+        if expired:
+            self._expirations.increment(len(expired))
 
     def __contains__(self, key: str) -> bool:
         with self._lock:
@@ -169,10 +192,18 @@ class PlanCache:
             if entry is None:
                 return False
             _, expires_at = entry
-            return expires_at is None or self._clock() < expires_at
+            if expires_at is not None and self._clock() >= expires_at:
+                # Sweep eagerly so the dead entry stops occupying a
+                # slot; attributed as an expiration, like any TTL lapse.
+                del self._entries[key]
+                self._expirations.increment()
+                return False
+            return True
 
     def __len__(self) -> int:
+        """Live entries only — expired-but-unswept ones are dropped."""
         with self._lock:
+            self._sweep_expired()
             return len(self._entries)
 
     # ------------------------------------------------------------------
@@ -256,8 +287,9 @@ class PlanCache:
     # ------------------------------------------------------------------
 
     def stats(self) -> CacheStats:
-        """Current counters as an immutable snapshot."""
+        """Current counters as an immutable snapshot (live size only)."""
         with self._lock:
+            self._sweep_expired()
             return CacheStats(
                 hits=self._hits.value,
                 misses=self._misses.value,

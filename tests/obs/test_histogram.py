@@ -1,0 +1,69 @@
+"""Exact-value pins for the ceil-based nearest-rank percentile.
+
+These exist to hold the line on the banker's-rounding bug: ``round()``
+resolved mid-window ranks to the *lower* neighbor on half ranks — and
+did so parity-dependently — which understated tail latencies on even
+sample windows. The contract is now ``ceil``: ties resolve upward.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.histogram import Histogram, HistogramRegistry, _percentile
+
+
+class TestPercentileExactValues:
+    def test_p50_of_two_samples_resolves_upward(self):
+        assert _percentile([1.0, 2.0], 0.50) == 2.0
+
+    def test_p50_of_three_samples_is_the_median(self):
+        assert _percentile([1.0, 2.0, 3.0], 0.50) == 2.0
+
+    def test_p50_of_four_samples_resolves_upward(self):
+        # round(0.5 * 3) == 2 under banker's rounding too, but
+        # round(0.5 * 5) == 2 (down!) — pin a window of each parity.
+        assert _percentile([1.0, 2.0, 3.0, 4.0], 0.50) == 3.0
+
+    def test_p50_of_six_samples_resolves_upward(self):
+        # The regression case: round(2.5) == 2 picked sample 3.0.
+        assert _percentile([1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 0.50) == 4.0
+
+    def test_p95_and_p99_of_one_to_one_hundred(self):
+        ordered = [float(value) for value in range(1, 101)]
+        # rank = ceil(fraction * 99): 95 → sample 96, 99 → sample 100.
+        assert _percentile(ordered, 0.95) == 96.0
+        assert _percentile(ordered, 0.99) == 100.0
+        assert _percentile(ordered, 1.0) == 100.0
+
+    def test_single_sample_is_every_percentile(self):
+        for fraction in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert _percentile([7.0], fraction) == 7.0
+
+    def test_empty_list_is_zero(self):
+        assert _percentile([], 0.5) == 0.0
+
+    def test_p0_is_the_minimum(self):
+        assert _percentile([1.0, 2.0, 3.0], 0.0) == 1.0
+
+
+class TestHistogramSummary:
+    def test_summary_uses_ceil_percentiles(self):
+        histogram = Histogram()
+        histogram.observe(0.001)
+        histogram.observe(0.002)
+        summary = histogram.summary()
+        assert summary["count"] == 2
+        assert summary["p50_ms"] == pytest.approx(2.0)
+        assert summary["min_ms"] == pytest.approx(1.0)
+        assert summary["max_ms"] == pytest.approx(2.0)
+
+    def test_empty_summary(self):
+        assert Histogram().summary() == {"count": 0}
+
+    def test_registry_snapshot_carries_percentiles(self):
+        registry = HistogramRegistry()
+        for value in (0.001, 0.002, 0.003):
+            registry.observe("latency", value)
+        snapshot = registry.snapshot()
+        assert snapshot["latency"]["p50_ms"] == pytest.approx(2.0)

@@ -172,3 +172,51 @@ class TestStampedeGuard:
         # the key is free for a new leader
         status, _ = cache.get_or_join("k")
         assert status == "leader"
+
+
+class TestExpiredSweep:
+    """Expired entries must not occupy capacity or skew the counters."""
+
+    def test_expired_entries_swept_before_live_evictions(self):
+        clock = FakeClock()
+        cache = PlanCache(capacity=2, ttl_seconds=10.0, clock=clock)
+        cache.put("old", 1)
+        clock.advance(5.0)
+        cache.put("live", 2)
+        clock.advance(6.0)  # "old" expired, "live" has 4s left
+        cache.put("fresh", 3)  # over capacity: sweep "old", keep "live"
+        assert cache.get("live") == 2
+        assert cache.get("fresh") == 3
+        stats = cache.stats()
+        assert stats.evictions == 0
+        assert stats.expirations == 1
+
+    def test_eviction_only_counts_live_entries(self):
+        clock = FakeClock()
+        cache = PlanCache(capacity=2, ttl_seconds=10.0, clock=clock)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # nothing expired: a genuine LRU eviction
+        stats = cache.stats()
+        assert stats.evictions == 1
+        assert stats.expirations == 0
+
+    def test_len_and_stats_size_count_live_entries_only(self):
+        clock = FakeClock()
+        cache = PlanCache(capacity=4, ttl_seconds=10.0, clock=clock)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        clock.advance(10.1)
+        cache.put("c", 3)
+        assert len(cache) == 1
+        assert cache.stats().size == 1
+        assert cache.stats().expirations == 2
+
+    def test_contains_drops_expired_entry(self):
+        clock = FakeClock()
+        cache = PlanCache(capacity=4, ttl_seconds=10.0, clock=clock)
+        cache.put("a", 1)
+        clock.advance(10.1)
+        assert "a" not in cache
+        assert cache.stats().expirations == 1
+        assert len(cache) == 0
