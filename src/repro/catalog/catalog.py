@@ -4,14 +4,20 @@ A :class:`Catalog` maps relation indices (aligned with a
 :class:`~repro.graph.querygraph.QueryGraph`) to
 :class:`RelationStats`. Only cardinalities are required by the paper's
 cost model (C_out); the richer disk model also uses tuple widths and
-page counts, which default to sensible values.
+page counts, which default to sensible values. Relations may
+additionally carry per-column :class:`~repro.catalog.columnstats.ColumnStats`
+(NDV, MCV list, equi-depth histogram) — produced by
+:func:`repro.stats.analyze` and consumed by the statistics-driven
+estimator (:class:`repro.stats.StatisticsEstimator`); everything else
+ignores them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, Mapping, Sequence
 
+from repro.catalog.columnstats import ColumnStats
 from repro.errors import CatalogError
 
 __all__ = ["RelationStats", "Catalog"]
@@ -33,14 +39,23 @@ class RelationStats:
         tuple_bytes: average row width in bytes (disk cost model only).
         pages: number of disk pages; derived from cardinality and
             tuple width when not given.
+        column_stats: per-column statistics from an ``analyze`` pass,
+            empty for relations that were never analyzed. Kept as a
+            tuple so the dataclass stays hashable.
     """
 
     name: str
     cardinality: float
     tuple_bytes: int = DEFAULT_TUPLE_BYTES
     pages: int = field(default=0)
+    column_stats: tuple[ColumnStats, ...] = ()
 
     def __post_init__(self) -> None:
+        seen_columns = {stats.column for stats in self.column_stats}
+        if len(seen_columns) != len(self.column_stats):
+            raise CatalogError(
+                f"relation {self.name!r} has duplicate column statistics"
+            )
         if self.cardinality <= 0:
             raise CatalogError(
                 f"relation {self.name!r} must have positive cardinality, "
@@ -57,6 +72,38 @@ class RelationStats:
             object.__setattr__(self, "pages", derived)
         elif self.pages < 0:
             raise CatalogError(f"relation {self.name!r} has negative page count")
+
+    def column(self, name: str) -> ColumnStats | None:
+        """Statistics of column ``name``, or ``None`` when not analyzed."""
+        for stats in self.column_stats:
+            if stats.column == name:
+                return stats
+        return None
+
+    def with_column_stats(
+        self, column_stats: Iterable[ColumnStats]
+    ) -> "RelationStats":
+        """Copy of this entry carrying the given column statistics."""
+        return replace(self, column_stats=tuple(column_stats), pages=self.pages)
+
+    def scaled(self, factor: float) -> "RelationStats":
+        """Copy with cardinality scaled by ``factor`` (filter pushdown).
+
+        The result keeps at least one row (a filtered relation still
+        exists) and retains the column statistics of the unfiltered
+        relation — standard practice: base statistics describe stored
+        data, selections scale the cardinality only.
+        """
+        if factor <= 0:
+            raise CatalogError(
+                f"relation {self.name!r}: scale factor must be positive, "
+                f"got {factor}"
+            )
+        return replace(
+            self,
+            cardinality=max(1.0, self.cardinality * factor),
+            pages=self.pages,
+        )
 
 
 class Catalog:
@@ -140,6 +187,30 @@ class Catalog:
         for old_index, new_index in enumerate(new_of_old):
             relabeled[new_index] = self._stats[old_index]
         return Catalog(entry for entry in relabeled if entry is not None)
+
+    def column_stats(self, index: int, column: str) -> ColumnStats | None:
+        """Statistics of ``column`` on relation ``index`` (``None`` if absent)."""
+        return self[index].column(column)
+
+    def has_column_stats(self) -> bool:
+        """True when at least one relation carries column statistics."""
+        return any(entry.column_stats for entry in self._stats)
+
+    def with_effective_cardinalities(
+        self, factor_of_index: Mapping[int, float]
+    ) -> "Catalog":
+        """Catalog with per-relation cardinality scale factors applied.
+
+        This is the filter-pushdown hook: ``factor_of_index`` maps a
+        relation index to the combined selectivity of its local
+        filters; unlisted relations are unchanged. Column statistics
+        are carried over untouched.
+        """
+        entries: list[RelationStats] = []
+        for index, entry in enumerate(self._stats):
+            factor = factor_of_index.get(index)
+            entries.append(entry if factor is None else entry.scaled(factor))
+        return Catalog(entries)
 
     def cardinality(self, index: int) -> float:
         """Row-count estimate of relation ``index``."""

@@ -1,0 +1,228 @@
+"""Per-column statistics: the data the statistics estimator runs on.
+
+A :class:`ColumnStats` summarizes one column of one base relation the
+way real optimizers do (PostgreSQL's ``pg_statistic``, SQL Server's
+``DBCC SHOW_STATISTICS``):
+
+* exact row count and number of distinct values (NDV),
+* a most-common-values (MCV) list with per-value frequencies, so
+  heavy hitters in skewed columns are estimated from their measured
+  mass instead of a uniformity assumption,
+* an equi-depth histogram over the full value distribution, so range
+  predicates and join-domain overlap are estimated from quantiles.
+
+Instances are immutable (tuples all the way down) which keeps
+:class:`~repro.catalog.catalog.RelationStats` — which carries them —
+hashable and freely shareable. The object stores facts about the data;
+the estimation *formulas* that consume them live in
+:mod:`repro.stats.estimator`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import CatalogError
+
+__all__ = ["ColumnStats"]
+
+#: Values are summarized as floats; integer columns round-trip exactly
+#: up to 2**53, far beyond the synthetic domains used here.
+Number = float
+
+
+@dataclass(frozen=True, slots=True)
+class ColumnStats:
+    """Statistics of one column, as produced by :func:`repro.stats.analyze`.
+
+    Attributes:
+        column: column name within its relation.
+        row_count: rows with a (numeric) value in this column.
+        ndv: exact number of distinct values observed.
+        min_value / max_value: observed extremes.
+        mcvs: ``(value, fraction)`` pairs for the most common values,
+            ordered by descending fraction; ``fraction`` is the share
+            of ``row_count`` carrying exactly ``value``.
+        histogram: equi-depth bucket bounds over *all* values (MCVs
+            included), ascending, ``buckets + 1`` entries; each bucket
+            holds ``~row_count / buckets`` rows. Empty tuple when the
+            column had too few rows to bucket.
+    """
+
+    column: str
+    row_count: int
+    ndv: int
+    min_value: Number
+    max_value: Number
+    mcvs: tuple[tuple[Number, float], ...] = ()
+    histogram: tuple[Number, ...] = ()
+    _mcv_index: Mapping[Number, float] = field(
+        default=None, repr=False, compare=False  # type: ignore[assignment]
+    )
+
+    def __post_init__(self) -> None:
+        if self.row_count < 0:
+            raise CatalogError(
+                f"column {self.column!r}: negative row_count {self.row_count}"
+            )
+        if self.row_count > 0 and self.ndv < 1:
+            raise CatalogError(
+                f"column {self.column!r}: {self.row_count} rows need ndv >= 1"
+            )
+        if self.ndv > max(self.row_count, 0):
+            raise CatalogError(
+                f"column {self.column!r}: ndv {self.ndv} exceeds "
+                f"row_count {self.row_count}"
+            )
+        if self.min_value > self.max_value:
+            raise CatalogError(
+                f"column {self.column!r}: min {self.min_value} > "
+                f"max {self.max_value}"
+            )
+        total = 0.0
+        for value, fraction in self.mcvs:
+            if not 0.0 < fraction <= 1.0:
+                raise CatalogError(
+                    f"column {self.column!r}: MCV fraction for value "
+                    f"{value} must be in (0, 1], got {fraction}"
+                )
+            total += fraction
+        if total > 1.0 + 1e-9:
+            raise CatalogError(
+                f"column {self.column!r}: MCV fractions sum to {total} > 1"
+            )
+        if any(
+            later < earlier
+            for earlier, later in zip(self.histogram, self.histogram[1:])
+        ):
+            raise CatalogError(
+                f"column {self.column!r}: histogram bounds must ascend"
+            )
+        object.__setattr__(
+            self, "_mcv_index", {value: fraction for value, fraction in self.mcvs}
+        )
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+
+    @property
+    def mcv_fraction(self) -> float:
+        """Total row mass covered by the MCV list."""
+        return min(1.0, sum(fraction for _value, fraction in self.mcvs))
+
+    @property
+    def non_mcv_fraction(self) -> float:
+        """Row mass outside the MCV list."""
+        return max(0.0, 1.0 - self.mcv_fraction)
+
+    @property
+    def non_mcv_ndv(self) -> int:
+        """Distinct values outside the MCV list (at least 0)."""
+        return max(0, self.ndv - len(self.mcvs))
+
+    def mcv_lookup(self, value: Number) -> float | None:
+        """MCV fraction of ``value``, or ``None`` when not an MCV."""
+        return self._mcv_index.get(float(value))
+
+    # ------------------------------------------------------------------
+    # Distribution queries (the estimator's primitives)
+    # ------------------------------------------------------------------
+
+    def equality_fraction(self, value: Number) -> float:
+        """Estimated fraction of rows with ``column == value``.
+
+        MCV hits return the measured fraction; other in-range values
+        share the non-MCV mass uniformly over the non-MCV distinct
+        values; out-of-range values match nothing.
+        """
+        if self.row_count == 0:
+            return 0.0
+        value = float(value)
+        measured = self._mcv_index.get(value)
+        if measured is not None:
+            return measured
+        if value < self.min_value or value > self.max_value:
+            return 0.0
+        return self.non_mcv_fraction / max(self.non_mcv_ndv, 1)
+
+    def fraction_below(self, value: Number, inclusive: bool = False) -> float:
+        """Estimated fraction of rows with ``column < value`` (or ``<=``).
+
+        Uses the equi-depth histogram: full buckets below the value
+        each contribute ``1 / buckets``; the straddling bucket
+        contributes a linear interpolation. Falls back to a uniform
+        [min, max] model when no histogram was built.
+        """
+        if self.row_count == 0:
+            return 0.0
+        value = float(value)
+        if value < self.min_value or (value == self.min_value and not inclusive):
+            return 0.0
+        if value > self.max_value or (value == self.max_value and inclusive):
+            return 1.0
+        bounds = self.histogram
+        if len(bounds) < 2:
+            width = self.max_value - self.min_value
+            if width <= 0:
+                return 1.0 if inclusive else 0.0
+            return (value - self.min_value) / width
+        buckets = len(bounds) - 1
+        locate = bisect_right if inclusive else bisect_left
+        position = locate(bounds, value)
+        if position == 0:
+            return 0.0
+        if position > buckets:
+            return 1.0
+        lower, upper = bounds[position - 1], bounds[position]
+        within = 1.0 if upper <= lower else (value - lower) / (upper - lower)
+        return ((position - 1) + min(1.0, max(0.0, within))) / buckets
+
+    def fraction_between(self, low: Number, high: Number) -> float:
+        """Estimated fraction of rows with ``low <= column <= high``."""
+        if high < low:
+            return 0.0
+        return max(
+            0.0,
+            self.fraction_below(high, inclusive=True)
+            - self.fraction_below(low, inclusive=False),
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization (warm catalog reuse)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready plain-dict view."""
+        return {
+            "column": self.column,
+            "row_count": self.row_count,
+            "ndv": self.ndv,
+            "min_value": self.min_value,
+            "max_value": self.max_value,
+            "mcvs": [[value, fraction] for value, fraction in self.mcvs],
+            "histogram": list(self.histogram),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ColumnStats":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            return cls(
+                column=data["column"],
+                row_count=int(data["row_count"]),
+                ndv=int(data["ndv"]),
+                min_value=float(data["min_value"]),
+                max_value=float(data["max_value"]),
+                mcvs=tuple(
+                    (float(value), float(fraction))
+                    for value, fraction in data.get("mcvs", ())
+                ),
+                histogram=tuple(float(b) for b in data.get("histogram", ())),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise CatalogError(
+                f"malformed column stats dict: {error}"
+            ) from error

@@ -286,6 +286,47 @@ def build_parser() -> argparse.ArgumentParser:
     obs_report.add_argument(
         "--no-spans", action="store_true", help="omit span trees from the report"
     )
+
+    pipeline = commands.add_parser(
+        "pipeline",
+        help="run the SQL→plan→execute pipeline: by default the "
+        "estimation-accuracy battery on the skewed TPC-H-shaped "
+        "workload, or one query via --query",
+    )
+    pipeline.add_argument(
+        "--query",
+        default=None,
+        help="SQL-ish text (or the name of a workload query, e.g. "
+        "orders_chain) to run instead of the battery; table names "
+        "matching the synthetic workload (customer, orders, lineitem, "
+        "supplier, part, nation) execute against its rows",
+    )
+    pipeline.add_argument(
+        "--estimator",
+        choices=("independence", "statistics", "both"),
+        default="both",
+        help="estimation strategy for --query runs (the battery always "
+        "compares both)",
+    )
+    pipeline.add_argument(
+        "--algorithm", choices=sorted(ALGORITHMS), default="dpccp"
+    )
+    pipeline.add_argument(
+        "--scale", type=float, default=1.0, help="workload scale factor"
+    )
+    pipeline.add_argument("--seed", type=int, default=42)
+    pipeline.add_argument(
+        "--json-out",
+        default=None,
+        metavar="FILE",
+        help="write the battery results as JSON (the BENCH_pipeline "
+        "artifact)",
+    )
+    pipeline.add_argument(
+        "--no-execute",
+        action="store_true",
+        help="plan only; skip interpretation and the q-error report",
+    )
     return parser
 
 
@@ -699,6 +740,70 @@ def _command_obs_report(args: argparse.Namespace) -> int:
     return 0 if matches else 1
 
 
+def _command_pipeline(args: argparse.Namespace) -> int:
+    from repro.bench.pipeline_bench import (
+        check_pipeline_gate,
+        render_pipeline_bench,
+        run_pipeline_bench,
+        write_pipeline_bench,
+    )
+    from repro.pipeline import run_pipeline, tpch_workload
+
+    if args.query is None:
+        results = run_pipeline_bench(
+            scale=args.scale, seed=args.seed, algorithm=args.algorithm
+        )
+        print(render_pipeline_bench(results))
+        if args.json_out is not None:
+            path = write_pipeline_bench(args.json_out, results)
+            print(f"\nresults written to {path}")
+        failures = check_pipeline_gate(results)
+        if failures:
+            for failure in failures:
+                print(f"GATE FAILURE: {failure}", file=sys.stderr)
+            return 1
+        print("\nestimation-accuracy gate: pass")
+        return 0
+
+    workload = tpch_workload(scale=args.scale, seed=args.seed)
+    sql = next(
+        (query.sql for query in workload.queries if query.name == args.query),
+        args.query,
+    )
+    estimators = (
+        ("independence", "statistics")
+        if args.estimator == "both"
+        else (args.estimator,)
+    )
+    for estimator in estimators:
+        result = run_pipeline(
+            sql,
+            tables=workload.tables,
+            estimator=estimator,
+            algorithm=args.algorithm,
+            execute=not args.no_execute,
+        )
+        print(f"estimator : {estimator}")
+        print(f"algorithm : {result.optimization.algorithm}")
+        print(f"cost      : {result.optimization.cost:g}")
+        print(render_indented(result.physical_plan))
+        if result.report is not None:
+            report = result.report
+            for observation in report.observations:
+                print(
+                    f"  {observation.operator:<16} est "
+                    f"{observation.estimated:>12.1f}  actual "
+                    f"{observation.actual:>10d}  q-error "
+                    f"{observation.q_error:.2f}"
+                )
+            print(
+                f"result rows {report.result_rows}, median q-error "
+                f"{report.median_q_error:.2f}, max {report.max_q_error:.2f}"
+            )
+        print()
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -715,6 +820,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "serve-batch": _command_serve_batch,
         "stats": _command_stats,
         "obs-report": _command_obs_report,
+        "pipeline": _command_pipeline,
     }
     try:
         return handlers[args.command](args)

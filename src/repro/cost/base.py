@@ -20,6 +20,7 @@ import abc
 
 from repro.catalog.catalog import Catalog
 from repro.cost.cardinality import CardinalityEstimator
+from repro.errors import OptimizerError
 from repro.graph.querygraph import QueryGraph
 from repro.plans.jointree import JoinTree
 
@@ -33,6 +34,14 @@ class CostModel(abc.ABC):
         graph: the query graph.
         catalog: relation statistics; defaults to uniform cardinalities
             (sufficient when only enumeration behaviour matters).
+        estimator: cardinality-estimation strategy. Defaults to the
+            independence :class:`CardinalityEstimator` over ``graph``
+            and ``catalog``; pass e.g. a
+            :class:`repro.stats.StatisticsEstimator` to swap the
+            strategy without touching any enumerator. When given,
+            ``graph``/``catalog`` must be the estimator's own (or
+            ``None``) — the model always costs the instance the
+            estimator was built for.
     """
 
     #: Short name used in reports and benchmark labels.
@@ -56,8 +65,30 @@ class CostModel(abc.ABC):
     #: recomposition bit-identical.
     separable_join_operator: str | None = None
 
-    def __init__(self, graph: QueryGraph, catalog: Catalog | None = None) -> None:
-        self._estimator = CardinalityEstimator(graph, catalog)
+    def __init__(
+        self,
+        graph: QueryGraph | None = None,
+        catalog: Catalog | None = None,
+        *,
+        estimator: CardinalityEstimator | None = None,
+    ) -> None:
+        if estimator is None:
+            if graph is None:
+                raise OptimizerError(
+                    f"{type(self).__name__} needs a graph or an estimator"
+                )
+            estimator = CardinalityEstimator(graph, catalog)
+        else:
+            if graph is not None and graph is not estimator.graph:
+                raise OptimizerError(
+                    "pass either a graph or an estimator, not a conflicting "
+                    "pair — the model always costs the estimator's instance"
+                )
+            if catalog is not None and catalog is not estimator.catalog:
+                raise OptimizerError(
+                    "catalog conflicts with the estimator's own catalog"
+                )
+        self._estimator = estimator
 
     @property
     def estimator(self) -> CardinalityEstimator:

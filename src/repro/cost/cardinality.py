@@ -29,6 +29,11 @@ class CardinalityEstimator:
             enough for counter experiments where costs are irrelevant.
     """
 
+    #: Strategy name used in reports and benchmark labels; subclasses
+    #: with a different estimation strategy override it (e.g. the
+    #: statistics-driven estimator in :mod:`repro.stats`).
+    name: str = "independence"
+
     def __init__(self, graph: QueryGraph, catalog: Catalog | None = None) -> None:
         if catalog is None:
             catalog = Catalog.uniform(graph.n_relations)

@@ -13,6 +13,11 @@ Units are abstract "tuple I/O operations"; the absolute scale is
 irrelevant to plan choice. Unlike C_out, the cost here is asymmetric in
 the inputs (nested-loop prefers the smaller outer), so trying both join
 orders — as DPccp explicitly does — matters.
+
+The operator rule itself is exposed as :func:`cheapest_join_operator`
+so the pipeline's physical-selection pass (:mod:`repro.pipeline`) can
+annotate trees optimized under *any* model with the same choices this
+model would make.
 """
 
 from __future__ import annotations
@@ -21,10 +26,48 @@ import math
 
 from repro.catalog.catalog import Catalog
 from repro.cost.base import CostModel
+from repro.cost.cardinality import CardinalityEstimator
 from repro.graph.querygraph import QueryGraph
 from repro.plans.jointree import JoinTree
 
-__all__ = ["DiskCostModel"]
+__all__ = [
+    "DiskCostModel",
+    "cheapest_join_operator",
+    "DEFAULT_BUFFER_PAGES",
+    "DEFAULT_HASH_FACTOR",
+]
+
+DEFAULT_BUFFER_PAGES = 100
+DEFAULT_HASH_FACTOR = 3.0
+
+
+def cheapest_join_operator(
+    outer: float,
+    inner: float,
+    buffer_pages: int = DEFAULT_BUFFER_PAGES,
+    hash_factor: float = DEFAULT_HASH_FACTOR,
+) -> tuple[float, str]:
+    """Pick the cheapest physical join for the given input cardinalities.
+
+    Returns ``(local_cost, operator_label)`` — the cost of the join
+    itself, excluding child costs and output materialization. Ties
+    resolve in the fixed order nested-loop, hash, sort-merge, so the
+    choice is deterministic.
+    """
+    nested_loop = outer + outer * inner / buffer_pages
+    hash_join = hash_factor * (outer + inner)
+    sort_merge = (
+        outer * math.log2(max(outer, 2.0))
+        + inner * math.log2(max(inner, 2.0))
+        + outer
+        + inner
+    )
+    return min(
+        (nested_loop, "NestedLoopJoin"),
+        (hash_join, "HashJoin"),
+        (sort_merge, "SortMergeJoin"),
+        key=lambda pair: pair[0],
+    )
 
 
 class DiskCostModel(CostModel):
@@ -36,6 +79,8 @@ class DiskCostModel(CostModel):
         buffer_pages: blocking factor for nested loops.
         hash_factor: per-tuple cost multiplier of hashing relative to
             a sequential pass.
+        estimator: cardinality-estimation strategy override, see
+            :class:`~repro.cost.base.CostModel`.
     """
 
     name = "disk"
@@ -43,12 +88,14 @@ class DiskCostModel(CostModel):
 
     def __init__(
         self,
-        graph: QueryGraph,
+        graph: QueryGraph | None = None,
         catalog: Catalog | None = None,
-        buffer_pages: int = 100,
-        hash_factor: float = 3.0,
+        buffer_pages: int = DEFAULT_BUFFER_PAGES,
+        hash_factor: float = DEFAULT_HASH_FACTOR,
+        *,
+        estimator: CardinalityEstimator | None = None,
     ) -> None:
-        super().__init__(graph, catalog)
+        super().__init__(graph, catalog, estimator=estimator)
         if buffer_pages < 1:
             raise ValueError(f"buffer_pages must be >= 1, got {buffer_pages}")
         if hash_factor <= 0:
@@ -64,21 +111,11 @@ class DiskCostModel(CostModel):
     def _join_cost(
         self, left: JoinTree, right: JoinTree, out_cardinality: float
     ) -> tuple[float, str]:
-        outer = left.cardinality
-        inner = right.cardinality
-        nested_loop = outer + outer * inner / self._buffer_pages
-        hash_join = self._hash_factor * (outer + inner)
-        sort_merge = (
-            outer * math.log2(max(outer, 2.0))
-            + inner * math.log2(max(inner, 2.0))
-            + outer
-            + inner
-        )
-        local_cost, operator = min(
-            (nested_loop, "NestedLoopJoin"),
-            (hash_join, "HashJoin"),
-            (sort_merge, "SortMergeJoin"),
-            key=lambda pair: pair[0],
+        local_cost, operator = cheapest_join_operator(
+            left.cardinality,
+            right.cardinality,
+            buffer_pages=self._buffer_pages,
+            hash_factor=self._hash_factor,
         )
         # Every operator additionally materializes its output stream.
         total = left.cost + right.cost + local_cost + out_cardinality

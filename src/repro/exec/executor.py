@@ -1,21 +1,26 @@
-"""A hash-join interpreter for join-tree plans.
+"""A join interpreter for join-tree plans.
 
 Executes a :class:`~repro.plans.jointree.JoinTree` over tables from
-:func:`repro.exec.data.generate_tables`. Tuples in flight map relation
-index -> base row, so arbitrary bushy shapes compose without column
-renaming. Each join node hash-partitions its smaller input on the join
-attributes of the edges crossing the two sides (falling back to a
-nested cross product when no edge crosses, for DPall plans).
+:func:`repro.exec.data.generate_tables` (or any list-of-dict-rows
+layout). Tuples in flight map relation index -> base row, so arbitrary
+bushy shapes compose without column renaming. Each join node evaluates
+the equi-join keys of the edges crossing its two sides with the
+physical operator the plan asks for — hash join (the default), nested
+loops, or sort-merge — falling back to a nested cross product when no
+edge crosses (DPall plans).
 
 The point is validation, not speed: the returned
 :class:`ExecutionReport` lists, per join, the optimizer's estimated
 cardinality next to the actual row count, plus the totals that make
-C_out comparable to reality.
+C_out comparable to reality. Each :class:`JoinObservation` reports the
+operator that actually ran — which may differ from the plan's label
+when execution had to fall back (``operator`` vs. ``planned``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
 from repro import bitset
 from repro.errors import ReproError
@@ -28,15 +33,36 @@ __all__ = ["JoinObservation", "ExecutionReport", "execute_plan"]
 #: A tuple in flight: relation index -> base-table row.
 Tuple = dict[int, dict[str, int]]
 
+#: One equi-join key of a join node:
+#: ``(left_relation, left_column, right_relation, right_column)``.
+_Key = tuple[int, str, int, str]
+
+#: Physical operator labels the interpreter can execute directly.
+_PHYSICAL_OPERATORS = ("HashJoin", "NestedLoopJoin", "SortMergeJoin")
+
 
 @dataclass(frozen=True, slots=True)
 class JoinObservation:
-    """Estimated vs. actual output size of one join node."""
+    """Estimated vs. actual output size of one join node.
+
+    ``operator`` names the algorithm that *actually executed* —
+    ``HashJoin``, ``NestedLoopJoin``, ``SortMergeJoin`` or
+    ``CrossProduct``; ``planned`` preserves the logical plan's label
+    (``Join`` for C_out plans, a physical choice after operator
+    selection). The two differ exactly when execution fell back, e.g.
+    a cross product for a keyless join.
+    """
 
     relations: int
     operator: str
     estimated: float
     actual: int
+    planned: str = ""
+
+    @property
+    def fell_back(self) -> bool:
+        """True when the executed operator is not the planned one."""
+        return bool(self.planned) and self.planned != self.operator
 
     @property
     def q_error(self) -> float:
@@ -70,13 +96,41 @@ class ExecutionReport:
             return 1.0
         return max(observation.q_error for observation in self.observations)
 
+    @property
+    def median_q_error(self) -> float:
+        """Median per-join estimation error (1.0 for leaf-only plans)."""
+        if not self.observations:
+            return 1.0
+        ordered = sorted(observation.q_error for observation in self.observations)
+        middle = len(ordered) // 2
+        if len(ordered) % 2:
+            return ordered[middle]
+        return (ordered[middle - 1] + ordered[middle]) / 2.0
+
 
 def execute_plan(
     plan: JoinTree,
     graph: QueryGraph,
     tables: list[list[dict[str, int]]],
+    join_columns: Mapping[int, tuple[str, str]] | None = None,
 ) -> ExecutionReport:
-    """Execute ``plan`` over ``tables``; return the validation report."""
+    """Execute ``plan`` over ``tables``; return the validation report.
+
+    Args:
+        plan: the join tree to interpret. Nodes labelled with a
+            physical operator (``NestedLoopJoin``, ``HashJoin``,
+            ``SortMergeJoin``) execute with that algorithm; any other
+            label runs as a hash join, the sensible default for
+            logical plans.
+        graph: the query graph the plan was optimized for; its edges
+            define the join keys.
+        tables: rows per relation, aligned with graph indices.
+        join_columns: edge position -> ``(column on the edge's lower
+            endpoint, column on the higher endpoint)`` for real-schema
+            tables (e.g. ``{0: ("custkey", "custkey")}``). Defaults to
+            the synthetic :func:`~repro.exec.data.edge_column` layout
+            on both sides.
+    """
     if len(tables) != graph.n_relations:
         raise ReproError(
             f"got {len(tables)} tables for {graph.n_relations} relations"
@@ -90,16 +144,22 @@ def execute_plan(
         assert node.left is not None and node.right is not None
         left_tuples = run(node.left)
         right_tuples = run(node.right)
-        joined = _hash_join(
-            graph, node.left.relations, node.right.relations,
-            left_tuples, right_tuples,
+        joined, executed = _join(
+            graph,
+            node.left.relations,
+            node.right.relations,
+            left_tuples,
+            right_tuples,
+            node.operator,
+            join_columns,
         )
         observations.append(
             JoinObservation(
                 relations=node.relations,
-                operator=node.operator,
+                operator=executed,
                 estimated=node.cardinality,
                 actual=len(joined),
+                planned=node.operator,
             )
         )
         return joined
@@ -108,31 +168,67 @@ def execute_plan(
     return ExecutionReport(observations=observations, result_rows=len(result))
 
 
-def _hash_join(
+def _crossing_keys(
+    graph: QueryGraph,
+    left_mask: int,
+    right_mask: int,
+    join_columns: Mapping[int, tuple[str, str]] | None,
+) -> list[_Key]:
+    """Equi-join keys of the edges crossing ``left_mask``/``right_mask``.
+
+    Each key is oriented to the join's sides: the first (relation,
+    column) pair lives in ``left_mask``, the second in ``right_mask``.
+    """
+    keys: list[_Key] = []
+    for position, edge in enumerate(graph.edges):
+        low_end, high_end = edge.endpoints
+        if join_columns is not None and position in join_columns:
+            low_column, high_column = join_columns[position]
+        else:
+            low_column = high_column = edge_column(position)
+        if bitset.bit(low_end) & left_mask and bitset.bit(high_end) & right_mask:
+            keys.append((low_end, low_column, high_end, high_column))
+        elif bitset.bit(high_end) & left_mask and bitset.bit(low_end) & right_mask:
+            keys.append((high_end, high_column, low_end, low_column))
+    return keys
+
+
+def _join(
     graph: QueryGraph,
     left_mask: int,
     right_mask: int,
     left_tuples: list[Tuple],
     right_tuples: list[Tuple],
-) -> list[Tuple]:
-    """Join two tuple streams on all crossing edges (or cross product)."""
-    keys: list[tuple[int, int, str]] = []  # (left_rel, right_rel, column)
-    for position, edge in enumerate(graph.edges):
-        left_end, right_end = edge.endpoints
-        column = edge_column(position)
-        if bitset.bit(left_end) & left_mask and bitset.bit(right_end) & right_mask:
-            keys.append((left_end, right_end, column))
-        elif bitset.bit(right_end) & left_mask and bitset.bit(left_end) & right_mask:
-            keys.append((right_end, left_end, column))
-
-    if not keys:  # cross product (DPall plans)
-        return [
+    operator: str,
+    join_columns: Mapping[int, tuple[str, str]] | None,
+) -> tuple[list[Tuple], str]:
+    """Join two tuple streams; return ``(rows, executed_operator)``."""
+    keys = _crossing_keys(graph, left_mask, right_mask, join_columns)
+    if not keys:  # cross product (DPall plans) — no algorithm applies
+        rows = [
             {**left, **right} for left in left_tuples for right in right_tuples
         ]
+        return rows, "CrossProduct"
+    if operator == "NestedLoopJoin":
+        return _nested_loop_join(keys, left_tuples, right_tuples), operator
+    if operator == "SortMergeJoin":
+        return _sort_merge_join(keys, left_tuples, right_tuples), operator
+    return _hash_join(keys, left_tuples, right_tuples), "HashJoin"
 
+
+def _key_of(item: Tuple, extract: list[tuple[int, str]]) -> tuple[int, ...]:
+    return tuple(item[rel][column] for rel, column in extract)
+
+
+def _hash_join(
+    keys: list[_Key],
+    left_tuples: list[Tuple],
+    right_tuples: list[Tuple],
+) -> list[Tuple]:
+    """Build a hash table on the smaller input, probe with the other."""
     build_side, probe_side = left_tuples, right_tuples
-    build_extract = [(rel, column) for rel, _other, column in keys]
-    probe_extract = [(other, column) for _rel, other, column in keys]
+    build_extract = [(rel, column) for rel, column, _o, _c in keys]
+    probe_extract = [(other, column) for _r, _c, other, column in keys]
     swapped = len(build_side) > len(probe_side)
     if swapped:
         build_side, probe_side = probe_side, build_side
@@ -140,11 +236,65 @@ def _hash_join(
 
     table: dict[tuple[int, ...], list[Tuple]] = {}
     for item in build_side:
-        key = tuple(item[rel][column] for rel, column in build_extract)
-        table.setdefault(key, []).append(item)
+        table.setdefault(_key_of(item, build_extract), []).append(item)
     joined: list[Tuple] = []
     for item in probe_side:
-        key = tuple(item[rel][column] for rel, column in probe_extract)
-        for match in table.get(key, ()):
+        for match in table.get(_key_of(item, probe_extract), ()):
             joined.append({**match, **item})
+    return joined
+
+
+def _nested_loop_join(
+    keys: list[_Key],
+    left_tuples: list[Tuple],
+    right_tuples: list[Tuple],
+) -> list[Tuple]:
+    """Naive nested loops, the left input as the outer."""
+    left_extract = [(rel, column) for rel, column, _o, _c in keys]
+    right_extract = [(other, column) for _r, _c, other, column in keys]
+    joined: list[Tuple] = []
+    for outer in left_tuples:
+        outer_key = _key_of(outer, left_extract)
+        for inner in right_tuples:
+            if _key_of(inner, right_extract) == outer_key:
+                joined.append({**outer, **inner})
+    return joined
+
+
+def _sort_merge_join(
+    keys: list[_Key],
+    left_tuples: list[Tuple],
+    right_tuples: list[Tuple],
+) -> list[Tuple]:
+    """Sort both inputs on the key tuple, then merge equal-key groups."""
+    left_extract = [(rel, column) for rel, column, _o, _c in keys]
+    right_extract = [(other, column) for _r, _c, other, column in keys]
+    left_sorted = sorted(
+        ((_key_of(item, left_extract), item) for item in left_tuples),
+        key=lambda pair: pair[0],
+    )
+    right_sorted = sorted(
+        ((_key_of(item, right_extract), item) for item in right_tuples),
+        key=lambda pair: pair[0],
+    )
+    joined: list[Tuple] = []
+    i = j = 0
+    while i < len(left_sorted) and j < len(right_sorted):
+        left_key = left_sorted[i][0]
+        right_key = right_sorted[j][0]
+        if left_key < right_key:
+            i += 1
+        elif left_key > right_key:
+            j += 1
+        else:
+            i_end = i
+            while i_end < len(left_sorted) and left_sorted[i_end][0] == left_key:
+                i_end += 1
+            j_end = j
+            while j_end < len(right_sorted) and right_sorted[j_end][0] == left_key:
+                j_end += 1
+            for _key, left_item in left_sorted[i:i_end]:
+                for _key2, right_item in right_sorted[j:j_end]:
+                    joined.append({**left_item, **right_item})
+            i, j = i_end, j_end
     return joined

@@ -1,5 +1,17 @@
 """Text frontend: parse SQL-ish join queries into graph + catalog."""
 
-from repro.frontend.parser import parse_query
+from repro.frontend.parser import (
+    FilterPredicate,
+    ParsedQuery,
+    QueryParseError,
+    parse_query,
+    parse_query_detailed,
+)
 
-__all__ = ["parse_query"]
+__all__ = [
+    "parse_query",
+    "parse_query_detailed",
+    "ParsedQuery",
+    "FilterPredicate",
+    "QueryParseError",
+]

@@ -8,33 +8,52 @@ Grammar (case-insensitive keywords, whitespace-insensitive)::
     tables    := table ("," table)*
     table     := name [alias] ["(" cardinality ")"]
     predicates:= predicate (AND predicate)*
-    predicate := ref "=" ref ["[" selectivity "]"]
+    predicate := join | filter
+    join      := ref "=" ref ["[" selectivity "]"]
+    filter    := ref op constant ["[" selectivity "]"]
     ref       := alias "." column
+    op        := "=" | "<" | "<=" | ">" | ">="
+    constant  := signed number
     selectivity := float | "1/" number
 
 Example::
 
     SELECT * FROM orders o (1500000), customer c (150000)
     WHERE o.custkey = c.custkey [1/150000]
+      AND c.mktsegment = 3
+      AND o.totalprice < 1000.0 [0.2]
 
 :func:`parse_query` returns ``(QueryGraph, Catalog)`` ready for any
-optimizer. Predicates without an explicit selectivity get
-``default_selectivity``; tables without a cardinality get
-``default_cardinality``. Only equi-join predicates between two
-*different* relations are supported — local filters belong in the
-cardinalities/selectivities, as in the paper's model.
+optimizer; :func:`parse_query_detailed` additionally surfaces the
+local :class:`FilterPredicate` list for the statistics pipeline's
+pushdown pass (:mod:`repro.pipeline`). Join predicates without an
+explicit selectivity get ``default_selectivity``; tables without a
+cardinality get ``default_cardinality``; filters without a selectivity
+annotation carry ``None`` — downstream either estimates it from
+column statistics or applies its own default.
+
+Column-to-column comparisons within one relation (``o.a = o.b``) are
+the one predicate form still rejected: neither the paper's model nor
+the per-column statistics can estimate intra-row correlation.
 """
 
 from __future__ import annotations
 
 import re
+from dataclasses import dataclass
 
 from repro.catalog.catalog import Catalog
 from repro.errors import ReproError
 from repro.graph.builder import QueryGraphBuilder
 from repro.graph.querygraph import QueryGraph
 
-__all__ = ["parse_query", "QueryParseError"]
+__all__ = [
+    "parse_query",
+    "parse_query_detailed",
+    "ParsedQuery",
+    "FilterPredicate",
+    "QueryParseError",
+]
 
 
 class QueryParseError(ReproError):
@@ -50,15 +69,77 @@ _TABLE_PATTERN = re.compile(
     re.VERBOSE | re.IGNORECASE,
 )
 
+_SELECTIVITY = r"1\s*/\s*\d+(?:\.\d+)?|\d*\.?\d+(?:[eE][+-]?\d+)?"
+
 _PREDICATE_PATTERN = re.compile(
     r"""^\s*
         (?P<left_rel>[A-Za-z_][A-Za-z_0-9]*)\s*\.\s*(?P<left_col>[A-Za-z_][A-Za-z_0-9]*)
         \s*=\s*
         (?P<right_rel>[A-Za-z_][A-Za-z_0-9]*)\s*\.\s*(?P<right_col>[A-Za-z_][A-Za-z_0-9]*)
-        (?:\s*\[\s*(?P<selectivity>1\s*/\s*\d+(?:\.\d+)?|\d*\.?\d+(?:[eE][+-]?\d+)?)\s*\])?
+        (?:\s*\[\s*(?P<selectivity>"""
+    + _SELECTIVITY
+    + r""")\s*\])?
         \s*$""",
     re.VERBOSE,
 )
+
+_FILTER_PATTERN = re.compile(
+    r"""^\s*
+        (?P<rel>[A-Za-z_][A-Za-z_0-9]*)\s*\.\s*(?P<col>[A-Za-z_][A-Za-z_0-9]*)
+        \s*(?P<op><=|>=|<|>|=)\s*
+        (?P<value>[-+]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?)
+        (?:\s*\[\s*(?P<selectivity>"""
+    + _SELECTIVITY
+    + r""")\s*\])?
+        \s*$""",
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class FilterPredicate:
+    """A local filter ``alias.column <op> constant``.
+
+    Attributes:
+        alias: table alias the filter applies to.
+        column: filtered column.
+        op: one of ``=``, ``<``, ``<=``, ``>``, ``>=``.
+        value: the constant compared against.
+        selectivity: explicit ``[...]`` annotation, or ``None`` when
+            the query left estimation to the optimizer.
+        position: 1-based position among the WHERE conjuncts.
+    """
+
+    alias: str
+    column: str
+    op: str
+    value: float
+    selectivity: float | None = None
+    position: int = 0
+
+    @property
+    def text(self) -> str:
+        """Canonical predicate text, e.g. ``"o.totalprice < 1000.0"``."""
+        return f"{self.alias}.{self.column} {self.op} {self.value:g}"
+
+
+@dataclass(frozen=True, slots=True)
+class ParsedQuery:
+    """Everything :func:`parse_query_detailed` extracts from a query.
+
+    ``graph``/``catalog`` are exactly what :func:`parse_query` returns;
+    ``filters`` holds the local predicates in query order, *not yet*
+    folded into the catalog — pushing them down is the pipeline's job,
+    so plain parsing stays a zero-behavior-change operation.
+    """
+
+    graph: QueryGraph
+    catalog: Catalog
+    filters: tuple[FilterPredicate, ...] = ()
+
+    @property
+    def has_filters(self) -> bool:
+        return bool(self.filters)
 
 
 def parse_query(
@@ -68,10 +149,26 @@ def parse_query(
 ) -> tuple[QueryGraph, Catalog]:
     """Parse a SQL-ish join query into ``(QueryGraph, Catalog)``.
 
+    Local filter predicates are accepted and *ignored* here (the graph
+    and catalog describe the unfiltered query, as before); use
+    :func:`parse_query_detailed` to obtain them.
+
     Raises:
         QueryParseError: with a message pointing at the offending
-            clause when the text does not fit the grammar.
+            clause — including its position (``FROM item 2``,
+            ``WHERE predicate 3``) — when the text does not fit the
+            grammar.
     """
+    parsed = parse_query_detailed(text, default_cardinality, default_selectivity)
+    return parsed.graph, parsed.catalog
+
+
+def parse_query_detailed(
+    text: str,
+    default_cardinality: float = 1000.0,
+    default_selectivity: float = 0.1,
+) -> ParsedQuery:
+    """Parse a query, keeping local filters as structured predicates."""
     stripped = text.strip().rstrip(";")
     match = re.match(
         r"select\b(?P<select>.*?)\bfrom\b(?P<rest>.*)$",
@@ -87,12 +184,12 @@ def parse_query(
 
     builder = QueryGraphBuilder()
     alias_of: dict[str, str] = {}
-    for raw_table in from_clause.split(","):
+    for table_position, raw_table in enumerate(from_clause.split(","), start=1):
         table = _TABLE_PATTERN.match(raw_table)
         if not table:
             raise QueryParseError(
-                f"cannot parse FROM item {raw_table.strip()!r}; expected "
-                "'name [alias] [(cardinality)]'"
+                f"cannot parse FROM item {table_position} "
+                f"({raw_table.strip()!r}); expected 'name [alias] [(cardinality)]'"
             )
         name = table.group("name")
         alias = table.group("alias") or name
@@ -102,57 +199,93 @@ def parse_query(
             else default_cardinality
         )
         if alias in alias_of:
-            raise QueryParseError(f"duplicate table alias {alias!r}")
+            raise QueryParseError(
+                f"FROM item {table_position}: duplicate table alias {alias!r}"
+            )
         alias_of[alias] = name
         builder.relation(alias, cardinality=cardinality)
 
+    filters: list[FilterPredicate] = []
     if where_clause.strip():
-        for raw_predicate in re.split(r"\band\b", where_clause, flags=re.IGNORECASE):
+        conjuncts = re.split(r"\band\b", where_clause, flags=re.IGNORECASE)
+        for position, raw_predicate in enumerate(conjuncts, start=1):
+            clause = f"WHERE predicate {position}"
             predicate = _PREDICATE_PATTERN.match(raw_predicate)
-            if not predicate:
-                raise QueryParseError(
-                    f"cannot parse predicate {raw_predicate.strip()!r}; "
-                    "expected 'a.col = b.col [selectivity]'"
+            if predicate:
+                left = predicate.group("left_rel")
+                right = predicate.group("right_rel")
+                for alias in (left, right):
+                    if alias not in alias_of:
+                        raise QueryParseError(
+                            f"{clause}: predicate references unknown table "
+                            f"alias {alias!r}"
+                        )
+                if left == right:
+                    raise QueryParseError(
+                        f"{clause}: local filter comparing two columns of "
+                        f"{left!r} is not supported; only constant filters "
+                        "('alias.col <op> number') and join predicates are"
+                    )
+                selectivity = _parse_selectivity(
+                    predicate.group("selectivity"), default_selectivity, clause
                 )
-            left = predicate.group("left_rel")
-            right = predicate.group("right_rel")
-            for alias in (left, right):
+                builder.join(
+                    left,
+                    right,
+                    selectivity=selectivity,
+                    predicate=(
+                        f"{left}.{predicate.group('left_col')} = "
+                        f"{right}.{predicate.group('right_col')}"
+                    ),
+                )
+                continue
+            local = _FILTER_PATTERN.match(raw_predicate)
+            if local:
+                alias = local.group("rel")
                 if alias not in alias_of:
                     raise QueryParseError(
-                        f"predicate references unknown table alias {alias!r}"
+                        f"{clause}: predicate references unknown table "
+                        f"alias {alias!r}"
                     )
-            if left == right:
-                raise QueryParseError(
-                    f"local filter on {left!r} is not a join predicate; "
-                    "fold filters into the table cardinality instead"
+                annotated = local.group("selectivity")
+                filters.append(
+                    FilterPredicate(
+                        alias=alias,
+                        column=local.group("col"),
+                        op=local.group("op"),
+                        value=float(local.group("value")),
+                        selectivity=(
+                            None
+                            if annotated is None
+                            else _parse_selectivity(annotated, None, clause)
+                        ),
+                        position=position,
+                    )
                 )
-            selectivity = _parse_selectivity(
-                predicate.group("selectivity"), default_selectivity
+                continue
+            raise QueryParseError(
+                f"cannot parse {clause} ({raw_predicate.strip()!r}); "
+                "expected a join 'a.col = b.col [selectivity]' or a local "
+                "filter 'a.col <op> constant [selectivity]'"
             )
-            builder.join(
-                left,
-                right,
-                selectivity=selectivity,
-                predicate=(
-                    f"{left}.{predicate.group('left_col')} = "
-                    f"{right}.{predicate.group('right_col')}"
-                ),
-            )
-    return builder.build()
+    graph, catalog = builder.build()
+    return ParsedQuery(graph=graph, catalog=catalog, filters=tuple(filters))
 
 
-def _parse_selectivity(token: str | None, default: float) -> float:
+def _parse_selectivity(
+    token: str | None, default: float | None, clause: str = "query"
+) -> float | None:
     if token is None:
         return default
     compact = token.replace(" ", "")
     if compact.startswith("1/"):
         denominator = float(compact[2:])
         if denominator <= 0:
-            raise QueryParseError(f"bad selectivity {token!r}")
+            raise QueryParseError(f"{clause}: bad selectivity {token!r}")
         return min(1.0, 1.0 / denominator)
     value = float(compact)
     if not 0.0 < value <= 1.0:
         raise QueryParseError(
-            f"selectivity {token!r} must lie in (0, 1]"
+            f"{clause}: selectivity {token!r} must lie in (0, 1]"
         )
     return value

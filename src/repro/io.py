@@ -20,8 +20,9 @@ from __future__ import annotations
 from typing import Any
 
 from repro.catalog.catalog import Catalog, RelationStats
+from repro.catalog.columnstats import ColumnStats
 from repro.core.base import OptimizationResult
-from repro.errors import ReproError
+from repro.errors import CatalogError, ReproError
 from repro.graph.querygraph import JoinEdge, QueryGraph
 from repro.plans.jointree import JoinTree
 
@@ -78,19 +79,26 @@ def graph_from_dict(data: dict[str, Any]) -> QueryGraph:
 
 
 def catalog_to_dict(catalog: Catalog) -> dict[str, Any]:
-    """Plain-dict view of a catalog."""
-    return {
-        "kind": "catalog",
-        "relations": [
-            {
-                "name": entry.name,
-                "cardinality": entry.cardinality,
-                "tuple_bytes": entry.tuple_bytes,
-                "pages": entry.pages,
-            }
-            for entry in catalog
-        ],
-    }
+    """Plain-dict view of a catalog.
+
+    Column statistics from an ``analyze`` pass are included (omitted
+    for relations without any), so a stats-backed catalog can be
+    archived once and reused warm across pipeline runs.
+    """
+    relations = []
+    for entry in catalog:
+        serialized: dict[str, Any] = {
+            "name": entry.name,
+            "cardinality": entry.cardinality,
+            "tuple_bytes": entry.tuple_bytes,
+            "pages": entry.pages,
+        }
+        if entry.column_stats:
+            serialized["column_stats"] = [
+                stats.to_dict() for stats in entry.column_stats
+            ]
+        relations.append(serialized)
+    return {"kind": "catalog", "relations": relations}
 
 
 def catalog_from_dict(data: dict[str, Any]) -> Catalog:
@@ -103,10 +111,14 @@ def catalog_from_dict(data: dict[str, Any]) -> Catalog:
                 cardinality=entry["cardinality"],
                 tuple_bytes=entry.get("tuple_bytes", 100),
                 pages=entry.get("pages", 0),
+                column_stats=tuple(
+                    ColumnStats.from_dict(stats)
+                    for stats in entry.get("column_stats", ())
+                ),
             )
             for entry in data["relations"]
         )
-    except (KeyError, TypeError) as error:
+    except (KeyError, TypeError, CatalogError) as error:
         raise SerializationError(f"malformed catalog dict: {error}") from error
 
 

@@ -1,0 +1,39 @@
+"""End-to-end SQL → plan → execute pipeline.
+
+Composes the frontend parser, the ``analyze`` statistics pass, filter
+pushdown, any join-order enumerator, disk-rule physical operator
+selection, and the validating executor into one call —
+:func:`run_pipeline` — plus the pieces individually for callers that
+want a different composition.
+"""
+
+from repro.pipeline.physical import OperatorChoice, operator_choices, select_operators
+from repro.pipeline.pipeline import PipelineResult, run_pipeline
+from repro.pipeline.pushdown import (
+    ESTIMATORS,
+    PreparedQuery,
+    apply_filters,
+    prepare_query,
+)
+from repro.pipeline.workload import (
+    PipelineQuery,
+    PipelineWorkload,
+    tpch_workload,
+    zipf_choices,
+)
+
+__all__ = [
+    "ESTIMATORS",
+    "PreparedQuery",
+    "prepare_query",
+    "apply_filters",
+    "select_operators",
+    "operator_choices",
+    "OperatorChoice",
+    "PipelineResult",
+    "run_pipeline",
+    "PipelineQuery",
+    "PipelineWorkload",
+    "tpch_workload",
+    "zipf_choices",
+]

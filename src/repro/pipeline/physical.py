@@ -1,0 +1,104 @@
+"""Physical operator selection over an optimized join tree.
+
+The enumerators pick the join *order*; this pass walks the winning
+tree bottom-up and annotates every join node with the cheapest
+physical algorithm under the disk cost rule
+(:func:`repro.cost.disk.cheapest_join_operator`): nested loops, hash
+join, or sort-merge, decided from the node's input cardinalities.
+
+Order and physical choice are deliberately separated — the paper's
+algorithms enumerate under one cost model (typically C_out), and this
+pass shows the classic two-phase architecture where operator selection
+happens on the chosen order. Plans optimized directly under
+:class:`~repro.cost.disk.DiskCostModel` already carry physical labels;
+running the pass on them with the same constants is a no-op.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cost.disk import (
+    DEFAULT_BUFFER_PAGES,
+    DEFAULT_HASH_FACTOR,
+    cheapest_join_operator,
+)
+from repro.plans.jointree import JoinTree
+
+__all__ = ["select_operators", "OperatorChoice", "operator_choices"]
+
+
+@dataclass(frozen=True, slots=True)
+class OperatorChoice:
+    """One join node's physical decision, for reports."""
+
+    relations: int
+    operator: str
+    local_cost: float
+    outer_cardinality: float
+    inner_cardinality: float
+
+
+def select_operators(
+    plan: JoinTree,
+    buffer_pages: int = DEFAULT_BUFFER_PAGES,
+    hash_factor: float = DEFAULT_HASH_FACTOR,
+) -> JoinTree:
+    """Rebuild ``plan`` with physical operator labels on join nodes.
+
+    Cardinalities and costs are preserved untouched (they belong to
+    the enumeration's cost model); only ``operator`` changes. Leaves
+    pass through unchanged.
+    """
+    if plan.is_leaf:
+        return plan
+    assert plan.left is not None and plan.right is not None
+    left = select_operators(plan.left, buffer_pages, hash_factor)
+    right = select_operators(plan.right, buffer_pages, hash_factor)
+    _cost, operator = cheapest_join_operator(
+        left.cardinality,
+        right.cardinality,
+        buffer_pages=buffer_pages,
+        hash_factor=hash_factor,
+    )
+    return JoinTree.join(
+        left,
+        right,
+        cardinality=plan.cardinality,
+        cost=plan.cost,
+        operator=operator,
+    )
+
+
+def operator_choices(
+    plan: JoinTree,
+    buffer_pages: int = DEFAULT_BUFFER_PAGES,
+    hash_factor: float = DEFAULT_HASH_FACTOR,
+) -> list[OperatorChoice]:
+    """The decisions :func:`select_operators` makes, bottom-up."""
+    choices: list[OperatorChoice] = []
+
+    def walk(node: JoinTree) -> None:
+        if node.is_leaf:
+            return
+        assert node.left is not None and node.right is not None
+        walk(node.left)
+        walk(node.right)
+        local_cost, operator = cheapest_join_operator(
+            node.left.cardinality,
+            node.right.cardinality,
+            buffer_pages=buffer_pages,
+            hash_factor=hash_factor,
+        )
+        choices.append(
+            OperatorChoice(
+                relations=node.relations,
+                operator=operator,
+                local_cost=local_cost,
+                outer_cardinality=node.left.cardinality,
+                inner_cardinality=node.right.cardinality,
+            )
+        )
+
+    walk(plan)
+    return choices

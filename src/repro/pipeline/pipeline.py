@@ -1,0 +1,138 @@
+"""The end-to-end pipeline: SQL text in, executed plan + report out.
+
+:func:`run_pipeline` composes the stages the rest of the repository
+provides piecemeal::
+
+    parse → analyze → push filters down → enumerate → select operators
+          → execute → compare estimates with reality
+
+Every stage is the public API of its home module, so the pipeline adds
+no behavior of its own — it is the integration seam, and the place
+where the estimator strategy (independence vs. statistics) is chosen.
+Execution is optional (``execute=False`` or no tables): planning from
+annotated SQL alone still works, exactly as before this module existed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core import OptimizationResult, make_algorithm
+from repro.cost.disk import DEFAULT_BUFFER_PAGES, DEFAULT_HASH_FACTOR
+from repro.exec.executor import ExecutionReport, execute_plan
+from repro.pipeline.physical import select_operators
+from repro.pipeline.pushdown import PreparedQuery, apply_filters, prepare_query
+from repro.plans.jointree import JoinTree
+from repro.stats.estimator import DEFAULT_FILTER_SELECTIVITY
+
+__all__ = ["PipelineResult", "run_pipeline"]
+
+Row = Mapping[str, object]
+
+
+@dataclass(frozen=True, slots=True)
+class PipelineResult:
+    """Everything one pipeline run produced.
+
+    Attributes:
+        prepared: the prepared instance (parse + estimation artifacts).
+        optimization: the enumerator's result over that instance; its
+            ``plan`` carries the logical operator labels.
+        physical_plan: the optimal tree re-labelled with NLJ/HJ/SMJ
+            choices by :func:`repro.pipeline.physical.select_operators`.
+        report: estimated-vs-actual comparison from executing
+            ``physical_plan``; ``None`` when execution was skipped.
+    """
+
+    prepared: PreparedQuery
+    optimization: OptimizationResult
+    physical_plan: JoinTree
+    report: ExecutionReport | None = None
+
+    @property
+    def plan(self) -> JoinTree:
+        """The logical optimum (enumeration output, pre-selection)."""
+        return self.optimization.plan
+
+    @property
+    def estimator(self) -> str:
+        return self.prepared.estimator
+
+    @property
+    def executed(self) -> bool:
+        return self.report is not None
+
+
+def run_pipeline(
+    sql: str,
+    tables: Mapping[str, Sequence[Row]] | None = None,
+    estimator: str = "independence",
+    algorithm: str = "dpccp",
+    execute: bool = True,
+    buffer_pages: int = DEFAULT_BUFFER_PAGES,
+    hash_factor: float = DEFAULT_HASH_FACTOR,
+    default_cardinality: float = 1000.0,
+    default_selectivity: float = 0.1,
+    default_filter_selectivity: float = DEFAULT_FILTER_SELECTIVITY,
+    stats_catalog=None,
+) -> PipelineResult:
+    """Run the full SQL → plan (→ execute) pipeline.
+
+    Args:
+        sql: SQL-ish query text (:mod:`repro.frontend.parser` grammar).
+        tables: rows per relation name. Required by the statistics
+            estimator (to analyze) and by execution; ``None`` plans
+            from the SQL annotations alone.
+        estimator: ``"independence"`` (annotated/default numbers — the
+            pre-pipeline behavior, bit-identical plans) or
+            ``"statistics"`` (analyze + derive).
+        algorithm: enumerator registry name (see
+            :data:`repro.core.ALGORITHMS`).
+        execute: interpret the physical plan over ``tables`` and attach
+            the estimated-vs-actual report. Filters are applied to the
+            base tables first, so actuals describe the filtered query.
+        buffer_pages / hash_factor: physical-selection constants
+            (:func:`repro.cost.disk.cheapest_join_operator`).
+        default_cardinality / default_selectivity /
+        default_filter_selectivity: parser and estimation defaults.
+        stats_catalog: pre-analyzed catalog for the warm statistics
+            path (skips the analyze pass).
+    """
+    prepared = prepare_query(
+        sql,
+        tables=tables,
+        estimator=estimator,
+        default_cardinality=default_cardinality,
+        default_selectivity=default_selectivity,
+        default_filter_selectivity=default_filter_selectivity,
+        stats_catalog=stats_catalog,
+    )
+    optimization = make_algorithm(algorithm).optimize(
+        prepared.graph, catalog=prepared.catalog
+    )
+    physical_plan = select_operators(
+        optimization.plan, buffer_pages=buffer_pages, hash_factor=hash_factor
+    )
+    report = None
+    if execute and tables is not None:
+        graph = prepared.parsed.graph
+        filtered = apply_filters(prepared.parsed, tables)
+        try:
+            aligned = [filtered[name] for name in graph.names]
+        except KeyError as missing:
+            raise KeyError(
+                f"no rows provided for relation {missing.args[0]!r}"
+            ) from None
+        report = execute_plan(
+            physical_plan,
+            graph,
+            aligned,
+            join_columns=prepared.join_columns or None,
+        )
+    return PipelineResult(
+        prepared=prepared,
+        optimization=optimization,
+        physical_plan=physical_plan,
+        report=report,
+    )

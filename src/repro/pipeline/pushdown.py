@@ -1,0 +1,214 @@
+"""Query preparation: parse, analyze, and push filters down.
+
+:func:`prepare_query` turns SQL text (plus, optionally, actual table
+rows) into the ``(graph, catalog)`` instance the enumerators optimize:
+
+* under the **independence** estimator the instance is exactly what
+  :func:`repro.frontend.parse_query` produces — annotated/default
+  cardinalities and selectivities; local filters scale base
+  cardinalities by their annotated selectivity or the System-R default
+  (no statistics exist to do better). A query without filters prepares
+  to a bit-identical instance, so the stats layer is strictly opt-in;
+* under the **statistics** estimator an ``analyze`` pass over the rows
+  yields per-column statistics, join-edge selectivities are refined
+  from NDV/MCV/histogram data, and filter selectivities are estimated
+  per predicate — all folded into a refined graph and an effective
+  catalog (:class:`repro.stats.StatisticsEstimator` does the folding).
+
+Either way, downstream — enumeration, physical selection, execution —
+never needs to know which estimator produced the instance.
+"""
+
+from __future__ import annotations
+
+import operator as _operator
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.catalog.catalog import Catalog
+from repro.errors import CatalogError
+from repro.frontend.parser import ParsedQuery, parse_query_detailed
+from repro.graph.querygraph import QueryGraph
+from repro.stats.analyze import analyze_tables
+from repro.stats.estimator import (
+    DEFAULT_FILTER_SELECTIVITY,
+    StatisticsEstimator,
+    filter_factors,
+    infer_join_columns,
+)
+
+__all__ = ["ESTIMATORS", "PreparedQuery", "prepare_query", "apply_filters"]
+
+#: Estimation strategies :func:`prepare_query` understands.
+ESTIMATORS = ("independence", "statistics")
+
+_FILTER_OPS: dict[str, Callable[[float, float], bool]] = {
+    "=": _operator.eq,
+    "<": _operator.lt,
+    "<=": _operator.le,
+    ">": _operator.gt,
+    ">=": _operator.ge,
+}
+
+Row = Mapping[str, object]
+
+
+@dataclass(frozen=True, slots=True)
+class PreparedQuery:
+    """A query readied for enumeration.
+
+    Attributes:
+        parsed: the raw parse (original graph/catalog + filters).
+        estimator: ``"independence"`` or ``"statistics"``.
+        graph: the instance to enumerate — edge selectivities already
+            refined under the statistics estimator.
+        catalog: effective base statistics — filter selectivities
+            already folded into the cardinalities.
+        join_columns: edge position -> ``(column on the edge's lower
+            endpoint, column on the higher endpoint)``, ready for
+            :func:`repro.exec.executor.execute_plan`; empty when edge
+            predicates carry no column information.
+        filter_factors: relation index -> combined filter selectivity
+            that was folded into ``catalog`` (empty without filters).
+    """
+
+    parsed: ParsedQuery
+    estimator: str
+    graph: QueryGraph
+    catalog: Catalog
+    join_columns: dict[int, tuple[str, str]]
+    filter_factors: dict[int, float]
+
+
+def prepare_query(
+    sql: str,
+    tables: Mapping[str, Sequence[Row]] | None = None,
+    estimator: str = "independence",
+    default_cardinality: float = 1000.0,
+    default_selectivity: float = 0.1,
+    default_filter_selectivity: float = DEFAULT_FILTER_SELECTIVITY,
+    stats_catalog: Catalog | None = None,
+) -> PreparedQuery:
+    """Parse ``sql`` and build the instance the chosen estimator implies.
+
+    Args:
+        sql: the SQL-ish query text (see :mod:`repro.frontend.parser`).
+        tables: rows per table alias; required for the statistics
+            estimator (unless ``stats_catalog`` is given), optional
+            otherwise.
+        estimator: one of :data:`ESTIMATORS`.
+        default_cardinality / default_selectivity: parser defaults for
+            unannotated tables and join predicates.
+        default_filter_selectivity: applied to filters that have
+            neither an annotation nor usable column statistics.
+        stats_catalog: a pre-analyzed (possibly deserialized) catalog
+            to reuse instead of re-analyzing ``tables`` — the warm
+            path for repeated planning over the same data.
+    """
+    if estimator not in ESTIMATORS:
+        raise CatalogError(
+            f"unknown estimator {estimator!r}; expected one of "
+            f"{', '.join(ESTIMATORS)}"
+        )
+    parsed = parse_query_detailed(
+        sql,
+        default_cardinality=default_cardinality,
+        default_selectivity=default_selectivity,
+    )
+    graph = parsed.graph
+    by_endpoints = infer_join_columns(graph)
+    join_columns = {
+        position: by_endpoints[edge.endpoints]
+        for position, edge in enumerate(graph.edges)
+        if edge.endpoints in by_endpoints
+    }
+
+    if estimator == "independence":
+        factors = filter_factors(
+            graph, parsed.catalog, parsed.filters,
+            default=default_filter_selectivity,
+        )
+        effective = (
+            parsed.catalog.with_effective_cardinalities(factors)
+            if factors
+            else parsed.catalog
+        )
+        return PreparedQuery(
+            parsed=parsed,
+            estimator=estimator,
+            graph=graph,
+            catalog=effective,
+            join_columns=join_columns,
+            filter_factors=factors,
+        )
+
+    if stats_catalog is None:
+        if tables is None:
+            raise CatalogError(
+                "the statistics estimator needs table rows (or a "
+                "pre-analyzed stats_catalog) to analyze"
+            )
+        try:
+            aligned = {name: tables[name] for name in graph.names}
+        except KeyError as missing:
+            raise CatalogError(
+                f"no rows provided for relation {missing.args[0]!r}"
+            ) from None
+        stats_catalog = analyze_tables(aligned)
+    refined = StatisticsEstimator(
+        graph,
+        stats_catalog,
+        join_columns=by_endpoints,
+        filters=parsed.filters,
+        default_filter_selectivity=default_filter_selectivity,
+    )
+    refined_graph, effective_catalog = refined.refined_instance()
+    return PreparedQuery(
+        parsed=parsed,
+        estimator=estimator,
+        graph=refined_graph,
+        catalog=effective_catalog,
+        join_columns=join_columns,
+        filter_factors=filter_factors(
+            graph, stats_catalog, parsed.filters,
+            default=default_filter_selectivity,
+        ),
+    )
+
+
+def apply_filters(
+    parsed: ParsedQuery,
+    tables: Mapping[str, Sequence[Row]],
+) -> dict[str, list[Row]]:
+    """Evaluate the query's local filters over actual rows.
+
+    Returns a new name -> rows mapping restricted to rows satisfying
+    every filter on their table; tables without filters pass through
+    unchanged (same row objects, new lists). Execution uses this so
+    actual cardinalities reflect the filtered query the estimates
+    describe. Rows whose filter column is missing or non-numeric are
+    dropped, matching SQL's unknown-comparison semantics.
+    """
+    by_alias: dict[str, list] = {}
+    for predicate in parsed.filters:
+        by_alias.setdefault(predicate.alias, []).append(predicate)
+    filtered: dict[str, list[Row]] = {}
+    for name, rows in tables.items():
+        predicates = by_alias.get(name)
+        if not predicates:
+            filtered[name] = list(rows)
+            continue
+        kept = []
+        for row in rows:
+            for predicate in predicates:
+                value = row.get(predicate.column)
+                if (
+                    not isinstance(value, (int, float))
+                    or isinstance(value, bool)
+                    or not _FILTER_OPS[predicate.op](float(value), predicate.value)
+                ):
+                    break
+            else:
+                kept.append(row)
+        filtered[name] = kept
+    return filtered

@@ -1,0 +1,217 @@
+"""A TPC-H-shaped synthetic workload with Zipfian skew.
+
+Small in-memory versions of the TPC-H relations (nation, customer,
+orders, lineitem, supplier, part) whose foreign keys and attribute
+columns follow Zipf distributions — a few heavy hitters carry much of
+the mass, so MCV statistics genuinely matter and uniformity
+assumptions genuinely mislead. Sizes scale linearly with ``scale``;
+generation is deterministic in ``seed``.
+
+The bundled queries exercise the cases that separate the estimators:
+
+* foreign-key chains annotated with the textbook ``1/|parent|``
+  selectivity (the independence baseline at its best),
+* skewed attribute joins (``customer.nationkey = supplier.nationkey``)
+  annotated with the naive uniform-NDV guess, where MCV overlap is the
+  only way to see the real match mass,
+* unannotated local filters on skewed columns, where histograms and
+  MCV lookups replace the 0.1 default.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from itertools import accumulate
+from typing import Sequence
+
+from repro.errors import WorkloadError
+
+__all__ = ["PipelineQuery", "PipelineWorkload", "tpch_workload", "zipf_choices"]
+
+#: Distinct nations, as in TPC-H.
+N_NATIONS = 25
+
+
+@dataclass(frozen=True, slots=True)
+class PipelineQuery:
+    """One benchmark query: a name and its SQL-ish text."""
+
+    name: str
+    sql: str
+
+
+@dataclass(frozen=True, slots=True)
+class PipelineWorkload:
+    """Generated tables plus the queries that run over them."""
+
+    tables: dict[str, list[dict[str, int]]]
+    queries: tuple[PipelineQuery, ...]
+
+    def table_sizes(self) -> dict[str, int]:
+        return {name: len(rows) for name, rows in self.tables.items()}
+
+
+def zipf_choices(
+    rng: random.Random,
+    n_values: int,
+    k: int,
+    skew: float = 1.2,
+) -> list[int]:
+    """Draw ``k`` values from ``0..n_values-1`` with Zipf(``skew``) mass."""
+    if n_values < 1:
+        raise WorkloadError(f"need at least one value, got {n_values}")
+    weights = [(rank + 1) ** -skew for rank in range(n_values)]
+    cumulative = list(accumulate(weights))
+    return rng.choices(range(n_values), cum_weights=cumulative, k=k)
+
+
+def tpch_workload(
+    scale: float = 1.0,
+    seed: int = 0,
+    skew: float = 1.2,
+) -> PipelineWorkload:
+    """Generate the skewed TPC-H-shaped workload at ``scale``.
+
+    ``scale=1.0`` yields ~28k rows total (customer 1000, orders 6000,
+    lineitem 20000, supplier 100, part 500, nation 25) — large enough
+    for skew to show, small enough that executing every plan stays in
+    milliseconds.
+    """
+    if scale <= 0:
+        raise WorkloadError(f"scale must be positive, got {scale}")
+    rng = random.Random(seed)
+    n_customer = max(10, round(1000 * scale))
+    n_orders = max(20, round(6000 * scale))
+    n_lineitem = max(40, round(20000 * scale))
+    n_supplier = max(5, round(100 * scale))
+    n_part = max(5, round(500 * scale))
+
+    nation = [{"nationkey": key} for key in range(N_NATIONS)]
+    customer = [
+        {"custkey": key, "nationkey": nationkey, "mktsegment": segment}
+        for key, nationkey, segment in zip(
+            range(n_customer),
+            zipf_choices(rng, N_NATIONS, n_customer, skew),
+            zipf_choices(rng, 5, n_customer, skew),
+        )
+    ]
+    orders = [
+        {"okey": key, "custkey": custkey, "orderpriority": priority}
+        for key, custkey, priority in zip(
+            range(n_orders),
+            zipf_choices(rng, n_customer, n_orders, skew),
+            zipf_choices(rng, 5, n_orders, skew),
+        )
+    ]
+    lineitem = [
+        {
+            "lkey": key,
+            "okey": okey,
+            "suppkey": suppkey,
+            "partkey": partkey,
+            "quantity": quantity,
+        }
+        for key, okey, suppkey, partkey, quantity in zip(
+            range(n_lineitem),
+            zipf_choices(rng, n_orders, n_lineitem, skew),
+            zipf_choices(rng, n_supplier, n_lineitem, skew),
+            zipf_choices(rng, n_part, n_lineitem, skew),
+            zipf_choices(rng, 50, n_lineitem, 0.5),
+        )
+    ]
+    supplier = [
+        {"skey": key, "nationkey": nationkey}
+        for key, nationkey in zip(
+            range(n_supplier), zipf_choices(rng, N_NATIONS, n_supplier, skew)
+        )
+    ]
+    part = [
+        {"pkey": key, "psize": size}
+        for key, size in zip(
+            range(n_part), zipf_choices(rng, 50, n_part, skew)
+        )
+    ]
+    tables = {
+        "nation": nation,
+        "customer": customer,
+        "orders": orders,
+        "lineitem": lineitem,
+        "supplier": supplier,
+        "part": part,
+    }
+    queries = _queries(
+        n_customer=n_customer,
+        n_orders=n_orders,
+        n_lineitem=n_lineitem,
+        n_supplier=n_supplier,
+        n_part=n_part,
+    )
+    return PipelineWorkload(tables=tables, queries=queries)
+
+
+def _queries(
+    n_customer: int,
+    n_orders: int,
+    n_lineitem: int,
+    n_supplier: int,
+    n_part: int,
+) -> tuple[PipelineQuery, ...]:
+    """The workload's queries, annotated the way a careful DBA would.
+
+    Foreign-key joins carry the ``1/|parent|`` selectivity, attribute
+    joins the uniform ``1/NDV`` guess; filters are unannotated. The
+    independence estimator uses exactly these numbers; the statistics
+    estimator recomputes everything from the data.
+    """
+    shapes: Sequence[tuple[str, str]] = (
+        (
+            "orders_chain",
+            f"""
+            SELECT * FROM nation ({N_NATIONS}), customer ({n_customer}),
+                          orders ({n_orders}), lineitem ({n_lineitem})
+            WHERE customer.nationkey = nation.nationkey [1/{N_NATIONS}]
+              AND orders.custkey = customer.custkey [1/{n_customer}]
+              AND lineitem.okey = orders.okey [1/{n_orders}]
+              AND customer.mktsegment = 0
+            """,
+        ),
+        (
+            "colocated_star",
+            f"""
+            SELECT * FROM customer ({n_customer}), supplier ({n_supplier}),
+                          lineitem ({n_lineitem}), part ({n_part})
+            WHERE customer.nationkey = supplier.nationkey [1/{N_NATIONS}]
+              AND lineitem.suppkey = supplier.skey [1/{n_supplier}]
+              AND lineitem.partkey = part.pkey [1/{n_part}]
+            """,
+        ),
+        (
+            "regional_cycle",
+            f"""
+            SELECT * FROM nation ({N_NATIONS}), customer ({n_customer}),
+                          orders ({n_orders}), lineitem ({n_lineitem}),
+                          supplier ({n_supplier})
+            WHERE customer.nationkey = nation.nationkey [1/{N_NATIONS}]
+              AND supplier.nationkey = nation.nationkey [1/{N_NATIONS}]
+              AND orders.custkey = customer.custkey [1/{n_customer}]
+              AND lineitem.okey = orders.okey [1/{n_orders}]
+              AND lineitem.suppkey = supplier.skey [1/{n_supplier}]
+            """,
+        ),
+        (
+            "filtered_parts",
+            f"""
+            SELECT * FROM part ({n_part}), lineitem ({n_lineitem}),
+                          supplier ({n_supplier}), nation ({N_NATIONS})
+            WHERE lineitem.partkey = part.pkey [1/{n_part}]
+              AND lineitem.suppkey = supplier.skey [1/{n_supplier}]
+              AND supplier.nationkey = nation.nationkey [1/{N_NATIONS}]
+              AND part.psize < 5
+              AND lineitem.quantity >= 10
+            """,
+        ),
+    )
+    return tuple(
+        PipelineQuery(name=name, sql=" ".join(sql.split())) for name, sql in shapes
+    )

@@ -273,6 +273,41 @@ class PlanService:
             )
         )
 
+    def plan_sql(
+        self,
+        sql: str,
+        *,
+        tables=None,
+        estimator: str = "independence",
+        deadline_seconds: float | None = None,
+        algorithm: str | None = None,
+        stats_catalog: Catalog | None = None,
+    ) -> PlanResponse:
+        """Plan straight from SQL text through the pipeline's front half.
+
+        Parses ``sql``, prepares the instance under the chosen
+        estimator (``"independence"`` — annotated/default numbers, or
+        ``"statistics"`` — selectivities derived from analyzing
+        ``tables``/``stats_catalog``; see
+        :func:`repro.pipeline.prepare_query`), and plans it with the
+        full cache/deadline machinery. Because statistics are folded
+        into the prepared ``(graph, catalog)``, fingerprinting and
+        caching work unchanged: two SQL queries whose *derived*
+        instances agree share a cache entry, while the same text under
+        different estimators does not.
+        """
+        from repro.pipeline import prepare_query
+
+        prepared = prepare_query(
+            sql, tables=tables, estimator=estimator, stats_catalog=stats_catalog
+        )
+        return self.plan(
+            prepared.graph,
+            prepared.catalog,
+            deadline_seconds=deadline_seconds,
+            algorithm=algorithm,
+        )
+
     def plan_request(self, request: PlanRequest) -> PlanResponse:
         """Plan one :class:`PlanRequest` through cache, pool and deadline."""
         fingerprint = self.fingerprint_of(request.graph, request.catalog)

@@ -1,0 +1,46 @@
+"""Statistics collection and statistics-driven cardinality estimation.
+
+``repro.stats`` closes the loop the paper leaves open: instead of
+taking selectivities as annotated inputs, an :func:`analyze` pass scans
+actual table rows into per-column statistics
+(:class:`~repro.catalog.columnstats.ColumnStats`: exact NDV, MCV list,
+equi-depth histogram), and a :class:`StatisticsEstimator` derives
+join and filter selectivities from them — behind the same interface as
+the independence estimator, so every enumerator works with either.
+"""
+
+from repro.catalog.columnstats import ColumnStats
+from repro.stats.analyze import (
+    DEFAULT_HISTOGRAM_BUCKETS,
+    DEFAULT_MCV_SIZE,
+    analyze,
+    analyze_column,
+    analyze_rows,
+    analyze_tables,
+)
+from repro.stats.estimator import (
+    DEFAULT_FILTER_SELECTIVITY,
+    MIN_SELECTIVITY,
+    StatisticsEstimator,
+    equijoin_selectivity,
+    filter_factors,
+    filter_selectivity,
+    infer_join_columns,
+)
+
+__all__ = [
+    "ColumnStats",
+    "DEFAULT_MCV_SIZE",
+    "DEFAULT_HISTOGRAM_BUCKETS",
+    "DEFAULT_FILTER_SELECTIVITY",
+    "MIN_SELECTIVITY",
+    "analyze",
+    "analyze_column",
+    "analyze_rows",
+    "analyze_tables",
+    "StatisticsEstimator",
+    "equijoin_selectivity",
+    "filter_selectivity",
+    "filter_factors",
+    "infer_join_columns",
+]

@@ -1,0 +1,188 @@
+"""The ``ANALYZE`` pass: build per-column statistics from actual rows.
+
+Scans :mod:`repro.exec.data`-style tables (lists of dict rows) and
+produces the :class:`~repro.catalog.columnstats.ColumnStats` the
+statistics estimator consumes: exact row counts and NDVs (the tables
+are synthetic and in memory, so no sampling is needed), an MCV list of
+genuinely over-represented values, and an equi-depth histogram.
+
+Two entry points cover both table layouts used in this repository:
+
+* :func:`analyze_tables` for named tables (``{"orders": rows, ...}``),
+  returning a fresh stats-backed :class:`~repro.catalog.catalog.Catalog`;
+* :func:`analyze` for graph-aligned table lists (the executor layout),
+  enriching an existing catalog in place of guessing names.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Mapping, Sequence
+
+from repro.catalog.catalog import Catalog, RelationStats
+from repro.catalog.columnstats import ColumnStats
+from repro.errors import CatalogError
+from repro.graph.querygraph import QueryGraph
+
+__all__ = [
+    "DEFAULT_MCV_SIZE",
+    "DEFAULT_HISTOGRAM_BUCKETS",
+    "analyze_column",
+    "analyze_rows",
+    "analyze_tables",
+    "analyze",
+]
+
+#: Most-common-value list capacity (PostgreSQL's default_statistics_target
+#: scaled down to the synthetic workloads here).
+DEFAULT_MCV_SIZE = 16
+
+#: Equi-depth histogram buckets.
+DEFAULT_HISTOGRAM_BUCKETS = 32
+
+#: A value enters the MCV list only when its frequency beats the
+#: uniform expectation by this factor — keeps uniform columns MCV-free
+#: so their estimates stay purely NDV-based.
+_MCV_SKEW_THRESHOLD = 1.25
+
+Row = Mapping[str, object]
+
+
+def analyze_column(
+    column: str,
+    values: Sequence[float],
+    mcv_size: int = DEFAULT_MCV_SIZE,
+    histogram_buckets: int = DEFAULT_HISTOGRAM_BUCKETS,
+) -> ColumnStats:
+    """Summarize one column's values into :class:`ColumnStats`.
+
+    ``values`` must be the column's numeric values (order irrelevant).
+    NDV is exact; the MCV list keeps at most ``mcv_size`` values, each
+    appearing at least twice and clearly above the uniform frequency;
+    the histogram is equi-depth with ``histogram_buckets`` buckets
+    (fewer rows than buckets -> no histogram, the min/max uniform
+    fallback applies).
+    """
+    if not values:
+        raise CatalogError(f"column {column!r}: cannot analyze zero values")
+    ordered = sorted(float(value) for value in values)
+    row_count = len(ordered)
+    counts = Counter(ordered)
+    ndv = len(counts)
+
+    mcvs: list[tuple[float, float]] = []
+    if mcv_size > 0 and ndv > 1:
+        uniform = row_count / ndv
+        for value, count in counts.most_common(mcv_size):
+            if count < 2 or count <= _MCV_SKEW_THRESHOLD * uniform:
+                break
+            mcvs.append((value, count / row_count))
+
+    histogram: tuple[float, ...] = ()
+    if histogram_buckets > 0 and row_count > histogram_buckets:
+        last = row_count - 1
+        histogram = tuple(
+            ordered[round(i * last / histogram_buckets)]
+            for i in range(histogram_buckets + 1)
+        )
+
+    return ColumnStats(
+        column=column,
+        row_count=row_count,
+        ndv=ndv,
+        min_value=ordered[0],
+        max_value=ordered[-1],
+        mcvs=tuple(mcvs),
+        histogram=histogram,
+    )
+
+
+def analyze_rows(
+    rows: Sequence[Row],
+    columns: Iterable[str] | None = None,
+    mcv_size: int = DEFAULT_MCV_SIZE,
+    histogram_buckets: int = DEFAULT_HISTOGRAM_BUCKETS,
+) -> tuple[ColumnStats, ...]:
+    """Analyze every (numeric) column of one table's rows.
+
+    ``columns`` restricts the pass; by default every column observed in
+    the rows is analyzed. Non-numeric values (and booleans) are
+    skipped; a column with no numeric values yields no entry.
+    """
+    if columns is None:
+        seen: dict[str, None] = {}
+        for row in rows:
+            for name in row:
+                seen.setdefault(name, None)
+        columns = seen.keys()
+    results: list[ColumnStats] = []
+    for name in columns:
+        values = [
+            float(value)
+            for row in rows
+            if isinstance(value := row.get(name), (int, float))
+            and not isinstance(value, bool)
+        ]
+        if not values:
+            continue
+        results.append(
+            analyze_column(
+                name,
+                values,
+                mcv_size=mcv_size,
+                histogram_buckets=histogram_buckets,
+            )
+        )
+    return tuple(results)
+
+
+def analyze_tables(
+    tables: Mapping[str, Sequence[Row]],
+    mcv_size: int = DEFAULT_MCV_SIZE,
+    histogram_buckets: int = DEFAULT_HISTOGRAM_BUCKETS,
+) -> Catalog:
+    """Build a stats-backed catalog from named tables.
+
+    Cardinalities are the *actual* row counts; every relation carries
+    the column statistics of its rows. Relation order follows the
+    mapping's iteration order.
+    """
+    if not tables:
+        raise CatalogError("cannot analyze an empty table collection")
+    entries = []
+    for name, rows in tables.items():
+        if not rows:
+            raise CatalogError(f"table {name!r} has no rows to analyze")
+        entries.append(
+            RelationStats(
+                name=name,
+                cardinality=float(len(rows)),
+                column_stats=analyze_rows(
+                    rows, mcv_size=mcv_size, histogram_buckets=histogram_buckets
+                ),
+            )
+        )
+    return Catalog(entries)
+
+
+def analyze(
+    graph: QueryGraph,
+    tables: Sequence[Sequence[Row]],
+    mcv_size: int = DEFAULT_MCV_SIZE,
+    histogram_buckets: int = DEFAULT_HISTOGRAM_BUCKETS,
+) -> Catalog:
+    """Analyze graph-aligned tables (the :mod:`repro.exec` layout).
+
+    ``tables[i]`` must hold the rows of relation ``i``; relation names
+    come from the graph. Returns a catalog whose cardinalities are the
+    actual row counts and whose relations carry column statistics.
+    """
+    if len(tables) != graph.n_relations:
+        raise CatalogError(
+            f"got {len(tables)} tables for {graph.n_relations} relations"
+        )
+    return analyze_tables(
+        {graph.name_of(index): tables[index] for index in range(graph.n_relations)},
+        mcv_size=mcv_size,
+        histogram_buckets=histogram_buckets,
+    )

@@ -1,0 +1,233 @@
+"""Executor internals: operator dispatch, swaps, fallbacks, q-errors."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.exec.executor import (
+    JoinObservation,
+    _crossing_keys,
+    _hash_join,
+    _nested_loop_join,
+    _sort_merge_join,
+    execute_plan,
+)
+from repro.graph.builder import QueryGraphBuilder
+from repro.plans.jointree import JoinTree
+
+
+def two_table_instance():
+    graph, _ = (
+        QueryGraphBuilder()
+        .relation("a", 4)
+        .relation("b", 6)
+        .join("a", "b", 0.5, predicate="a.k = b.k")
+        .build()
+    )
+    tables = [
+        [{"k": value} for value in (1, 1, 2, 3)],
+        [{"k": value} for value in (1, 2, 2, 2, 5, 7)],
+    ]
+    return graph, tables
+
+
+def plan_for(graph, operator):
+    a = JoinTree.leaf(0, cardinality=4.0, cost=0.0, name="a")
+    b = JoinTree.leaf(1, cardinality=6.0, cost=0.0, name="b")
+    return JoinTree.join(a, b, cardinality=8.0, cost=8.0, operator=operator)
+
+
+JOIN_COLUMNS = {0: ("k", "k")}
+
+# a.k=b.k over the rows above: k=1 matches 2x1, k=2 matches 1x3 -> 5 rows
+EXPECTED_ROWS = 5
+
+
+class TestOperatorDispatch:
+    @pytest.mark.parametrize(
+        "operator", ["HashJoin", "NestedLoopJoin", "SortMergeJoin"]
+    )
+    def test_each_operator_computes_the_same_join(self, operator):
+        graph, tables = two_table_instance()
+        report = execute_plan(
+            plan_for(graph, operator), graph, tables, join_columns=JOIN_COLUMNS
+        )
+        assert report.result_rows == EXPECTED_ROWS
+        (observation,) = report.observations
+        assert observation.operator == operator
+        assert observation.planned == operator
+        assert not observation.fell_back
+
+    def test_logical_label_runs_as_hash_join(self):
+        graph, tables = two_table_instance()
+        report = execute_plan(
+            plan_for(graph, "Join"), graph, tables, join_columns=JOIN_COLUMNS
+        )
+        (observation,) = report.observations
+        assert observation.operator == "HashJoin"
+        assert observation.planned == "Join"
+        assert observation.fell_back
+
+    def test_table_count_mismatch_rejected(self):
+        graph, tables = two_table_instance()
+        with pytest.raises(ReproError, match="2 relations"):
+            execute_plan(plan_for(graph, "Join"), graph, tables[:1])
+
+
+class TestCrossProductFallback:
+    def test_keyless_join_reports_cross_product(self):
+        # a--b--c chain; joining a with c directly crosses no edge.
+        graph, _ = (
+            QueryGraphBuilder()
+            .relation("a", 2)
+            .relation("b", 2)
+            .relation("c", 2)
+            .join("a", "b", 0.5, predicate="a.k = b.k")
+            .join("b", "c", 0.5, predicate="b.j = c.j")
+            .build()
+        )
+        tables = [
+            [{"k": 1}, {"k": 2}],
+            [{"k": 1, "j": 1}, {"k": 2, "j": 2}],
+            [{"j": 1}, {"j": 2}],
+        ]
+        a = JoinTree.leaf(0, cardinality=2.0, cost=0.0, name="a")
+        c = JoinTree.leaf(2, cardinality=2.0, cost=0.0, name="c")
+        b = JoinTree.leaf(1, cardinality=2.0, cost=0.0, name="b")
+        ac = JoinTree.join(a, c, cardinality=4.0, cost=4.0, operator="HashJoin")
+        plan = JoinTree.join(
+            ac, b, cardinality=2.0, cost=6.0, operator="HashJoin"
+        )
+        report = execute_plan(
+            plan, graph, tables, join_columns={0: ("k", "k"), 1: ("j", "j")}
+        )
+        cross, top = report.observations
+        assert cross.operator == "CrossProduct"
+        assert cross.planned == "HashJoin"
+        assert cross.fell_back
+        assert cross.actual == 4
+        # the top join applies both crossing edges and is a real hash join
+        assert top.operator == "HashJoin"
+        assert not top.fell_back
+        assert top.actual == 2
+
+
+class TestMultiEdgeJoins:
+    def test_all_crossing_edges_become_conjunctive_keys(self):
+        # two independent edges between {a,b} and {c}: c.x = a.x AND c.y = b.y
+        graph, _ = (
+            QueryGraphBuilder()
+            .relation("a", 2)
+            .relation("b", 2)
+            .relation("c", 4)
+            .join("a", "b", 1.0, predicate="a.k = b.k")
+            .join("a", "c", 0.5, predicate="a.x = c.x")
+            .join("b", "c", 0.5, predicate="b.y = c.y")
+            .build()
+        )
+        tables = [
+            [{"k": 1, "x": 10}, {"k": 2, "x": 20}],
+            [{"k": 1, "y": 7}, {"k": 2, "y": 8}],
+            [
+                {"x": 10, "y": 7},
+                {"x": 10, "y": 8},
+                {"x": 20, "y": 7},
+                {"x": 20, "y": 8},
+            ],
+        ]
+        join_columns = {0: ("k", "k"), 1: ("x", "x"), 2: ("y", "y")}
+        ab = JoinTree.join(
+            JoinTree.leaf(0, cardinality=2.0, cost=0.0, name="a"),
+            JoinTree.leaf(1, cardinality=2.0, cost=0.0, name="b"),
+            cardinality=2.0,
+            cost=2.0,
+            operator="HashJoin",
+        )
+        plan = JoinTree.join(
+            ab,
+            JoinTree.leaf(2, cardinality=4.0, cost=0.0, name="c"),
+            cardinality=2.0,
+            cost=4.0,
+            operator="HashJoin",
+        )
+        report = execute_plan(plan, graph, tables, join_columns=join_columns)
+        # both edges must hold simultaneously: (k=1,x=10,y=7), (k=2,x=20,y=8)
+        assert report.result_rows == 2
+
+    def test_crossing_keys_orient_to_sides(self):
+        graph, _tables = two_table_instance()
+        keys = _crossing_keys(graph, 0b01, 0b10, JOIN_COLUMNS)
+        assert keys == [(0, "k", 1, "k")]
+        flipped = _crossing_keys(graph, 0b10, 0b01, JOIN_COLUMNS)
+        assert flipped == [(1, "k", 0, "k")]
+
+
+class TestHashJoinSwap:
+    def keys(self):
+        return [(0, "k", 1, "k")]
+
+    def test_builds_on_smaller_side_with_identical_results(self):
+        small = [{0: {"k": 1}}, {0: {"k": 2}}]
+        large = [{1: {"k": value}} for value in (1, 1, 2, 3, 4)]
+        straight = _hash_join(self.keys(), small, large)
+        # callers orient keys to their sides; flip both together
+        swapped = _hash_join([(1, "k", 0, "k")], large, small)
+
+        def canonical(rows):
+            return sorted(
+                (item[0]["k"], item[1]["k"]) for item in rows
+            )
+
+        assert canonical(straight) == canonical(swapped)
+        assert canonical(straight) == [(1, 1), (1, 1), (2, 2)]
+
+    def test_agrees_with_nested_loops_and_sort_merge(self):
+        left = [{0: {"k": value}} for value in (1, 1, 2, 3)]
+        right = [{1: {"k": value}} for value in (1, 2, 2, 2, 5)]
+
+        def canonical(rows):
+            return sorted((item[0]["k"], item[1]["k"]) for item in rows)
+
+        hashed = canonical(_hash_join(self.keys(), left, right))
+        looped = canonical(_nested_loop_join(self.keys(), left, right))
+        merged = canonical(_sort_merge_join(self.keys(), left, right))
+        assert hashed == looped == merged
+
+
+class TestQError:
+    def test_symmetry(self):
+        over = JoinObservation(
+            relations=0b11, operator="HashJoin", estimated=100.0, actual=10
+        )
+        under = JoinObservation(
+            relations=0b11, operator="HashJoin", estimated=10.0, actual=100
+        )
+        assert over.q_error == pytest.approx(under.q_error) == 10.0
+
+    def test_exact_estimate_scores_one(self):
+        exact = JoinObservation(
+            relations=0b11, operator="HashJoin", estimated=42.0, actual=42
+        )
+        assert exact.q_error == 1.0
+
+    def test_zero_actual_stays_finite(self):
+        empty = JoinObservation(
+            relations=0b11, operator="HashJoin", estimated=5.0, actual=0
+        )
+        assert empty.q_error > 1.0
+        assert empty.q_error < float("inf")
+
+    def test_report_medians(self):
+        from repro.exec.executor import ExecutionReport
+
+        observations = [
+            JoinObservation(
+                relations=0b11, operator="HashJoin", estimated=e, actual=1
+            )
+            for e in (1.0, 2.0, 8.0)
+        ]
+        report = ExecutionReport(observations=observations, result_rows=1)
+        assert report.median_q_error == 2.0
+        assert report.max_q_error == 8.0
+        empty = ExecutionReport(observations=[], result_rows=0)
+        assert empty.median_q_error == 1.0
+        assert empty.max_q_error == 1.0

@@ -1,0 +1,111 @@
+"""Local-filter grammar and clause-position error reporting."""
+
+import pytest
+
+from repro.frontend import (
+    FilterPredicate,
+    QueryParseError,
+    parse_query,
+    parse_query_detailed,
+)
+
+
+class TestFilterGrammar:
+    def test_all_operators_parse(self):
+        sql = (
+            "SELECT * FROM a (10), b (10) WHERE a.x = b.x "
+            "AND a.p = 1 AND a.q < 2 AND a.r <= 3 AND b.s > 4 AND b.t >= 5"
+        )
+        parsed = parse_query_detailed(sql)
+        assert [f.op for f in parsed.filters] == ["=", "<", "<=", ">", ">="]
+        assert [f.value for f in parsed.filters] == [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert [f.alias for f in parsed.filters] == ["a", "a", "a", "b", "b"]
+
+    def test_positions_are_one_based_conjunct_order(self):
+        sql = "SELECT * FROM a (10), b (10) WHERE a.p < 1 AND a.x = b.x AND b.q > 2"
+        parsed = parse_query_detailed(sql)
+        assert [f.position for f in parsed.filters] == [1, 3]
+
+    def test_negative_and_scientific_constants(self):
+        sql = "SELECT * FROM a (10), b (10) WHERE a.x = b.x AND a.p < -2.5e3"
+        parsed = parse_query_detailed(sql)
+        assert parsed.filters[0].value == -2500.0
+
+    def test_selectivity_annotation_kept_else_none(self):
+        sql = (
+            "SELECT * FROM a (10), b (10) WHERE a.x = b.x "
+            "AND a.p < 1 [0.25] AND a.q > 2"
+        )
+        parsed = parse_query_detailed(sql)
+        assert parsed.filters[0].selectivity == 0.25
+        assert parsed.filters[1].selectivity is None
+
+    def test_text_property_round_trips_the_predicate(self):
+        predicate = FilterPredicate(
+            alias="o", column="totalprice", op="<", value=1000.0
+        )
+        assert predicate.text == "o.totalprice < 1000"
+
+    def test_filters_do_not_change_graph_or_catalog(self):
+        plain = "SELECT * FROM a (10), b (20) WHERE a.x = b.x [0.5]"
+        filtered = plain + " AND a.p < 3 [0.1]"
+        graph_plain, catalog_plain = parse_query(plain)
+        graph_filtered, catalog_filtered = parse_query(filtered)
+        assert graph_plain == graph_filtered
+        assert catalog_plain.cardinalities() == catalog_filtered.cardinalities()
+        assert not parse_query_detailed(plain).has_filters
+        assert parse_query_detailed(filtered).has_filters
+
+
+class TestErrorPositions:
+    def test_bad_from_item_names_its_position_and_text(self):
+        with pytest.raises(QueryParseError, match=r"FROM item 2 \('b\)\('\)"):
+            parse_query("SELECT * FROM a (10), b)( WHERE a.x = b.x")
+
+    def test_duplicate_alias_names_position(self):
+        with pytest.raises(QueryParseError, match="FROM item 2: duplicate"):
+            parse_query("SELECT * FROM a (10), a (20) WHERE a.x = a.y")
+
+    def test_unknown_alias_in_join_names_predicate_position(self):
+        with pytest.raises(
+            QueryParseError, match="WHERE predicate 2.*unknown table alias 'z'"
+        ):
+            parse_query(
+                "SELECT * FROM a (10), b (10) WHERE a.x = b.x AND a.x = z.x"
+            )
+
+    def test_unknown_alias_in_filter_names_predicate_position(self):
+        with pytest.raises(
+            QueryParseError, match="WHERE predicate 2.*unknown table alias 'z'"
+        ):
+            parse_query(
+                "SELECT * FROM a (10), b (10) WHERE a.x = b.x AND z.p < 1"
+            )
+
+    def test_same_alias_column_comparison_rejected_specifically(self):
+        with pytest.raises(QueryParseError, match="local filter comparing two"):
+            parse_query(
+                "SELECT * FROM a (10), b (10) WHERE a.x = b.x AND a.p = a.q"
+            )
+
+    def test_genuinely_unparseable_predicate_gets_generic_message(self):
+        with pytest.raises(
+            QueryParseError,
+            match=r"cannot parse WHERE predicate 2 \('a\.p LIKE 1'\)",
+        ):
+            parse_query(
+                "SELECT * FROM a (10), b (10) WHERE a.x = b.x AND a.p LIKE 1"
+            )
+
+    def test_bad_filter_selectivity_names_predicate(self):
+        with pytest.raises(
+            QueryParseError, match=r"WHERE predicate 2.*\(0, 1\]"
+        ):
+            parse_query(
+                "SELECT * FROM a (10), b (10) WHERE a.x = b.x AND a.p < 1 [1.5]"
+            )
+
+    def test_filter_only_where_clause_is_fine(self):
+        parsed = parse_query_detailed("SELECT * FROM a (10) WHERE a.p < 1")
+        assert parsed.graph.n_relations == 1
+        assert parsed.filters[0].position == 1

@@ -1,0 +1,90 @@
+"""Physical operator selection over optimized join trees."""
+
+import pytest
+
+from repro.cost.disk import (
+    DEFAULT_BUFFER_PAGES,
+    cheapest_join_operator,
+)
+from repro.pipeline import operator_choices, select_operators
+from repro.plans.jointree import JoinTree
+
+
+def tree(outer_card, inner_card, out_card=100.0):
+    outer = JoinTree.leaf(0, cardinality=outer_card, cost=0.0, name="outer")
+    inner = JoinTree.leaf(1, cardinality=inner_card, cost=0.0, name="inner")
+    return JoinTree.join(
+        outer, inner, cardinality=out_card, cost=out_card, operator="Join"
+    )
+
+
+class TestCheapestJoinOperator:
+    def test_tiny_inner_prefers_nested_loops(self):
+        # inner fits the buffer: NLJ costs outer * (1 + inner/buffer)
+        # ~ outer, cheaper than touching both inputs again.
+        _cost, operator = cheapest_join_operator(1000.0, 10.0)
+        assert operator == "NestedLoopJoin"
+
+    def test_large_equal_inputs_prefer_hash(self):
+        _cost, operator = cheapest_join_operator(50000.0, 50000.0)
+        assert operator == "HashJoin"
+
+    def test_costs_match_their_formulas(self):
+        outer, inner = 5000.0, 4000.0
+        cost, operator = cheapest_join_operator(outer, inner)
+        nlj = outer + outer * inner / DEFAULT_BUFFER_PAGES
+        hj = 3.0 * (outer + inner)
+        assert cost == pytest.approx(min(nlj, hj), rel=0.5)
+        assert cost <= nlj and cost <= hj
+
+    def test_operator_depends_on_buffer_size(self):
+        big_buffer = cheapest_join_operator(1000.0, 1000.0, buffer_pages=10**6)
+        tiny_buffer = cheapest_join_operator(1000.0, 1000.0, buffer_pages=1)
+        assert big_buffer[1] == "NestedLoopJoin"
+        assert tiny_buffer[1] != "NestedLoopJoin"
+
+
+class TestSelectOperators:
+    def test_relabels_joins_preserving_shape_and_numbers(self):
+        plan = tree(1000.0, 10.0)
+        physical = select_operators(plan)
+        assert physical.operator == "NestedLoopJoin"
+        assert physical.cardinality == plan.cardinality
+        assert physical.cost == plan.cost
+        assert physical.relations == plan.relations
+        assert physical.left.name == "outer"
+
+    def test_leaf_passes_through(self):
+        leaf = JoinTree.leaf(0, cardinality=5.0, cost=0.0, name="r")
+        assert select_operators(leaf) is leaf
+
+    def test_nested_tree_labels_every_join(self):
+        inner_join = tree(50000.0, 50000.0, out_card=80000.0)
+        top = JoinTree.join(
+            inner_join,
+            JoinTree.leaf(2, cardinality=5.0, cost=0.0, name="dim"),
+            cardinality=80000.0,
+            cost=1.0,
+            operator="Join",
+        )
+        physical = select_operators(top)
+        assert physical.left.operator == "HashJoin"
+        assert physical.operator == "NestedLoopJoin"
+
+    def test_operator_choices_reports_bottom_up(self):
+        inner_join = tree(50000.0, 50000.0, out_card=80000.0)
+        top = JoinTree.join(
+            inner_join,
+            JoinTree.leaf(2, cardinality=5.0, cost=0.0, name="dim"),
+            cardinality=80000.0,
+            cost=1.0,
+            operator="Join",
+        )
+        choices = operator_choices(top)
+        assert [choice.operator for choice in choices] == [
+            "HashJoin",
+            "NestedLoopJoin",
+        ]
+        assert choices[0].relations == inner_join.relations
+        assert choices[1].outer_cardinality == 80000.0
+        assert choices[1].inner_cardinality == 5.0

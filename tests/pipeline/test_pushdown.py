@@ -1,0 +1,118 @@
+"""prepare_query / apply_filters: the pushdown pass."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.frontend.parser import parse_query, parse_query_detailed
+from repro.pipeline import prepare_query, apply_filters
+
+PLAIN_SQL = """
+SELECT * FROM a (100), b (50), c (20)
+WHERE a.x = b.x [0.1] AND b.y = c.y [0.2]
+"""
+
+FILTERED_SQL = """
+SELECT * FROM a (100), b (50)
+WHERE a.x = b.x [0.1] AND a.v < 5 [0.3]
+"""
+
+TABLES = {
+    "a": [{"x": i % 5, "v": i % 10} for i in range(100)],
+    "b": [{"x": i % 5, "y": i % 4} for i in range(50)],
+    "c": [{"y": i % 4} for i in range(20)],
+}
+
+
+class TestIndependence:
+    def test_filter_free_query_is_bit_identical_to_parse(self):
+        prepared = prepare_query(PLAIN_SQL)
+        graph, catalog = parse_query(PLAIN_SQL)
+        assert prepared.graph == graph
+        # identical object: no effective-catalog rebuild happened
+        assert prepared.catalog is prepared.parsed.catalog
+        assert prepared.catalog.cardinalities() == catalog.cardinalities()
+        assert prepared.filter_factors == {}
+
+    def test_annotated_filter_scales_base_cardinality(self):
+        prepared = prepare_query(FILTERED_SQL)
+        assert prepared.filter_factors == {0: pytest.approx(0.3)}
+        assert prepared.catalog.cardinality(0) == pytest.approx(30.0)
+        assert prepared.catalog.cardinality(1) == 50.0
+
+    def test_unannotated_filter_uses_default(self):
+        sql = "SELECT * FROM a (100), b (50) WHERE a.x = b.x AND a.v < 5"
+        prepared = prepare_query(sql, default_filter_selectivity=0.2)
+        assert prepared.catalog.cardinality(0) == pytest.approx(20.0)
+
+    def test_join_columns_keyed_by_edge_position(self):
+        prepared = prepare_query(PLAIN_SQL)
+        columns = {
+            prepared.graph.edges[pos].endpoints: cols
+            for pos, cols in prepared.join_columns.items()
+        }
+        a, b, c = (prepared.graph.index_of(n) for n in ("a", "b", "c"))
+        assert columns[tuple(sorted((a, b)))] == ("x", "x")
+        assert columns[tuple(sorted((b, c)))] == ("y", "y")
+
+
+class TestStatistics:
+    def test_needs_rows_or_catalog(self):
+        with pytest.raises(CatalogError, match="statistics estimator needs"):
+            prepare_query(PLAIN_SQL, estimator="statistics")
+
+    def test_missing_table_reported_by_name(self):
+        with pytest.raises(CatalogError, match="'c'"):
+            prepare_query(
+                PLAIN_SQL,
+                tables={"a": TABLES["a"], "b": TABLES["b"]},
+                estimator="statistics",
+            )
+
+    def test_refines_selectivities_from_rows(self):
+        prepared = prepare_query(PLAIN_SQL, tables=TABLES, estimator="statistics")
+        # a.x = b.x : both sides uniform over 5 values -> 1/5, not 0.1
+        a, b = prepared.graph.index_of("a"), prepared.graph.index_of("b")
+        edge = next(
+            e
+            for e in prepared.graph.edges
+            if e.endpoints == tuple(sorted((a, b)))
+        )
+        assert edge.selectivity == pytest.approx(0.2, rel=0.05)
+        # cardinalities come from the actual row counts
+        assert prepared.catalog.cardinality(a) == 100.0
+
+    def test_warm_stats_catalog_skips_analysis(self):
+        from repro.stats import analyze_tables
+
+        warm = analyze_tables({name: TABLES[name] for name in ("a", "b", "c")})
+        cold = prepare_query(PLAIN_SQL, tables=TABLES, estimator="statistics")
+        warmed = prepare_query(
+            PLAIN_SQL, estimator="statistics", stats_catalog=warm
+        )
+        assert warmed.graph == cold.graph
+        assert warmed.catalog.cardinalities() == cold.catalog.cardinalities()
+
+    def test_unknown_estimator_rejected(self):
+        with pytest.raises(CatalogError, match="unknown estimator"):
+            prepare_query(PLAIN_SQL, estimator="oracle")
+
+
+class TestApplyFilters:
+    def test_filters_restrict_their_table_only(self):
+        parsed = parse_query_detailed(FILTERED_SQL)
+        filtered = apply_filters(parsed, {"a": TABLES["a"], "b": TABLES["b"]})
+        assert all(row["v"] < 5 for row in filtered["a"])
+        assert len(filtered["a"]) == 50
+        assert len(filtered["b"]) == len(TABLES["b"])
+
+    def test_rows_missing_the_column_are_dropped(self):
+        parsed = parse_query_detailed(FILTERED_SQL)
+        rows = [{"x": 1, "v": 0}, {"x": 2}, {"x": 3, "v": "n/a"}]
+        filtered = apply_filters(parsed, {"a": rows, "b": TABLES["b"]})
+        assert filtered["a"] == [{"x": 1, "v": 0}]
+
+    def test_equality_filter(self):
+        sql = "SELECT * FROM a (100), b (50) WHERE a.x = b.x AND a.v = 3"
+        parsed = parse_query_detailed(sql)
+        filtered = apply_filters(parsed, {"a": TABLES["a"], "b": TABLES["b"]})
+        assert {row["v"] for row in filtered["a"]} == {3}

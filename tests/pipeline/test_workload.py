@@ -1,0 +1,73 @@
+"""The skewed TPC-H-shaped workload generator."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.frontend.parser import parse_query_detailed
+from repro.pipeline import tpch_workload, zipf_choices
+
+
+class TestZipfChoices:
+    def test_deterministic_under_seed(self):
+        assert zipf_choices(random.Random(5), 20, 100) == zipf_choices(
+            random.Random(5), 20, 100
+        )
+
+    def test_skew_concentrates_mass_on_low_ranks(self):
+        values = zipf_choices(random.Random(1), 100, 10000, skew=1.2)
+        counts = Counter(values)
+        top = counts.most_common(1)[0]
+        assert top[0] == 0
+        assert top[1] > 10000 / 100 * 5  # far above the uniform share
+
+    def test_rejects_empty_domain(self):
+        with pytest.raises(WorkloadError, match="at least one"):
+            zipf_choices(random.Random(0), 0, 10)
+
+
+class TestTpchWorkload:
+    def test_deterministic_under_seed(self):
+        first = tpch_workload(scale=0.1, seed=9)
+        second = tpch_workload(scale=0.1, seed=9)
+        assert first.tables == second.tables
+        assert first.queries == second.queries
+
+    def test_sizes_scale(self):
+        small = tpch_workload(scale=0.1).table_sizes()
+        full = tpch_workload(scale=1.0).table_sizes()
+        assert full["lineitem"] == 20000
+        assert small["lineitem"] == 2000
+        assert full["nation"] == small["nation"] == 25
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(WorkloadError, match="positive"):
+            tpch_workload(scale=0.0)
+
+    def test_queries_parse_and_annotate_actual_cardinalities(self):
+        workload = tpch_workload(scale=0.25, seed=3)
+        sizes = workload.table_sizes()
+        for query in workload.queries:
+            parsed = parse_query_detailed(query.sql)
+            for index, name in enumerate(parsed.graph.names):
+                assert parsed.catalog.cardinality(index) == sizes[name], (
+                    query.name,
+                    name,
+                )
+
+    def test_foreign_keys_reference_existing_parents(self):
+        workload = tpch_workload(scale=0.1, seed=2)
+        customers = {row["custkey"] for row in workload.tables["customer"]}
+        assert {
+            row["custkey"] for row in workload.tables["orders"]
+        } <= customers
+
+    def test_fk_columns_are_skewed(self):
+        workload = tpch_workload(scale=0.5, seed=4)
+        counts = Counter(row["custkey"] for row in workload.tables["orders"])
+        uniform_share = len(workload.tables["orders"]) / len(
+            workload.tables["customer"]
+        )
+        assert counts.most_common(1)[0][1] > 5 * uniform_share

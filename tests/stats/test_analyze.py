@@ -1,0 +1,127 @@
+"""The ANALYZE pass: column stats built from actual rows."""
+
+import random
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.errors import CatalogError
+from repro.graph.builder import QueryGraphBuilder
+from repro.stats import (
+    analyze,
+    analyze_column,
+    analyze_rows,
+    analyze_tables,
+)
+
+
+class TestAnalyzeColumn:
+    def test_exact_counts_and_extremes(self):
+        stats = analyze_column("k", [3, 1, 2, 2, 5])
+        assert stats.row_count == 5
+        assert stats.ndv == 4
+        assert stats.min_value == 1.0
+        assert stats.max_value == 5.0
+
+    def test_uniform_column_gets_no_mcvs(self):
+        stats = analyze_column("k", list(range(200)))
+        assert stats.mcvs == ()
+
+    def test_skewed_column_gets_mcvs_with_measured_mass(self):
+        values = [0] * 500 + list(range(1, 101))
+        stats = analyze_column("k", values)
+        assert stats.mcvs
+        assert stats.mcvs[0] == (0.0, pytest.approx(500 / 600))
+
+    def test_histogram_built_only_above_bucket_count(self):
+        few = analyze_column("k", list(range(10)))
+        assert few.histogram == ()
+        many = analyze_column("k", list(range(100)))
+        assert len(many.histogram) >= 2
+        assert many.histogram[0] == 0.0
+        assert many.histogram[-1] == 99.0
+
+    def test_equi_depth_histogram_tracks_skew(self):
+        rng = random.Random(7)
+        values = [rng.random() for _ in range(900)] + [
+            50 + rng.random() * 50 for _ in range(100)
+        ]
+        stats = analyze_column("k", values)
+        # 90% of mass sits below 1.0, and the histogram knows it.
+        assert stats.fraction_below(1.0, inclusive=True) == pytest.approx(
+            0.9, abs=0.05
+        )
+
+    def test_zero_values_rejected(self):
+        with pytest.raises(CatalogError, match="zero values"):
+            analyze_column("k", [])
+
+
+class TestAnalyzeRows:
+    def test_analyzes_every_numeric_column(self):
+        rows = [{"a": i, "b": i % 3, "label": "x"} for i in range(20)]
+        stats = {entry.column: entry for entry in analyze_rows(rows)}
+        assert set(stats) == {"a", "b"}
+        assert stats["a"].ndv == 20
+        assert stats["b"].ndv == 3
+
+    def test_booleans_and_strings_skipped(self):
+        rows = [{"flag": True, "name": "n"} for _ in range(5)]
+        assert analyze_rows(rows) == ()
+
+    def test_column_restriction(self):
+        rows = [{"a": i, "b": i} for i in range(5)]
+        stats = analyze_rows(rows, columns=["b"])
+        assert [entry.column for entry in stats] == ["b"]
+
+
+class TestAnalyzeTables:
+    def test_builds_stats_backed_catalog(self):
+        tables = {
+            "orders": [{"okey": i, "custkey": i % 4} for i in range(40)],
+            "customer": [{"custkey": i} for i in range(4)],
+        }
+        catalog = analyze_tables(tables)
+        assert isinstance(catalog, Catalog)
+        assert catalog.cardinality(0) == 40.0
+        assert catalog.cardinality(1) == 4.0
+        assert catalog.column_stats(0, "custkey").ndv == 4
+        assert catalog.has_column_stats()
+
+    def test_empty_collection_rejected(self):
+        with pytest.raises(CatalogError, match="empty"):
+            analyze_tables({})
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(CatalogError, match="no rows"):
+            analyze_tables({"t": []})
+
+
+class TestAnalyzeGraphAligned:
+    def test_names_come_from_graph(self):
+        graph, _ = (
+            QueryGraphBuilder()
+            .relation("a", 10)
+            .relation("b", 20)
+            .join("a", "b", 0.1)
+            .build()
+        )
+        tables = [
+            [{"x": i} for i in range(10)],
+            [{"x": i} for i in range(20)],
+        ]
+        catalog = analyze(graph, tables)
+        assert catalog[0].name == "a"
+        assert catalog.cardinality(1) == 20.0
+        assert catalog.column_stats(0, "x") is not None
+
+    def test_misaligned_table_count_rejected(self):
+        graph, _ = (
+            QueryGraphBuilder()
+            .relation("a", 10)
+            .relation("b", 20)
+            .join("a", "b", 0.1)
+            .build()
+        )
+        with pytest.raises(CatalogError, match="2 relations"):
+            analyze(graph, [[{"x": 1}]])

@@ -1,0 +1,123 @@
+"""ColumnStats: validation, distribution queries, serialization."""
+
+import pytest
+
+from repro.catalog.columnstats import ColumnStats
+from repro.errors import CatalogError
+
+
+def make_stats(**overrides):
+    defaults = dict(
+        column="c",
+        row_count=100,
+        ndv=10,
+        min_value=0.0,
+        max_value=9.0,
+    )
+    defaults.update(overrides)
+    return ColumnStats(**defaults)
+
+
+class TestValidation:
+    def test_negative_row_count_rejected(self):
+        with pytest.raises(CatalogError, match="row_count"):
+            make_stats(row_count=-1)
+
+    def test_ndv_exceeding_rows_rejected(self):
+        with pytest.raises(CatalogError, match="ndv"):
+            make_stats(row_count=5, ndv=6)
+
+    def test_min_above_max_rejected(self):
+        with pytest.raises(CatalogError, match="min"):
+            make_stats(min_value=10.0, max_value=9.0)
+
+    def test_mcv_fraction_out_of_range_rejected(self):
+        with pytest.raises(CatalogError, match="MCV"):
+            make_stats(mcvs=((1.0, 0.0),))
+        with pytest.raises(CatalogError, match="MCV"):
+            make_stats(mcvs=((1.0, 1.5),))
+
+    def test_mcv_fractions_summing_above_one_rejected(self):
+        with pytest.raises(CatalogError, match="sum"):
+            make_stats(mcvs=((1.0, 0.6), (2.0, 0.6)))
+
+    def test_descending_histogram_rejected(self):
+        with pytest.raises(CatalogError, match="ascend"):
+            make_stats(histogram=(0.0, 5.0, 3.0))
+
+    def test_is_hashable(self):
+        assert isinstance(hash(make_stats(mcvs=((1.0, 0.3),))), int)
+
+
+class TestEqualityFraction:
+    def test_mcv_hit_returns_measured_fraction(self):
+        stats = make_stats(mcvs=((3.0, 0.4),))
+        assert stats.equality_fraction(3) == 0.4
+
+    def test_non_mcv_value_shares_remainder_uniformly(self):
+        stats = make_stats(mcvs=((3.0, 0.4),))
+        # 0.6 mass over 9 remaining distinct values
+        assert stats.equality_fraction(5) == pytest.approx(0.6 / 9)
+
+    def test_out_of_range_value_matches_nothing(self):
+        stats = make_stats()
+        assert stats.equality_fraction(-1) == 0.0
+        assert stats.equality_fraction(100) == 0.0
+
+    def test_no_mcvs_uniform_over_ndv(self):
+        stats = make_stats()
+        assert stats.equality_fraction(4) == pytest.approx(1 / 10)
+
+    def test_empty_column(self):
+        stats = make_stats(row_count=0, ndv=0)
+        assert stats.equality_fraction(1) == 0.0
+
+
+class TestFractionBelow:
+    def test_uniform_fallback_without_histogram(self):
+        stats = make_stats(min_value=0.0, max_value=10.0)
+        assert stats.fraction_below(5.0) == pytest.approx(0.5)
+
+    def test_boundaries(self):
+        stats = make_stats(min_value=0.0, max_value=10.0)
+        assert stats.fraction_below(0.0, inclusive=False) == 0.0
+        assert stats.fraction_below(10.0, inclusive=True) == 1.0
+        assert stats.fraction_below(-5.0) == 0.0
+        assert stats.fraction_below(50.0) == 1.0
+
+    def test_equi_depth_histogram_interpolation(self):
+        # 4 buckets over [0, 8]: bounds at 0, 2, 4, 6, 8
+        stats = make_stats(
+            min_value=0.0, max_value=8.0, histogram=(0.0, 2.0, 4.0, 6.0, 8.0)
+        )
+        assert stats.fraction_below(4.0) == pytest.approx(0.5)
+        assert stats.fraction_below(3.0) == pytest.approx(0.375)
+        # halfway into the first bucket
+        assert stats.fraction_below(1.0) == pytest.approx(0.125)
+
+    def test_skewed_histogram_beats_uniform_assumption(self):
+        # 90% of mass below 1.0: equi-depth bounds crowd the low end.
+        stats = make_stats(
+            min_value=0.0,
+            max_value=100.0,
+            histogram=(0.0, 0.2, 0.4, 0.6, 0.8, 0.9, 0.95, 1.0, 10.0, 50.0, 100.0),
+        )
+        assert stats.fraction_below(1.0, inclusive=True) > 0.6
+
+    def test_fraction_between(self):
+        stats = make_stats(min_value=0.0, max_value=10.0)
+        assert stats.fraction_between(2.0, 7.0) == pytest.approx(0.5)
+        assert stats.fraction_between(7.0, 2.0) == 0.0
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        stats = make_stats(
+            mcvs=((3.0, 0.4), (7.0, 0.2)),
+            histogram=(0.0, 3.0, 6.0, 9.0),
+        )
+        assert ColumnStats.from_dict(stats.to_dict()) == stats
+
+    def test_malformed_dict_raises_catalog_error(self):
+        with pytest.raises(CatalogError, match="malformed"):
+            ColumnStats.from_dict({"column": "c"})

@@ -1,0 +1,302 @@
+"""StatisticsEstimator: selectivity formulas and enumerator compatibility."""
+
+import random
+from dataclasses import dataclass
+
+import pytest
+
+from repro.catalog.columnstats import ColumnStats
+from repro.cost.cardinality import CardinalityEstimator
+from repro.cost.cout import CoutModel
+from repro.errors import CatalogError, OptimizerError
+from repro.graph.builder import QueryGraphBuilder
+from repro.hyper import DPhyp, HyperCoutModel, Hypergraph
+from repro.core import ALGORITHMS, make_algorithm
+from repro.stats import (
+    DEFAULT_FILTER_SELECTIVITY,
+    StatisticsEstimator,
+    analyze,
+    analyze_column,
+    equijoin_selectivity,
+    filter_factors,
+    filter_selectivity,
+    infer_join_columns,
+)
+
+
+@dataclass(frozen=True)
+class Filter:
+    alias: str
+    column: str
+    op: str
+    value: float
+    selectivity: float | None = None
+
+
+def uniform_stats(column, ndv, rows=None):
+    rows = rows if rows is not None else ndv
+    return analyze_column(column, [i % ndv for i in range(rows)])
+
+
+class TestEquijoinSelectivity:
+    def test_uniform_columns_give_textbook_one_over_max_ndv(self):
+        left = uniform_stats("k", 40, rows=400)
+        right = uniform_stats("k", 10, rows=100)
+        assert equijoin_selectivity(left, right) == pytest.approx(
+            1 / 40, rel=0.1
+        )
+
+    def test_symmetric(self):
+        left = uniform_stats("k", 40, rows=400)
+        right = uniform_stats("k", 10, rows=100)
+        assert equijoin_selectivity(left, right) == pytest.approx(
+            equijoin_selectivity(right, left)
+        )
+
+    def test_disjoint_ranges_collapse_to_minimum(self):
+        left = analyze_column("k", list(range(0, 100)))
+        right = analyze_column("k", list(range(1000, 1100)))
+        assert equijoin_selectivity(left, right) < 1e-6
+
+    def test_mcv_overlap_tracks_skewed_join_mass(self):
+        # 90% of fact rows reference key 0; the independence formula
+        # 1/max(ndv) = 1/10 misses the mass concentration badly.
+        fact = analyze_column("fk", [0] * 900 + [i % 10 for i in range(100)])
+        dim = analyze_column("pk", list(range(10)))
+        estimated = equijoin_selectivity(fact, dim)
+        values = [0] * 900 + [i % 10 for i in range(100)]
+        true = sum(values.count(v) * 1 for v in range(10)) / (len(values) * 10)
+        assert estimated == pytest.approx(true, rel=0.05)
+
+    def test_fk_join_recovers_one_over_parent(self):
+        rng = random.Random(3)
+        fk = analyze_column("fk", [rng.randrange(50) for _ in range(2000)])
+        pk = analyze_column("pk", list(range(50)))
+        assert equijoin_selectivity(fk, pk) == pytest.approx(1 / 50, rel=0.1)
+
+    def test_empty_side_gives_floor(self):
+        empty = ColumnStats("k", 0, 0, 0.0, 0.0)
+        other = uniform_stats("k", 5)
+        assert equijoin_selectivity(empty, other) == pytest.approx(1e-12)
+
+
+class TestFilterSelectivity:
+    def test_no_stats_uses_default(self):
+        assert filter_selectivity(None, "=", 3.0) == DEFAULT_FILTER_SELECTIVITY
+        assert filter_selectivity(None, "<", 3.0, default=0.25) == 0.25
+
+    def test_equality_from_mcv(self):
+        stats = analyze_column("k", [7] * 60 + list(range(40)))
+        assert filter_selectivity(stats, "=", 7.0) == pytest.approx(
+            61 / 100, rel=0.05
+        )
+
+    def test_range_operators_partition_the_domain(self):
+        stats = analyze_column("k", list(range(100)))
+        below = filter_selectivity(stats, "<", 30.0)
+        at_or_below = filter_selectivity(stats, "<=", 30.0)
+        above = filter_selectivity(stats, ">", 30.0)
+        at_or_above = filter_selectivity(stats, ">=", 30.0)
+        assert below == pytest.approx(0.3, abs=0.03)
+        assert at_or_below >= below
+        assert below + at_or_above == pytest.approx(1.0)
+        assert at_or_below + above == pytest.approx(1.0)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(CatalogError, match="operator"):
+            filter_selectivity(None, "!=", 1.0)
+
+    def test_never_returns_zero(self):
+        stats = analyze_column("k", list(range(100)))
+        assert filter_selectivity(stats, "<", -5.0) > 0.0
+
+
+def star_instance():
+    """fact(4000) -- dim_a(40), dim_b(10); fact.a/b skewed to value 0."""
+    rng = random.Random(11)
+    graph, _ = (
+        QueryGraphBuilder()
+        .relation("fact", 4000)
+        .relation("dim_a", 40)
+        .relation("dim_b", 10)
+        .join("fact", "dim_a", 0.5, predicate="fact.a = dim_a.a")
+        .join("fact", "dim_b", 0.5, predicate="fact.b = dim_b.b")
+        .build()
+    )
+    tables = [
+        [
+            {
+                "a": 0 if rng.random() < 0.5 else rng.randrange(40),
+                "b": rng.randrange(10),
+            }
+            for _ in range(4000)
+        ],
+        [{"a": i} for i in range(40)],
+        [{"b": i} for i in range(10)],
+    ]
+    catalog = analyze(graph, tables)
+    return graph, catalog
+
+
+class TestInferJoinColumns:
+    def test_predicates_map_to_column_pairs(self):
+        graph, _catalog = star_instance()
+        columns = infer_join_columns(graph)
+        assert columns[(0, 1)] == ("a", "a")
+        assert columns[(0, 2)] == ("b", "b")
+
+    def test_column_order_follows_index_order(self):
+        graph, _ = (
+            QueryGraphBuilder()
+            .relation("x", 10)
+            .relation("y", 10)
+            .join("y", "x", 0.1, predicate="y.right_col = x.left_col")
+            .build()
+        )
+        columns = infer_join_columns(graph)
+        low, high = min(graph.index_of("x"), graph.index_of("y")), None
+        # the pair is keyed by normalized endpoints with columns aligned
+        (pair, cols), = columns.items()
+        assert pair == tuple(sorted(pair))
+        names = {graph.index_of("x"): "left_col", graph.index_of("y"): "right_col"}
+        assert cols == (names[pair[0]], names[pair[1]])
+
+    def test_unparseable_predicate_absent(self):
+        graph, _ = (
+            QueryGraphBuilder()
+            .relation("x", 10)
+            .relation("y", 10)
+            .join("x", "y", 0.1, predicate="complex_udf(x, y)")
+            .build()
+        )
+        assert infer_join_columns(graph) == {}
+
+
+class TestFilterFactors:
+    def test_annotation_wins_over_stats(self):
+        graph, catalog = star_instance()
+        factors = filter_factors(
+            graph, catalog, [Filter("dim_a", "a", "<", 4.0, selectivity=0.5)]
+        )
+        assert factors == {1: 0.5}
+
+    def test_stats_answer_unannotated_filters(self):
+        graph, catalog = star_instance()
+        factors = filter_factors(graph, catalog, [Filter("dim_a", "a", "<", 4.0)])
+        assert factors[1] == pytest.approx(0.1, abs=0.05)
+
+    def test_conjunctive_filters_multiply(self):
+        graph, catalog = star_instance()
+        factors = filter_factors(
+            graph,
+            catalog,
+            [
+                Filter("fact", "a", "<", 20.0, selectivity=0.5),
+                Filter("fact", "b", "<", 5.0, selectivity=0.4),
+            ],
+        )
+        assert factors[0] == pytest.approx(0.2)
+
+
+class TestStatisticsEstimator:
+    def test_refines_edges_and_keeps_topology(self):
+        graph, catalog = star_instance()
+        estimator = StatisticsEstimator(graph, catalog)
+        assert estimator.refined_edge_count == 2
+        refined_graph, effective_catalog = estimator.refined_instance()
+        assert refined_graph.n_relations == graph.n_relations
+        assert {e.endpoints for e in refined_graph.edges} == {
+            e.endpoints for e in graph.edges
+        }
+        # the skewed fact.a edge must move off the annotated 0.5
+        refined = {e.endpoints: e.selectivity for e in refined_graph.edges}
+        assert refined[(0, 1)] != 0.5
+        assert estimator.source_graph is graph
+
+    def test_filters_scale_effective_cardinalities(self):
+        graph, catalog = star_instance()
+        estimator = StatisticsEstimator(
+            graph, catalog, filters=[Filter("fact", "b", "<", 5.0)]
+        )
+        _, effective = estimator.refined_instance()
+        assert effective.cardinality(0) < catalog.cardinality(0)
+        assert effective.cardinality(1) == catalog.cardinality(1)
+
+    def test_estimates_beat_independence_on_skew(self):
+        graph, catalog = star_instance()
+        independence = CardinalityEstimator(graph, catalog)
+        stats = StatisticsEstimator(graph, catalog)
+        # true |fact ⋈ dim_a| == |fact| (every fk matches one pk)
+        true_join = catalog.cardinality(0)
+        mask = 0b011
+        assert abs(stats.set_cardinality(mask) - true_join) < abs(
+            independence.set_cardinality(mask) - true_join
+        )
+
+    def test_catalog_size_mismatch_rejected(self):
+        graph, _ = star_instance()
+        from repro.catalog.catalog import Catalog
+
+        with pytest.raises(CatalogError, match="relations"):
+            StatisticsEstimator(graph, Catalog.uniform(2))
+
+    def test_works_with_every_registered_enumerator(self):
+        graph, catalog = star_instance()
+        estimator = StatisticsEstimator(graph, catalog)
+        refined_graph, effective_catalog = estimator.refined_instance()
+        costs = {
+            name: make_algorithm(name)
+            .optimize(refined_graph, catalog=effective_catalog)
+            .cost
+            for name in ALGORITHMS
+        }
+        # dpall admits cross products, so it can be cheaper; compare
+        # only the cross-product-free exact enumerators.
+        exact = {
+            name: cost
+            for name, cost in costs.items()
+            if name in ("dpsize", "dpsub", "dpccp", "dpsize-basic", "dpsub-basic")
+        }
+        assert len(exact) >= 3
+        reference = costs["dpccp"]
+        for name, cost in exact.items():
+            assert cost == pytest.approx(reference), name
+
+    def test_works_with_dphyp(self):
+        graph, catalog = star_instance()
+        estimator = StatisticsEstimator(graph, catalog)
+        refined_graph, effective_catalog = estimator.refined_instance()
+        hypergraph = Hypergraph.from_query_graph(refined_graph)
+        plan = DPhyp().optimize(
+            hypergraph, cost_model=HyperCoutModel(hypergraph, effective_catalog)
+        )
+        reference = make_algorithm("dpccp").optimize(
+            refined_graph, catalog=effective_catalog
+        )
+        assert plan.cost == pytest.approx(reference.cost)
+
+
+class TestCostModelEstimatorParam:
+    def test_estimator_injection(self):
+        graph, catalog = star_instance()
+        estimator = StatisticsEstimator(graph, catalog)
+        model = CoutModel(estimator=estimator)
+        assert model.estimator is estimator
+        assert model.estimator.set_cardinality(0b011) == estimator.set_cardinality(0b011)
+
+    def test_conflicting_graph_rejected(self):
+        graph, catalog = star_instance()
+        other_graph, other_catalog = (
+            QueryGraphBuilder()
+            .relation("p", 10)
+            .relation("q", 10)
+            .join("p", "q", 0.1)
+            .build()
+        )
+        estimator = StatisticsEstimator(graph, catalog)
+        with pytest.raises(OptimizerError, match="conflicting"):
+            CoutModel(other_graph, estimator=estimator)
+
+    def test_neither_graph_nor_estimator_rejected(self):
+        with pytest.raises(OptimizerError, match="graph or an estimator"):
+            CoutModel()
