@@ -32,7 +32,9 @@ from repro.errors import WorkloadError
 __all__ = [
     "inner_counter_dpsize",
     "inner_counter_dpsub",
+    "inner_counter_dpconv",
     "csg_count",
+    "csg_count_by_size",
     "ccp_symmetric",
     "ccp_unordered",
 ]
@@ -144,6 +146,30 @@ def inner_counter_dpsub(n: int, topology: str) -> int:
 
 
 # ----------------------------------------------------------------------
+# InnerCounter after DPconv (post-paper; derived from #csg by size)
+# ----------------------------------------------------------------------
+
+
+def inner_counter_dpconv(n: int, topology: str) -> int:
+    """``I_DPconv`` — convolution pair slots of the layered lattice sweep.
+
+    DPconv examines, for every *connected* set ``S`` with ``|S| >= 2``,
+    every split anchored on ``min(S)`` — ``2^{|S|-1} - 1`` slots — so
+
+        ``I_DPconv = sum over k of #csg_k(n) * (2^{k-1} - 1)``
+
+    with ``#csg_k`` from :func:`csg_count_by_size`. On a clique this
+    telescopes to DPsub's Eq. (4) halved-and-connected form:
+    ``sum C(n, k) * (2^{k-1} - 1) = (3^n + 1) / 2 - 2^n``.
+    """
+    _check(n, topology)
+    return sum(
+        csg_count_by_size(n, topology, k) * (2 ** (k - 1) - 1)
+        for k in range(2, n + 1)
+    )
+
+
+# ----------------------------------------------------------------------
 # #csg and #ccp (paper §2.3.2, Eqs. 5-12)
 # ----------------------------------------------------------------------
 
@@ -158,6 +184,29 @@ def csg_count(n: int, topology: str) -> int:
     if topology == "star":
         return 2 ** (n - 1) + n - 1  # Eq. (9)
     return 2**n - 1  # Eq. (11), clique
+
+
+def csg_count_by_size(n: int, topology: str, k: int) -> int:
+    """Connected subsets of exactly ``k`` relations — one lattice layer.
+
+    The per-layer refinement of :func:`csg_count` (summing over
+    ``k = 1..n`` recovers Eqs. 5, 7, 9, 11): a chain has the
+    ``n - k + 1`` length-``k`` intervals, a cycle its ``n`` arcs per
+    length (one single full circle), a star only center-containing sets
+    beyond singletons, and a clique all ``C(n, k)`` subsets.
+    """
+    _check(n, topology)
+    if k < 0 or k > n:
+        return 0
+    if k == 0:
+        return 0
+    if topology == "chain":
+        return n - k + 1
+    if topology == "cycle":
+        return 1 if k == n else n
+    if topology == "star":
+        return n if k == 1 else comb(n - 1, k - 1)
+    return comb(n, k)  # clique
 
 
 def ccp_symmetric(n: int, topology: str) -> int:

@@ -30,6 +30,9 @@ __all__ = [
     "iter_subsets",
     "iter_all_subsets",
     "iter_supersets_within",
+    "iter_layer",
+    "subset_rank",
+    "subset_unrank",
     "lowest_bit",
     "lowest_bit_index",
     "highest_bit_index",
@@ -137,6 +140,87 @@ def iter_supersets_within(mask: int, universe: int) -> Iterator[int]:
         if extra == free:
             return
         extra = (extra - free) & free
+
+
+def iter_layer(n: int, k: int) -> Iterator[int]:
+    """Yield every ``k``-subset of ``{0..n-1}`` in ascending numeric order.
+
+    This is one *layer* of the subset lattice, enumerated with Gosper's
+    hack (each next mask is derived from the previous with a handful of
+    integer operations). Ascending numeric order on equal-popcount
+    masks coincides with colexicographic order, so the position of a
+    mask in this stream equals :func:`subset_rank` of the mask — the
+    addressing invariant layered lattice algorithms (DPconv) rely on.
+
+    >>> list(iter_layer(4, 2))
+    [3, 5, 6, 9, 10, 12]
+    >>> list(iter_layer(3, 0)), list(iter_layer(2, 3))
+    ([0], [])
+    """
+    if n < 0 or k < 0:
+        raise ValueError(f"iter_layer needs n, k >= 0, got n={n}, k={k}")
+    if k == 0:
+        yield EMPTY
+        return
+    mask = (1 << k) - 1
+    limit = 1 << n
+    while mask < limit:
+        yield mask
+        # Gosper's hack: smallest integer above `mask` with k bits set.
+        low = mask & -mask
+        ripple = mask + low
+        mask = (((ripple ^ mask) >> 2) // low) | ripple
+
+
+def subset_rank(mask: int) -> int:
+    """Colex rank of ``mask`` among all sets of its size.
+
+    The combinatorial number system: a set with bits
+    ``b_0 < b_1 < .. < b_{k-1}`` has rank
+    ``sum(C(b_i, i + 1))`` — exactly its position in the ascending
+    (:func:`iter_layer`) enumeration of ``k``-subsets, for any universe
+    size. Pure integer arithmetic, valid at any width.
+
+    >>> [subset_rank(mask) for mask in iter_layer(4, 2)]
+    [0, 1, 2, 3, 4, 5]
+    >>> subset_rank(0)
+    0
+    """
+    from math import comb
+
+    rank = 0
+    position = 0
+    while mask:
+        low = mask & -mask
+        position += 1
+        rank += comb(low.bit_length() - 1, position)
+        mask ^= low
+    return rank
+
+
+def subset_unrank(k: int, rank: int) -> int:
+    """Inverse of :func:`subset_rank`: the ``rank``-th ``k``-subset.
+
+    >>> subset_unrank(2, 4)
+    10
+    >>> all(subset_unrank(3, subset_rank(m)) == m for m in iter_layer(5, 3))
+    True
+    """
+    from math import comb
+
+    if k < 0 or rank < 0:
+        raise ValueError(f"subset_unrank needs k, rank >= 0, got {k}, {rank}")
+    mask = EMPTY
+    remaining = rank
+    for position in range(k, 0, -1):
+        # Largest b with C(b, position) <= remaining; search upward
+        # from position-1 (where C(b, position) is 0) then step back.
+        b = position - 1
+        while comb(b + 1, position) <= remaining:
+            b += 1
+        remaining -= comb(b, position)
+        mask |= 1 << b
+    return mask
 
 
 def lowest_bit(mask: int) -> int:

@@ -75,13 +75,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     plan = commands.add_parser(
         "plan",
-        help="plan one query on multiple cores (level-synchronous "
-        "parallel DPsize; exact)",
+        help="plan one query with an accelerated exact engine "
+        "(parallel DPsize or the DPconv lattice sweep)",
     )
     plan.add_argument("--topology", choices=PAPER_TOPOLOGIES, default="clique")
     plan.add_argument("-n", "--relations", type=int, default=10)
     plan.add_argument(
         "--seed", type=int, default=7, help="seed for catalog and selectivities"
+    )
+    plan.add_argument(
+        "--algorithm",
+        choices=("dpsize", "dpconv"),
+        default="dpsize",
+        help="engine: 'dpsize' = level-synchronous parallel DPsize "
+        "(multi-core), 'dpconv' = in-process subset-convolution "
+        "lattice sweep (vectorized when numpy is available)",
+    )
+    plan.add_argument(
+        "--backend",
+        choices=("auto", "numpy", "python"),
+        default="auto",
+        help="DPconv sweep backend (dpconv only)",
     )
     plan.add_argument(
         "--jobs",
@@ -350,6 +364,8 @@ def _command_plan(args: argparse.Namespace) -> int:
     rng = random.Random(args.seed)
     graph = graph_for_topology(args.topology, args.relations, rng=rng)
     catalog = random_catalog(args.relations, rng)
+    if args.algorithm == "dpconv":
+        return _plan_dpconv(args, graph, catalog)
     min_pairs = (
         args.min_shard_pairs
         if args.min_shard_pairs is not None
@@ -393,6 +409,48 @@ def _command_plan(args: argparse.Namespace) -> int:
             print(
                 "verify    : MISMATCH — sequential DPsize cost "
                 f"{reference.cost:g}, counters {reference.counters.as_dict()}"
+            )
+            return 1
+    return 0
+
+
+def _plan_dpconv(args: argparse.Namespace, graph, catalog) -> int:
+    import math
+
+    from repro.core.dpconv import DPconv
+    from repro.obs import Instrumentation
+
+    obs = Instrumentation()
+    engine = DPconv(backend=args.backend)
+    result = engine.optimize(graph, catalog=catalog, instrumentation=obs)
+    backend = engine.resolved_backend(args.relations)
+    extra = result.counters.extra
+    print(f"algorithm : {result.algorithm} (backend={backend})")
+    print(f"cost      : {result.cost:g}")
+    print(f"counters  : {result.counters.as_dict()}")
+    print(f"elapsed   : {result.elapsed_seconds * 1000:.2f} ms")
+    print(
+        f"lattice   : {extra.get('lattice_passes', 0)} passes, "
+        f"{extra.get('convolution_pairs', 0)} convolution pairs, "
+        f"{result.counters.create_join_tree_calls} joins priced"
+    )
+    print(render_indented(result.plan))
+    if args.verify:
+        reference = make_algorithm("dpsize").optimize(graph, catalog=catalog)
+        # Equal optimal cost up to float association noise; the #ccp
+        # counter is exactly shared by every correct algorithm.
+        cost_ok = math.isclose(reference.cost, result.cost, rel_tol=1e-9)
+        ccp_ok = (
+            reference.counters.ono_lohman_counter
+            == result.counters.ono_lohman_counter
+        )
+        if cost_ok and ccp_ok:
+            print("verify    : matches sequential DPsize (cost and #ccp)")
+        else:
+            print(
+                "verify    : MISMATCH — sequential DPsize cost "
+                f"{reference.cost:g}, #ccp "
+                f"{reference.counters.ono_lohman_counter}"
             )
             return 1
     return 0

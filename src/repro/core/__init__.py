@@ -21,6 +21,7 @@ from repro.catalog.catalog import Catalog
 from repro.core.adaptive import AdaptiveOptimizer
 from repro.core.base import CounterSet, JoinOrderer, OptimizationResult, PlanTable
 from repro.core.dpccp import DPccp
+from repro.core.dpconv import DPconv
 from repro.core.dpsize import DPsize
 from repro.core.dpsub import DPsub
 from repro.core.exhaustive import ExhaustiveOptimizer
@@ -44,6 +45,7 @@ __all__ = [
     "DPsize",
     "DPsub",
     "DPccp",
+    "DPconv",
     "DPsizeBasic",
     "DPsubBasic",
     "DPall",
@@ -66,6 +68,7 @@ ALGORITHMS: dict[str, type[JoinOrderer]] = {
     "dpsize": DPsize,
     "dpsub": DPsub,
     "dpccp": DPccp,
+    "dpconv": DPconv,
     "dpsize-basic": DPsizeBasic,
     "dpsub-basic": DPsubBasic,
     "dpall": DPall,

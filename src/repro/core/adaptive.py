@@ -4,8 +4,13 @@ The paper's experiments show DPccp is "either the fastest or nearly the
 fastest algorithm" on every topology; its only loss is a bounded
 (< 30 %) overhead on cliques, where DPsub's trivial enumeration wins
 because *every* subset is connected. :class:`AdaptiveOptimizer` encodes
-exactly that decision: DPsub for (near-)clique graphs, DPccp for
-everything else — and reports which algorithm ran.
+exactly that decision — DPsub for (near-)clique graphs, DPccp for
+everything else — with one post-paper refinement: on dense graphs large
+enough that per-pair Python work dominates (``conv_min_relations``, set
+from BENCH_dpconv.json's measured crossover), the subset-convolution
+enumerator :class:`~repro.core.dpconv.DPconv` takes over, since its
+layered value sweep prices only ``n - 1`` joins and vectorizes over the
+same 2^n lattice DPsub walks pair by pair.
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ from __future__ import annotations
 from repro.catalog.catalog import Catalog
 from repro.core.base import JoinOrderer, OptimizationResult
 from repro.core.dpccp import DPccp
+from repro.core.dpconv import DPconv
 from repro.core.dpsub import DPsub
 from repro.cost.base import CostModel
 from repro.graph.properties import density
@@ -22,32 +28,52 @@ __all__ = ["AdaptiveOptimizer"]
 
 
 class AdaptiveOptimizer(JoinOrderer):
-    """Picks DPsub for dense graphs, DPccp otherwise.
+    """Picks DPsub/DPconv for dense graphs, DPccp otherwise.
 
     Args:
         dense_threshold: edge density at or above which the search
-            space is treated as clique-like and handed to DPsub. The
-            default of 0.9 only triggers on (near-)cliques; set to 1.1
-            to force DPccp always.
+            space is treated as clique-like and handed to the dense
+            enumerators. The default of 0.9 only triggers on
+            (near-)cliques; set to 1.1 to force DPccp always.
         dense_size_limit: above this many relations even clique-like
-            graphs go to DPccp, because DPsub's 2^n side tables and
+            graphs go to DPccp, because dense 2^n side tables and the
             3^n inner loop dominate any enumeration overhead savings.
+        conv_min_relations: dense graphs with at least this many
+            relations (and within ``dense_size_limit``) go to DPconv
+            instead of DPsub. The default of 4 is the measured
+            crossover where the value sweep starts beating per-pair
+            pricing (BENCH_dpconv.json: dpconv wins every clique cell
+            from n=4 up, reaching ~20x at n=13); below it the two are
+            within measurement noise and DPsub keeps the paper's exact
+            counter profile. Set above ``dense_size_limit`` to never
+            select DPconv.
     """
 
     name = "adaptive"
 
-    def __init__(self, dense_threshold: float = 0.9, dense_size_limit: int = 16) -> None:
+    def __init__(
+        self,
+        dense_threshold: float = 0.9,
+        dense_size_limit: int = 16,
+        conv_min_relations: int = 4,
+    ) -> None:
         if not 0.0 < dense_threshold:
             raise ValueError("dense_threshold must be positive")
+        if conv_min_relations < 2:
+            raise ValueError("conv_min_relations must be >= 2")
         self._dense_threshold = dense_threshold
         self._dense_size_limit = dense_size_limit
+        self._conv_min_relations = conv_min_relations
         self._dpsub = DPsub()
+        self._dpconv = DPconv()
         self._dpccp = DPccp()
 
     def choose(self, graph: QueryGraph) -> JoinOrderer:
         """Return the algorithm that :meth:`optimize` would run."""
         is_dense = density(graph) >= self._dense_threshold
         if is_dense and graph.n_relations <= self._dense_size_limit:
+            if graph.n_relations >= self._conv_min_relations:
+                return self._dpconv
             return self._dpsub
         return self._dpccp
 

@@ -55,6 +55,12 @@ class CounterSet:
             outer ``connected(S)`` test; the paper notes this equals
             ``2^n - #csg(n) - 1``. Zero for algorithms without that
             check.
+        extra: algorithm-specific counters beyond the paper's set
+            (e.g. DPconv's ``lattice_passes``/``convolution_pairs``).
+            Published by the obs layer under the same
+            ``enumerator.<name>.<key>`` namespace as the core counters;
+            empty for the paper's algorithms, so their reports and
+            equality comparisons are unchanged.
     """
 
     inner_counter: int = 0
@@ -62,16 +68,19 @@ class CounterSet:
     ono_lohman_counter: int = 0
     create_join_tree_calls: int = 0
     connectivity_check_failures: int = 0
+    extra: dict[str, int] = field(default_factory=dict)
 
     def as_dict(self) -> dict[str, int]:
-        """Plain-dict view for reports."""
-        return {
+        """Plain-dict view for reports (extras merged in, when present)."""
+        result = {
             "inner_counter": self.inner_counter,
             "csg_cmp_pair_counter": self.csg_cmp_pair_counter,
             "ono_lohman_counter": self.ono_lohman_counter,
             "create_join_tree_calls": self.create_join_tree_calls,
             "connectivity_check_failures": self.connectivity_check_failures,
         }
+        result.update(self.extra)
+        return result
 
 
 class PlanTable:

@@ -1,0 +1,446 @@
+"""DPconv — layered subset-convolution DP over the 2^n cost lattice.
+
+The paper's exact algorithms interleave *enumeration* (which
+csg-cmp-pairs exist) with *pricing* (``CreateJoinTree`` per pair), so
+every one of the Θ(3^n) subset splits of a clique pays for cost-model
+arithmetic, plan-table probes and tree bookkeeping. DPconv (Stoian,
+arxiv 2409.08013, see PAPERS.md) observes that for C_out-shaped cost
+functions the two concerns decouple: the *output cardinality of a
+relation set is split-independent*, so the optimal cost obeys
+
+    cost(S) = h(S) + min over splits (T, S\\T) of cost(T) + cost(S\\T)
+
+where ``h(S)`` — the estimated join cardinality of ``S`` — depends on
+``S`` alone. The table of optimal costs is therefore the min-plus
+*subset convolution* of the table with itself, evaluated layer by
+layer over the subset lattice (all sets of size 2, then 3, ..), and no
+plan object or cost-model call is needed until the very end: one
+O(n)-deep reconstruction walk along the recorded winning splits builds
+the optimal join tree with exactly ``n - 1`` ``CreateJoinTree`` calls
+instead of Θ(#ccp).
+
+Cross products are excluded the same way DPsub excludes them: a split
+contributes only when both sides induce connected subgraphs (for a
+connected ``S`` the two sides are then necessarily joined by an edge),
+with connectivity memoized by the paper's Lemma 5 recurrence.
+
+Two interchangeable sweep backends fill the lattice:
+
+* ``numpy`` — per layer, the candidate costs of *all* connected sets
+  are evaluated simultaneously: the splits of a size-``k`` layer are
+  walked in Gray-code order (one vectorized XOR moves every set to its
+  next split), and each state costs a handful of whole-layer array
+  operations (gather + add + compare). The Python interpreter executes
+  O(2^n) steps instead of O(3^n).
+* ``python`` — pure stdlib (``array`` cost tables, Vance-Maier submask
+  enumeration); same tables, same counters, no dependencies.
+
+Cost models that are not separable-symmetric (``DiskCostModel``) fall
+back transparently to a priced layered enumeration over the same
+search space — still exact, counters unchanged, only the O(n)
+cost-evaluation collapse is forfeited.
+
+Published counters (see :class:`~repro.core.base.CounterSet`):
+``inner_counter`` counts convolution pair slots examined (one per
+proper low-bit-anchored split of each connected set),
+``ono_lohman_counter``/``csg_cmp_pair_counter`` the valid csg-cmp-pairs
+(identical to every other correct algorithm), and the ``extra``
+counters ``lattice_passes``, ``convolution_pairs`` and ``vectorized``
+the DPconv-specific accounting the obs layer publishes as
+``enumerator.DPconv.*``.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+from repro import bitset
+from repro.core.base import CounterSet, JoinOrderer, PlanTable
+from repro.cost.base import CostModel
+from repro.errors import OptimizerError
+from repro.graph.querygraph import QueryGraph
+from repro.plans.jointree import JoinTree
+
+__all__ = ["DPconv", "MAX_RELATIONS", "DEFAULT_VECTOR_MIN_RELATIONS"]
+
+#: DPconv materializes dense 2^n tables (cost, winning split,
+#: cardinality, connectivity); n = 22 costs ~100 MB which is the same
+#: practical wall as DPsub's side tables, so fail fast beyond it.
+MAX_RELATIONS = 22
+
+#: Below this many relations the ``auto`` backend stays pure-Python:
+#: the per-layer numpy dispatch overhead exceeds the whole enumeration.
+DEFAULT_VECTOR_MIN_RELATIONS = 8
+
+_BACKENDS = ("auto", "numpy", "python")
+
+
+def _numpy_module():
+    """The numpy module, or ``None`` when it is not installed."""
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - exercised on numpy-free hosts
+        return None
+    return numpy
+
+
+class DPconv(JoinOrderer):
+    """Subset-convolution DP enumeration of bushy cross-product-free trees.
+
+    Args:
+        backend: ``"auto"`` (numpy when importable and the query is
+            large enough to profit), ``"numpy"`` (require the
+            vectorized sweep), or ``"python"`` (force the stdlib
+            sweep). All backends produce the same cost table and the
+            same counters; on exact cost ties the recorded winning
+            split may differ, so plans are compared by cost, not shape.
+        vector_min_relations: ``auto`` switches to numpy at this size.
+    """
+
+    name = "DPconv"
+
+    def __init__(
+        self,
+        backend: str = "auto",
+        vector_min_relations: int = DEFAULT_VECTOR_MIN_RELATIONS,
+    ) -> None:
+        if backend not in _BACKENDS:
+            raise OptimizerError(
+                f"unknown DPconv backend {backend!r}; expected one of: "
+                + ", ".join(_BACKENDS)
+            )
+        if vector_min_relations < 2:
+            raise OptimizerError(
+                f"vector_min_relations must be >= 2, got {vector_min_relations}"
+            )
+        self._backend = backend
+        self._vector_min_relations = vector_min_relations
+
+    def resolved_backend(self, n_relations: int) -> str:
+        """Which sweep backend a query of this size would use."""
+        return "numpy" if self._resolve_numpy(n_relations) else "python"
+
+    def _resolve_numpy(self, n_relations: int):
+        """The numpy module to sweep with, or ``None`` for pure Python."""
+        if self._backend == "python":
+            return None
+        numpy = _numpy_module()
+        if self._backend == "numpy":
+            if numpy is None:
+                raise OptimizerError(
+                    "DPconv(backend='numpy') requires numpy, which is not "
+                    "importable; use backend='python' or 'auto'"
+                )
+            return numpy
+        if numpy is None or n_relations < self._vector_min_relations:
+            return None
+        return numpy
+
+    # ------------------------------------------------------------------
+    # Driver
+    # ------------------------------------------------------------------
+
+    def _run(
+        self,
+        graph: QueryGraph,
+        cost_model: CostModel,
+        table: PlanTable,
+        counters: CounterSet,
+    ) -> None:
+        n = graph.n_relations
+        if n > MAX_RELATIONS:
+            raise OptimizerError(
+                f"DPconv fills dense 2^{n} lattice tables; refusing n > "
+                f"{MAX_RELATIONS} (use DPccp for large sparse queries or "
+                "IDP/GOO beyond exact DP)"
+            )
+        counters.extra["lattice_passes"] = 0
+        connected = _connectivity_table(graph, counters)
+        separable = (
+            cost_model.symmetric
+            and cost_model.separable_join_operator is not None
+        )
+        if not separable:
+            # The value DP needs cost(S) = h(S) + cost(T) + cost(S\T);
+            # models outside that shape get the priced layered sweep —
+            # identical search space and counters, per-pair pricing.
+            counters.extra["vectorized"] = 0
+            self._run_priced(cost_model, table, counters, connected, n)
+            counters.extra["convolution_pairs"] = counters.inner_counter
+            return
+
+        numpy = self._resolve_numpy(n)
+        counters.extra["vectorized"] = 1 if numpy else 0
+        h = _cardinality_table(graph, cost_model, n)
+        leaf_costs = [table[1 << index].cost for index in range(n)]
+        if numpy is not None:
+            dp, split = _sweep_numpy(
+                numpy, n, connected, h, leaf_costs, counters
+            )
+        else:
+            dp, split = _sweep_python(n, connected, h, leaf_costs, counters)
+        del dp  # the reconstruction re-prices the winning splits
+        counters.csg_cmp_pair_counter = 2 * counters.ono_lohman_counter
+        counters.extra["convolution_pairs"] = counters.inner_counter
+        self._reconstruct(cost_model, table, counters, split, graph.all_relations)
+
+    # ------------------------------------------------------------------
+    # Plan reconstruction (fast path)
+    # ------------------------------------------------------------------
+
+    def _reconstruct(
+        self,
+        cost_model: CostModel,
+        table: PlanTable,
+        counters: CounterSet,
+        split: "array | list",
+        mask: int,
+    ) -> JoinTree:
+        """Build the optimal tree for ``mask`` from recorded splits.
+
+        Only the winning split per subset is visited, so exactly
+        ``n - 1`` joins are priced — the whole point of decoupling the
+        value DP from plan construction.
+        """
+        plan = table.get(mask)
+        if plan is not None:
+            return plan
+        left_mask = int(split[mask])
+        right_mask = mask ^ left_mask
+        left = self._reconstruct(cost_model, table, counters, split, left_mask)
+        right = self._reconstruct(cost_model, table, counters, split, right_mask)
+        counters.create_join_tree_calls += 1
+        table.consider(cost_model, left, right)
+        return table[mask]
+
+    # ------------------------------------------------------------------
+    # Priced fallback (non-separable cost models)
+    # ------------------------------------------------------------------
+
+    def _run_priced(
+        self,
+        cost_model: CostModel,
+        table: PlanTable,
+        counters: CounterSet,
+        connected: bytearray,
+        n: int,
+    ) -> None:
+        consider = table.consider
+        both_orders = not cost_model.symmetric
+        inner = 0
+        valid_pairs = 0
+        for k in range(2, n + 1):
+            counters.extra["lattice_passes"] += 1
+            for mask in bitset.iter_layer(n, k):
+                if not connected[mask]:
+                    continue
+                low = mask & -mask
+                rest = mask ^ low
+                sub = 0
+                # Proper splits anchored on min(S): left = {min(S)} | sub
+                # for every strict subset `sub` of the remaining bits.
+                while sub != rest:
+                    left = low | sub
+                    right = rest ^ sub
+                    inner += 1
+                    if connected[left] and connected[right]:
+                        valid_pairs += 1
+                        plan_left = table[left]
+                        plan_right = table[right]
+                        counters.create_join_tree_calls += 1
+                        consider(cost_model, plan_left, plan_right)
+                        if both_orders:
+                            counters.create_join_tree_calls += 1
+                            consider(cost_model, plan_right, plan_left)
+                    sub = (sub - rest) & rest
+        counters.inner_counter += inner
+        counters.ono_lohman_counter += valid_pairs
+        counters.csg_cmp_pair_counter = 2 * valid_pairs
+
+
+# ----------------------------------------------------------------------
+# Lattice tables
+# ----------------------------------------------------------------------
+
+
+def _connectivity_table(graph: QueryGraph, counters: CounterSet) -> bytearray:
+    """``connected[mask]`` for every mask, by the Lemma 5 recurrence.
+
+    Disconnected multi-relation sets are counted as
+    ``connectivity_check_failures`` — the same ``2^n - #csg - 1``
+    accounting as DPsub's ``(*)`` check, which these tables replace.
+    """
+    n = graph.n_relations
+    neighbors = graph.neighbor_masks
+    total = 1 << n
+    connected = bytearray(total)
+    failures = 0
+    for mask in range(1, total):
+        if mask & (mask - 1) == 0:
+            connected[mask] = 1
+            continue
+        probe = mask
+        while probe:
+            vertex = probe & -probe
+            probe ^= vertex
+            without = mask ^ vertex
+            if connected[without] and neighbors[vertex.bit_length() - 1] & without:
+                connected[mask] = 1
+                break
+        else:
+            failures += 1
+    counters.connectivity_check_failures += failures
+    return connected
+
+
+def _cardinality_table(
+    graph: QueryGraph, cost_model: CostModel, n: int
+) -> array:
+    """``h[mask]``: estimated join cardinality of every relation set.
+
+    Split-independent closed form, built incrementally —
+    ``h[S] = h[S \\ {min S}] * |R_min| * prod(sel(min S, v) for v in S)``
+    — so the whole table costs O(2^n · avg-degree). Selectivities and
+    base cardinalities come from the *cost model's* graph and
+    estimator (the refined instance, when a statistics estimator is in
+    play), which is exactly what pricing the reconstruction uses.
+    """
+    estimator = cost_model.estimator
+    cost_graph = cost_model.graph
+    incidence: list[tuple[tuple[int, float], ...]] = []
+    for vertex in range(n):
+        pairs = []
+        for edge in cost_graph.edges_of(vertex):
+            other = edge.right if edge.left == vertex else edge.left
+            pairs.append((1 << other, edge.selectivity))
+        incidence.append(tuple(pairs))
+    base = [float(estimator.base_cardinality(vertex)) for vertex in range(n)]
+
+    total = 1 << n
+    h = array("d", bytes(8 * total))
+    h[0] = 1.0
+    for mask in range(1, total):
+        low = mask & -mask
+        rest = mask ^ low
+        vertex = low.bit_length() - 1
+        value = h[rest] * base[vertex]
+        for other_bit, selectivity in incidence[vertex]:
+            if other_bit & rest:
+                value *= selectivity
+        h[mask] = value
+    return h
+
+
+# ----------------------------------------------------------------------
+# Value sweeps
+# ----------------------------------------------------------------------
+
+
+def _sweep_python(
+    n: int,
+    connected: bytearray,
+    h: array,
+    leaf_costs: list[float],
+    counters: CounterSet,
+) -> tuple[array, list[int]]:
+    """Stdlib lattice sweep: layered Vance-Maier min-plus convolution."""
+    total = 1 << n
+    infinity = float("inf")
+    dp = array("d", [infinity]) * total
+    split = [0] * total
+    for vertex, cost in enumerate(leaf_costs):
+        dp[1 << vertex] = cost
+    inner = 0
+    valid_pairs = 0
+    for k in range(2, n + 1):
+        counters.extra["lattice_passes"] += 1
+        for mask in bitset.iter_layer(n, k):
+            if not connected[mask]:
+                continue
+            low = mask & -mask
+            rest = mask ^ low
+            best = infinity
+            best_left = 0
+            sub = 0
+            while sub != rest:
+                left = low | sub
+                right = rest ^ sub
+                inner += 1
+                if connected[left] and connected[right]:
+                    valid_pairs += 1
+                    candidate = dp[left] + dp[right]
+                    if candidate < best:
+                        best = candidate
+                        best_left = left
+                sub = (sub - rest) & rest
+            dp[mask] = best + h[mask]
+            split[mask] = best_left
+    counters.inner_counter += inner
+    counters.ono_lohman_counter += valid_pairs
+    return dp, split
+
+
+def _sweep_numpy(
+    numpy,
+    n: int,
+    connected: bytearray,
+    h: array,
+    leaf_costs: list[float],
+    counters: CounterSet,
+):
+    """Vectorized lattice sweep: Gray-code split walk per layer.
+
+    For layer ``k`` the proper splits of every connected set are
+    visited simultaneously: ``left`` holds each set's current split
+    (always containing the set's lowest bit, so each unordered pair is
+    seen once), and one whole-layer XOR against the precomputed bit
+    column advances every set to its next split in Gray-code order.
+    Candidate costs are two gathers and an add; disconnected sides
+    carry ``inf`` in ``dp``, so no masking is needed for the minimum —
+    validity is consulted only for the csg-cmp-pair counter.
+
+    Arithmetic is float64 addition in the same order as the Python
+    sweep, so both backends produce the identical cost table.
+    """
+    np = numpy
+    total = 1 << n
+    conn = np.frombuffer(connected, dtype=np.uint8).astype(bool)
+    harr = np.frombuffer(h, dtype=np.float64)
+    dp = np.full(total, np.inf, dtype=np.float64)
+    for vertex, cost in enumerate(leaf_costs):
+        dp[1 << vertex] = cost
+    split = np.zeros(total, dtype=np.int64)
+    inner = 0
+    valid_pairs = 0
+    positions = np.arange(n, dtype=np.int64)
+    for k in range(2, n + 1):
+        counters.extra["lattice_passes"] += 1
+        masks = [mask for mask in bitset.iter_layer(n, k) if connected[mask]]
+        if not masks:
+            continue
+        m = len(masks)
+        masks_a = np.array(masks, dtype=np.int64)
+        # cols[j]: the j-th lowest set bit of every mask in the layer.
+        bit_rows = np.nonzero((masks_a[:, None] >> positions) & 1)[1]
+        cols = (np.int64(1) << bit_rows.reshape(m, k)).T.copy()
+
+        left = cols[0].copy()  # Gray-code state: {min(S)} plus selector
+        best = np.full(m, np.inf, dtype=np.float64)
+        best_left = np.zeros(m, dtype=np.int64)
+        states = 1 << (k - 1)
+        inner += m * (states - 1)
+        for step in range(states):
+            if step:
+                flip = (step & -step).bit_length()  # selector bit -> cols[1..]
+                np.bitwise_xor(left, cols[flip], out=left)
+            right = np.bitwise_xor(masks_a, left)
+            valid_pairs += int(np.count_nonzero(conn[left] & conn[right]))
+            candidate = dp[left] + dp[right]
+            improved = candidate < best
+            np.copyto(best, candidate, where=improved)
+            np.copyto(best_left, left, where=improved)
+        dp[masks_a] = best + harr[masks_a]
+        split[masks_a] = best_left
+    counters.inner_counter += inner
+    counters.ono_lohman_counter += valid_pairs
+    return dp, split

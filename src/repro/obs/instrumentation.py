@@ -120,6 +120,13 @@ class Instrumentation:
             amount = getattr(counters, field)
             if amount:
                 increment(f"{prefix}.{suffix}", amount)
+        # Algorithm-specific counters (DPconv's lattice_passes /
+        # convolution_pairs) publish under the same namespace; the
+        # paper's algorithms leave `extra` empty, so nothing changes
+        # for them.
+        for key, amount in counters.extra.items():
+            if amount:
+                increment(f"{prefix}.{key}", amount)
         if result.table_probes:
             increment(f"{prefix}.plan_table_probes", result.table_probes)
         if result.table_improvements:

@@ -6,6 +6,7 @@ import pytest
 
 from repro.core.adaptive import AdaptiveOptimizer
 from repro.core.dpccp import DPccp
+from repro.core.dpconv import DPconv
 from repro.core.dpsub import DPsub
 from repro.graph.generators import (
     chain_graph,
@@ -17,8 +18,20 @@ from repro.plans.visitors import validate_plan
 
 
 class TestChoice:
-    def test_clique_goes_to_dpsub(self):
-        assert isinstance(AdaptiveOptimizer().choose(clique_graph(8)), DPsub)
+    def test_clique_goes_to_dpconv(self):
+        assert isinstance(AdaptiveOptimizer().choose(clique_graph(8)), DPconv)
+
+    def test_tiny_clique_goes_to_dpsub(self):
+        assert isinstance(AdaptiveOptimizer().choose(clique_graph(3)), DPsub)
+
+    def test_conv_threshold_override_restores_dpsub(self):
+        adaptive = AdaptiveOptimizer(conv_min_relations=9)
+        assert isinstance(adaptive.choose(clique_graph(8)), DPsub)
+        assert isinstance(adaptive.choose(clique_graph(9)), DPconv)
+
+    def test_conv_disabled_above_size_limit(self):
+        adaptive = AdaptiveOptimizer(dense_size_limit=16, conv_min_relations=17)
+        assert isinstance(adaptive.choose(clique_graph(16)), DPsub)
 
     @pytest.mark.parametrize(
         "graph",
@@ -40,10 +53,16 @@ class TestChoice:
         with pytest.raises(ValueError):
             AdaptiveOptimizer(dense_threshold=0.0)
 
+    def test_bad_conv_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveOptimizer(conv_min_relations=1)
+
 
 class TestOptimize:
     def test_result_names_delegate(self):
         result = AdaptiveOptimizer().optimize(clique_graph(5, selectivity=0.1))
+        assert result.algorithm == "adaptive->DPconv"
+        result = AdaptiveOptimizer().optimize(clique_graph(3, selectivity=0.1))
         assert result.algorithm == "adaptive->DPsub"
         result = AdaptiveOptimizer().optimize(chain_graph(5, selectivity=0.1))
         assert result.algorithm == "adaptive->DPccp"
@@ -53,4 +72,12 @@ class TestOptimize:
         adaptive = AdaptiveOptimizer().optimize(graph)
         direct = DPccp().optimize(graph)
         assert adaptive.cost == pytest.approx(direct.cost)
+        validate_plan(adaptive.plan, graph)
+
+    def test_dpconv_delegate_matches_dpsub(self):
+        graph = clique_graph(7, selectivity=0.1)
+        adaptive = AdaptiveOptimizer().optimize(graph)
+        assert adaptive.algorithm == "adaptive->DPconv"
+        direct = DPsub().optimize(graph)
+        assert adaptive.cost == pytest.approx(direct.cost, rel=1e-12)
         validate_plan(adaptive.plan, graph)

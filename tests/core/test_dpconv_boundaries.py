@@ -1,0 +1,104 @@
+"""Word-boundary regressions for DPconv's lattice addressing.
+
+Python ints are arbitrary-precision, but 63/64/65 is exactly where a
+fixed-width bitset implementation would silently wrap — the PR 3
+pattern, applied to the pieces DPconv's table layout is built from:
+Gosper layer enumeration (:func:`repro.bitset.iter_layer`) and the
+colex combinatorial-number-system addressing
+(:func:`repro.bitset.subset_rank` / :func:`repro.bitset.subset_unrank`)
+whose stream-position == rank invariant is what makes "index into a
+layer's dense table" well-defined. The enumerator itself must refuse
+word-scale queries *before* allocating 2^n tables, with a clear error.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from math import comb
+
+import pytest
+
+from repro import bitset
+from repro.core.dpconv import DPconv, MAX_RELATIONS
+from repro.errors import OptimizerError
+from repro.graph.generators import chain_graph
+
+WORD_EDGES = (63, 64, 65)
+
+
+class TestIterLayerAtWordEdges:
+    @pytest.mark.parametrize("n", WORD_EDGES)
+    def test_first_masks_cross_no_boundary(self, n):
+        """The k=2 layer opens exactly as the combinatorial order says."""
+        first = list(islice(bitset.iter_layer(n, 2), 5))
+        assert first == [0b11, 0b101, 0b110, 0b1001, 0b1010]
+
+    @pytest.mark.parametrize("n", WORD_EDGES)
+    def test_layer_end_reaches_top_bits(self, n):
+        """The last k-subset is the top k bits — above bit 63 for n=65."""
+        k = 3
+        *_, last = bitset.iter_layer(n, k)
+        assert last == ((1 << k) - 1) << (n - k)
+        assert last.bit_length() == n
+
+    @pytest.mark.parametrize("n", WORD_EDGES)
+    def test_near_full_layer_count(self, n):
+        """k = n - 1 yields exactly n masks, each missing one bit."""
+        masks = list(bitset.iter_layer(n, n - 1))
+        assert len(masks) == n
+        full = (1 << n) - 1
+        assert {full ^ mask for mask in masks} == {1 << i for i in range(n)}
+
+    @pytest.mark.parametrize("n", WORD_EDGES)
+    def test_popcount_invariant_across_the_boundary(self, n):
+        """Every mask in the layer straddling bit 64 has exactly k bits."""
+        k = 2
+        for mask in bitset.iter_layer(n, k):
+            assert mask.bit_count() == k
+        assert sum(1 for _ in bitset.iter_layer(n, k)) == comb(n, k)
+
+
+class TestSubsetRankAtWordEdges:
+    @pytest.mark.parametrize("n", WORD_EDGES)
+    def test_stream_position_equals_rank(self, n):
+        """The invariant layered tables rely on, at the word edge."""
+        for position, mask in enumerate(bitset.iter_layer(n, 2)):
+            assert bitset.subset_rank(mask) == position
+
+    @pytest.mark.parametrize("n", WORD_EDGES)
+    def test_unrank_roundtrip_across_the_boundary(self, n):
+        k = 2
+        for rank in range(comb(n, k)):
+            mask = bitset.subset_unrank(k, rank)
+            assert mask.bit_count() == k
+            assert mask < (1 << n)
+            assert bitset.subset_rank(mask) == rank
+
+    @pytest.mark.parametrize("n", WORD_EDGES)
+    def test_extreme_masks(self, n):
+        """First and last mask of several layers, as pure int math."""
+        for k in (1, 2, n - 1, n):
+            low = (1 << k) - 1
+            high = low << (n - k)
+            assert bitset.subset_rank(low) == 0
+            assert bitset.subset_rank(high) == comb(n, k) - 1
+            assert bitset.subset_unrank(k, 0) == low
+            assert bitset.subset_unrank(k, comb(n, k) - 1) == high
+
+    def test_rank_of_single_top_bits(self):
+        """Singleton {i} has rank i — bits 62..65 included."""
+        for index in (62, 63, 64, 65):
+            assert bitset.subset_rank(1 << index) == index
+            assert bitset.subset_unrank(1, index) == 1 << index
+
+
+class TestEnumeratorGuard:
+    @pytest.mark.parametrize("n", WORD_EDGES)
+    def test_word_scale_queries_refused_cleanly(self, n):
+        """No 2^63-entry allocation: a clear OptimizerError instead."""
+        with pytest.raises(OptimizerError, match="lattice"):
+            DPconv().optimize(chain_graph(n))
+
+    def test_guard_boundary_is_max_relations(self):
+        with pytest.raises(OptimizerError):
+            DPconv().optimize(chain_graph(MAX_RELATIONS + 1))

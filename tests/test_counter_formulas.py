@@ -17,10 +17,11 @@ from repro.analysis.formulas import (
     ccp_symmetric,
     ccp_unordered,
     csg_count,
+    inner_counter_dpconv,
     inner_counter_dpsize,
     inner_counter_dpsub,
 )
-from repro.core import DPccp, DPsize, DPsub
+from repro.core import DPccp, DPconv, DPsize, DPsub
 from repro.graph.generators import graph_for_topology
 from repro.obs import Instrumentation
 
@@ -41,10 +42,10 @@ def cases():
 
 @pytest.fixture(scope="module")
 def observed():
-    """Run all three algorithms instrumented, once per (topology, n).
+    """Run all four algorithms instrumented, once per (topology, n).
 
     One shared Instrumentation per instance keeps the test honest about
-    the obs layer being *shared*: three enumerators report into the
+    the obs layer being *shared*: four enumerators report into the
     same registry and must not clobber one another.
     """
     cache: dict[tuple[str, int], Instrumentation] = {}
@@ -54,7 +55,7 @@ def observed():
         if key not in cache:
             graph = graph_for_topology(topology, n)
             obs = Instrumentation()
-            for algorithm in (DPsize(), DPsub(), DPccp()):
+            for algorithm in (DPsize(), DPsub(), DPccp(), DPconv()):
                 algorithm.optimize(graph, instrumentation=obs)
             cache[key] = obs
         return cache[key]
@@ -84,7 +85,7 @@ def test_ccp_all_algorithms(observed, topology, n):
     obs = observed(topology, n)
     unordered = ccp_unordered(n, topology)
     symmetric = ccp_symmetric(n, topology)
-    for algorithm in ("DPsize", "DPsub", "DPccp"):
+    for algorithm in ("DPsize", "DPsub", "DPccp", "DPconv"):
         assert (
             obs.counters.value(f"enumerator.{algorithm}.ccp_emitted") == unordered
         ), algorithm
@@ -109,4 +110,30 @@ def test_dpsub_connectivity_failures(observed, topology, n):
     obs = observed(topology, n)
     assert obs.counters.value(
         "enumerator.DPsub.connectivity_check_failures"
+    ) == 2**n - csg_count(n, topology) - 1
+
+
+@pytest.mark.parametrize("topology,n", cases())
+def test_inner_counter_dpconv(observed, topology, n):
+    """DPconv's convolution pair slots match the per-layer closed form."""
+    obs = observed(topology, n)
+    expected = inner_counter_dpconv(n, topology)
+    assert (
+        obs.counters.value("enumerator.DPconv.inner_loop_tests") == expected
+    )
+    # The extra counter is the same quantity published under DPconv's
+    # own vocabulary.
+    assert (
+        obs.counters.value("enumerator.DPconv.convolution_pairs") == expected
+    )
+
+
+@pytest.mark.parametrize("topology,n", cases())
+def test_dpconv_lattice_and_reconstruction(observed, topology, n):
+    """n - 1 lattice passes, n - 1 priced joins, DPsub's failure count."""
+    obs = observed(topology, n)
+    assert obs.counters.value("enumerator.DPconv.lattice_passes") == n - 1
+    assert obs.counters.value("enumerator.DPconv.cost_evaluations") == n - 1
+    assert obs.counters.value(
+        "enumerator.DPconv.connectivity_check_failures"
     ) == 2**n - csg_count(n, topology) - 1

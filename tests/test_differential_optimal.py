@@ -2,11 +2,12 @@
 
 Property-based (hypothesis) differential testing over random
 chain/cycle/star/clique/random-connected instances up to n=10: DPsize,
-DPsub, DPccp, DPhyp, top-down branch-and-bound and the exhaustive
-oracle must return *identical* optimal costs, and the polynomial
-heuristics (GOO, QuickPick) must never beat the optimum. This is the
-battery the obs layer's counters are validated against — an enumeration
-bug (missed csg-cmp-pair, wrong DP order, broken pruning bound)
+DPsub, DPccp, DPconv (every sweep backend), DPhyp, top-down
+branch-and-bound and the exhaustive oracle must return *identical*
+optimal costs, and the polynomial heuristics (GOO, QuickPick) must
+never beat the optimum. This is the battery the obs layer's counters
+are validated against — an enumeration bug (missed csg-cmp-pair, wrong
+DP order, broken pruning bound, a lattice-sweep addressing slip)
 surfaces here as a cost disagreement before it can corrupt any counter
 analysis.
 """
@@ -22,6 +23,7 @@ from hypothesis import strategies as st
 from repro.catalog.synthetic import random_catalog
 from repro.core import (
     DPccp,
+    DPconv,
     DPsize,
     DPsub,
     ExhaustiveOptimizer,
@@ -29,6 +31,7 @@ from repro.core import (
     QuickPick,
     TopDownBB,
 )
+from repro.core.dpconv import _numpy_module
 from repro.graph.generators import (
     graph_for_topology,
     random_connected_graph,
@@ -37,10 +40,24 @@ from repro.hyper.dphyp import DPhyp
 from repro.hyper.hypergraph import Hypergraph
 from repro.plans.visitors import validate_plan
 
-#: The exact algorithms under differential comparison. The exhaustive
-#: oracle is deliberately an independent implementation (top-down
-#: generate-and-test), so agreement is meaningful evidence.
-EXACT_ALGORITHMS = [DPsize, DPsub, DPccp, TopDownBB, ExhaustiveOptimizer]
+#: The exact algorithms under differential comparison, as
+#: (label, factory) pairs — DPconv participates once per sweep backend
+#: so the vectorized and stdlib paths are *independently* pinned to the
+#: oracle. The exhaustive oracle is deliberately an independent
+#: implementation (top-down generate-and-test), so agreement is
+#: meaningful evidence.
+EXACT_ALGORITHMS: list[tuple[str, "type | object"]] = [
+    ("DPsize", DPsize),
+    ("DPsub", DPsub),
+    ("DPccp", DPccp),
+    ("TopDownBB", TopDownBB),
+    ("exhaustive", ExhaustiveOptimizer),
+    ("DPconv[python]", lambda: DPconv(backend="python")),
+]
+if _numpy_module() is not None:
+    EXACT_ALGORITHMS.append(
+        ("DPconv[numpy]", lambda: DPconv(backend="numpy", vector_min_relations=2))
+    )
 
 MAX_RELATIONS = 10
 
@@ -63,10 +80,10 @@ def build_instance(topology: str, n: int, seed: int):
 def optimal_costs(graph, catalog) -> dict[str, float]:
     """Plan cost per exact algorithm, with every plan validated."""
     costs: dict[str, float] = {}
-    for algorithm_class in EXACT_ALGORITHMS:
-        result = algorithm_class().optimize(graph, catalog=catalog)
+    for label, factory in EXACT_ALGORITHMS:
+        result = factory().optimize(graph, catalog=catalog)
         validate_plan(result.plan, graph)
-        costs[algorithm_class.name] = result.cost
+        costs[label] = result.cost
     hyper = Hypergraph.from_query_graph(graph)
     costs["DPhyp"] = DPhyp().optimize(hyper, catalog=catalog).cost
     return costs
