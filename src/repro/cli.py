@@ -10,6 +10,7 @@
     python -m repro serve-batch --topology star -n 10 --requests 200 --repeat-ratio 0.7
     python -m repro stats
     python -m repro obs-report --topology star -n 8
+    python -m repro lint src/repro --format json
 
 ``optimize`` plans one query and prints the tree; ``plan`` does the
 same on multiple cores via the level-synchronous parallel DPsize
@@ -22,7 +23,8 @@ metrics snapshot (from a ``--metrics`` JSON file or a built-in demo
 workload); ``obs-report`` runs instrumented enumerations through the
 unified :mod:`repro.obs` layer, prints counters/timings/span trees, and
 cross-checks the observed ``InnerCounter``/``#ccp`` events against the
-paper's closed forms.
+paper's closed forms; ``lint`` runs the domain-aware static analysis
+suite (:mod:`repro.lint`) that the CI static-analysis job gates on.
 """
 
 from __future__ import annotations
@@ -340,6 +342,65 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-execute",
         action="store_true",
         help="plan only; skip interpretation and the q-error report",
+    )
+
+    lint = commands.add_parser(
+        "lint",
+        help="run the domain-aware static analysis suite (repro.lint) "
+        "over source trees",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        metavar="PATH",
+        help="files or directories to check (default: src/repro)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="report format (json is the CI artifact)",
+    )
+    lint.add_argument(
+        "--baseline",
+        default="LINT_BASELINE.json",
+        metavar="FILE",
+        help="baseline of grandfathered findings (default: "
+        "LINT_BASELINE.json if it exists)",
+    )
+    lint.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: report every finding",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="write current findings as a fresh baseline (then edit "
+        "the TODO justifications) and exit 0",
+    )
+    lint.add_argument(
+        "--fail-on",
+        choices=("advice", "warning", "error", "never"),
+        default="warning",
+        help="minimum severity that fails the run (default: warning)",
+    )
+    lint.add_argument(
+        "--rules",
+        nargs="+",
+        default=None,
+        metavar="CODE",
+        help="run only these rule codes (e.g. DET001 CONC001)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog (code, severity, invariant) and exit",
+    )
+    lint.add_argument(
+        "--verbose", action="store_true", help="include snippets and invariants"
     )
     return parser
 
@@ -862,6 +923,64 @@ def _command_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.errors import LintError
+    from repro.lint import (
+        all_rules,
+        load_baseline,
+        registered_codes,
+        render_findings,
+        render_rules,
+        result_to_json,
+        run_lint,
+        write_baseline,
+    )
+
+    rules = all_rules()
+    if args.list_rules:
+        print(render_rules(rules))
+        return 0
+    if args.rules is not None:
+        known = set(registered_codes())
+        unknown = sorted(set(args.rules) - known)
+        if unknown:
+            raise LintError(
+                f"unknown rule code(s): {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(known))}"
+            )
+        rules = [rule for rule in rules if rule.code in args.rules]
+
+    baseline = None
+    if not args.no_baseline and args.write_baseline is None:
+        baseline_path = Path(args.baseline)
+        if baseline_path.exists():
+            baseline = load_baseline(baseline_path)
+
+    result = run_lint(
+        [Path(path) for path in args.paths],
+        rules=rules,
+        baseline=baseline,
+        root=Path.cwd(),
+    )
+
+    if args.write_baseline is not None:
+        count = write_baseline(Path(args.write_baseline), result.findings)
+        print(
+            f"wrote {count} entr{'y' if count == 1 else 'ies'} to "
+            f"{args.write_baseline}; edit the TODO justifications "
+            "before committing"
+        )
+        return 0
+
+    if args.format == "json":
+        print(result_to_json(result))
+    else:
+        print(render_findings(result, verbose=args.verbose))
+    return 0 if result.gate(args.fail_on) else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -879,6 +998,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "stats": _command_stats,
         "obs-report": _command_obs_report,
         "pipeline": _command_pipeline,
+        "lint": _command_lint,
     }
     try:
         return handlers[args.command](args)

@@ -21,6 +21,7 @@ __all__ = [
     "CatalogError",
     "WorkloadError",
     "ServiceError",
+    "LintError",
 ]
 
 
@@ -79,6 +80,15 @@ class CatalogError(ReproError):
 
 class WorkloadError(ReproError):
     """A synthetic workload specification is invalid."""
+
+
+class LintError(ReproError):
+    """The static-analysis suite was misconfigured or hit unusable input.
+
+    Raised for unreadable/unparsable source files, malformed baseline
+    documents, and invalid rule registrations — never for findings,
+    which are reported, not raised.
+    """
 
 
 class ServiceError(ReproError):

@@ -1,0 +1,67 @@
+"""``repro.lint`` — domain-aware static analysis for the planning stack.
+
+A stdlib-``ast`` checker framework whose rules encode this project's
+*real* invariants rather than generic style: bit-identical plans
+across enumeration backends (determinism rules), the service/pool
+locking discipline (concurrency rules), the DPconv split-independence
+precondition (cost-model rules), the zero-obs-when-disabled contract
+(obs rules), and the declared public surface (API rules). Each rule
+names the dynamic test battery that backs its invariant — the linter
+is the structural complement to those probabilistic checks, not a
+replacement.
+
+Three ways in:
+
+* **CLI** — ``repro-joinorder lint [paths] --format json`` (the CI
+  static-analysis job);
+* **pytest** — ``from repro.lint import run_lint`` (the meta-test in
+  ``tests/lint/`` keeps the live tree clean modulo the committed
+  baseline);
+* **library** — :func:`run_lint` over any file set with any rule
+  subset.
+
+Suppression is two-tier: a ``# lint: ignore[RULE]`` pragma for lines
+where the flagged construct is deliberate, and the committed
+``LINT_BASELINE.json`` for grandfathered findings, each entry carrying
+a one-line justification (see :mod:`repro.lint.baseline`).
+"""
+
+from __future__ import annotations
+
+from repro.lint.baseline import (
+    Baseline,
+    BaselineEntry,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.findings import Finding, SEVERITIES
+from repro.lint.framework import (
+    ModuleContext,
+    Rule,
+    all_rules,
+    load_module,
+    register,
+    registered_codes,
+)
+from repro.lint.report import render_findings, render_rules, result_to_json
+from repro.lint.runner import LintResult, run_lint
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "LintResult",
+    "ModuleContext",
+    "Rule",
+    "SEVERITIES",
+    "all_rules",
+    "load_baseline",
+    "load_module",
+    "register",
+    "registered_codes",
+    "render_findings",
+    "render_rules",
+    "result_to_json",
+    "run_lint",
+    "write_baseline",
+]

@@ -1,0 +1,185 @@
+"""The committed baseline: grandfathered findings with justifications.
+
+A baseline entry matches findings by **content, not position**: the
+key is ``(rule, path suffix, stripped source line)``, so entries
+survive unrelated edits elsewhere in the file, and a path recorded as
+``src/repro/cli.py`` matches whether the tree was scanned from the
+repository root or by absolute path. When the anchored line itself
+changes, the entry stops matching and the finding resurfaces — exactly
+the moment it deserves a fresh look.
+
+Every entry carries a mandatory one-line ``justification``; the
+reviewer of the baseline file is the reviewer of the debt. Entries
+that no longer match anything are reported as *stale* so the baseline
+shrinks monotonically instead of fossilizing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.errors import LintError
+from repro.lint.findings import Finding
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "load_baseline",
+    "write_baseline",
+]
+
+#: Schema version of the baseline document.
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class BaselineEntry:
+    """One grandfathered finding.
+
+    Attributes:
+        rule: rule code the entry suppresses.
+        path: path suffix the finding's path must end with (posix).
+        snippet: the stripped source line the finding anchors to.
+        justification: why this finding is accepted rather than fixed.
+    """
+
+    rule: str
+    path: str
+    snippet: str
+    justification: str
+
+    def matches(self, finding: Finding) -> bool:
+        """Whether this entry grandfathers ``finding``."""
+        return (
+            finding.rule == self.rule
+            and finding.snippet == self.snippet
+            and _path_matches(finding.path, self.path)
+        )
+
+    def as_dict(self) -> dict[str, str]:
+        """JSON-ready view of the entry."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "snippet": self.snippet,
+            "justification": self.justification,
+        }
+
+
+def _path_matches(finding_path: str, entry_path: str) -> bool:
+    """Suffix match on whole path segments."""
+    if finding_path == entry_path:
+        return True
+    return finding_path.endswith("/" + entry_path)
+
+
+class Baseline:
+    """A set of grandfathered findings loaded from disk (or empty)."""
+
+    def __init__(self, entries: Iterable[BaselineEntry] = ()) -> None:
+        self.entries: list[BaselineEntry] = list(entries)
+        self._matched: set[int] = set()
+
+    def absorbs(self, finding: Finding) -> bool:
+        """Whether ``finding`` is grandfathered; remembers the match."""
+        for index, entry in enumerate(self.entries):
+            if entry.matches(finding):
+                self._matched.add(index)
+                return True
+        return False
+
+    def stale_entries(self) -> list[BaselineEntry]:
+        """Entries that matched no finding in the runs seen so far."""
+        return [
+            entry
+            for index, entry in enumerate(self.entries)
+            if index not in self._matched
+        ]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:
+        return f"Baseline({len(self.entries)} entries)"
+
+
+def _entry_from_dict(raw: Mapping[str, object], index: int) -> BaselineEntry:
+    missing = {"rule", "path", "snippet", "justification"} - set(raw)
+    if missing:
+        raise LintError(
+            f"baseline entry {index} is missing field(s): "
+            f"{', '.join(sorted(missing))}"
+        )
+    entry = BaselineEntry(
+        rule=str(raw["rule"]),
+        path=str(raw["path"]),
+        snippet=str(raw["snippet"]),
+        justification=str(raw["justification"]),
+    )
+    if not entry.justification.strip():
+        raise LintError(
+            f"baseline entry {index} ({entry.rule} at {entry.path}) has an "
+            "empty justification; every grandfathered finding must say why"
+        )
+    return entry
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Load a baseline document.
+
+    Raises:
+        LintError: unreadable file, invalid JSON, wrong schema, or an
+            entry without a justification.
+    """
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as error:
+        raise LintError(f"cannot read baseline {path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise LintError(f"baseline {path} is not valid JSON: {error}") from error
+    if not isinstance(document, dict) or "entries" not in document:
+        raise LintError(
+            f"baseline {path} must be an object with an 'entries' list"
+        )
+    version = document.get("version", BASELINE_VERSION)
+    if version != BASELINE_VERSION:
+        raise LintError(
+            f"baseline {path} has version {version!r}; "
+            f"this linter reads version {BASELINE_VERSION}"
+        )
+    entries_raw = document["entries"]
+    if not isinstance(entries_raw, list):
+        raise LintError(f"baseline {path}: 'entries' must be a list")
+    return Baseline(
+        _entry_from_dict(raw, index) for index, raw in enumerate(entries_raw)
+    )
+
+
+def write_baseline(
+    path: Path,
+    findings: Iterable[Finding],
+    justification: str = "TODO: justify or fix",
+) -> int:
+    """Write ``findings`` as a fresh baseline document; returns the count.
+
+    The triage workflow: run the linter, write the baseline, then
+    *edit* it — replace each placeholder justification with a real
+    one, and delete entries for findings that should be fixed instead.
+    """
+    entries = [
+        {
+            "rule": finding.rule,
+            "path": finding.path,
+            "snippet": finding.snippet,
+            "justification": justification,
+        }
+        for finding in sorted(findings, key=lambda f: f.sort_key())
+    ]
+    document = {"version": BASELINE_VERSION, "entries": entries}
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(entries)

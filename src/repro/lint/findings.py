@@ -1,0 +1,100 @@
+"""Finding and severity primitives shared by every lint rule.
+
+A :class:`Finding` is one rule violation at one source location. Its
+:attr:`~Finding.identity` deliberately keys on the *stripped source
+line* rather than the line number, so a committed baseline survives
+unrelated edits above a grandfathered finding (the match is
+re-anchored by content, not by position).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "ADVICE",
+    "ERROR",
+    "Finding",
+    "SEVERITIES",
+    "WARNING",
+    "severity_rank",
+]
+
+#: Severity levels, weakest first. ``error`` findings encode invariant
+#: violations (determinism, concurrency); ``warning`` findings encode
+#: discipline drift (API hygiene, suspicious comparisons); ``advice``
+#: findings never gate by default (annotation coverage nudges).
+ADVICE = "advice"
+WARNING = "warning"
+ERROR = "error"
+SEVERITIES: tuple[str, ...] = (ADVICE, WARNING, ERROR)
+
+
+def severity_rank(severity: str) -> int:
+    """Numeric rank of a severity; higher is more severe.
+
+    Raises:
+        repro.errors.LintError: ``severity`` is not one of
+            :data:`SEVERITIES`.
+    """
+    try:
+        return SEVERITIES.index(severity)
+    except ValueError:
+        from repro.errors import LintError
+
+        raise LintError(
+            f"unknown severity {severity!r}; expected one of "
+            f"{', '.join(SEVERITIES)}"
+        ) from None
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        rule: rule code, e.g. ``"DET001"``.
+        path: file path as scanned (posix separators).
+        line / column: 1-based line and 0-based column of the offending
+            node.
+        severity: one of :data:`SEVERITIES`.
+        message: human-oriented description of the violation and the
+            remedy.
+        snippet: the stripped source line — the content anchor used by
+            pragma- and baseline-matching.
+    """
+
+    rule: str
+    path: str
+    line: int
+    column: int
+    severity: str
+    message: str
+    snippet: str = field(default="")
+
+    @property
+    def identity(self) -> tuple[str, str, str]:
+        """Content-anchored identity used for baseline matching."""
+        return (self.rule, self.path, self.snippet)
+
+    @property
+    def location(self) -> str:
+        """``path:line:column`` for human reports."""
+        return f"{self.path}:{self.line}:{self.column}"
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready view of the finding."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "severity": self.severity,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        """Stable report ordering: by path, position, then rule."""
+        return (self.path, self.line, self.column, self.rule)

@@ -1,0 +1,215 @@
+"""The checker framework: module contexts, the rule base class, and
+the rule registry.
+
+A :class:`Rule` is a self-describing checker over one parsed module:
+it declares a code (``DET001``), a severity, the invariant it protects
+(and which dynamic test battery backs that invariant), and a path
+scope — most rules only apply to the subsystems whose contracts they
+encode (``core/``, ``parallel/``, ``service/fingerprint.py``, ...), so
+a fingerprint-determinism rule never fires on a bench script.
+
+Rules are registered by decorating the class with :func:`register`;
+importing :mod:`repro.lint.rules` populates the registry. The
+framework stays dependency-free: parsing is :mod:`ast`, scoping is
+:mod:`fnmatch`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.errors import LintError
+from repro.lint.findings import SEVERITIES, Finding
+from repro.lint.pragmas import Pragmas, collect_pragmas
+
+__all__ = [
+    "ModuleContext",
+    "Rule",
+    "all_rules",
+    "iter_source_files",
+    "load_module",
+    "register",
+    "registered_codes",
+    "terminal_name",
+]
+
+
+@dataclass(slots=True)
+class ModuleContext:
+    """One parsed source module, shared by every rule that checks it.
+
+    Attributes:
+        path: the file as scanned (posix separators; what reports and
+            baselines see).
+        source: full file content.
+        lines: ``source`` split into lines (1-based access via
+            ``lines[lineno - 1]``).
+        tree: the parsed AST.
+        pragmas: suppression pragmas found in the file.
+    """
+
+    path: str
+    source: str
+    lines: list[str]
+    tree: ast.Module
+    pragmas: Pragmas = field(default_factory=Pragmas)
+
+    def snippet(self, node: ast.AST) -> str:
+        """The stripped source line a node anchors to."""
+        lineno = getattr(node, "lineno", 0)
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def finding(self, rule: "Rule", node: ast.AST, message: str) -> Finding:
+        """Build a :class:`Finding` for ``node`` under ``rule``."""
+        return Finding(
+            rule=rule.code,
+            path=self.path,
+            line=getattr(node, "lineno", 0),
+            column=getattr(node, "col_offset", 0),
+            severity=rule.severity,
+            message=message,
+            snippet=self.snippet(node),
+        )
+
+
+def load_module(path: Path, display_path: str | None = None) -> ModuleContext:
+    """Read and parse one source file into a :class:`ModuleContext`.
+
+    Raises:
+        LintError: the file cannot be read or does not parse — a
+            syntactically broken module is itself a finding-grade
+            failure, surfaced as a hard error rather than skipped.
+    """
+    display = display_path if display_path is not None else path.as_posix()
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise LintError(f"cannot read {display}: {error}") from error
+    try:
+        tree = ast.parse(source, filename=display)
+    except SyntaxError as error:
+        raise LintError(f"cannot parse {display}: {error}") from error
+    lines = source.splitlines()
+    return ModuleContext(
+        path=display,
+        source=source,
+        lines=lines,
+        tree=tree,
+        pragmas=collect_pragmas(lines),
+    )
+
+
+class Rule:
+    """Base class for one checker.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+
+    Attributes:
+        code: short unique code, e.g. ``"DET001"`` (pragma/baseline
+            handle).
+        name: kebab-case rule name for reports.
+        severity: one of :data:`repro.lint.findings.SEVERITIES`.
+        description: one-line summary of what the rule flags.
+        invariant: the project invariant the rule protects and the
+            dynamic test battery that backs it (shown by
+            ``lint --list-rules`` and documented in ``docs/LINT.md``).
+        include: fnmatch patterns a file's posix path must match (any
+            of them) for the rule to run; ``("*",)`` means every file.
+    """
+
+    code: str = ""
+    name: str = ""
+    severity: str = "warning"
+    description: str = ""
+    invariant: str = ""
+    include: tuple[str, ...] = ("*",)
+
+    def applies_to(self, path: str) -> bool:
+        """Whether this rule is in scope for ``path``."""
+        return any(fnmatch(path, pattern) for pattern in self.include)
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for ``module``; implemented by subclasses."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.code}, severity={self.severity})"
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(rule_class: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    code = rule_class.code
+    if not code:
+        raise LintError(f"rule {rule_class.__name__} has no code")
+    if rule_class.severity not in SEVERITIES:
+        raise LintError(
+            f"rule {code} has unknown severity {rule_class.severity!r}; "
+            f"expected one of {', '.join(SEVERITIES)}"
+        )
+    existing = _REGISTRY.get(code)
+    if existing is not None and existing is not rule_class:
+        raise LintError(
+            f"rule code {code} registered twice "
+            f"({existing.__name__} and {rule_class.__name__})"
+        )
+    _REGISTRY[code] = rule_class
+    return rule_class
+
+
+def all_rules() -> list[Rule]:
+    """One instance of every registered rule, sorted by code.
+
+    Importing :mod:`repro.lint.rules` is what populates the registry;
+    this helper performs that import so callers cannot observe an
+    empty registry by accident.
+    """
+    import repro.lint.rules  # noqa: F401  (registration side effect)
+
+    return [_REGISTRY[code]() for code in sorted(_REGISTRY)]
+
+
+def registered_codes() -> tuple[str, ...]:
+    """Codes of every registered rule, sorted."""
+    import repro.lint.rules  # noqa: F401  (registration side effect)
+
+    return tuple(sorted(_REGISTRY))
+
+
+def terminal_name(node: ast.AST) -> str | None:
+    """The rightmost identifier of a name or attribute chain.
+
+    ``self._front_door_lock`` → ``"_front_door_lock"``; ``lock`` →
+    ``"lock"``; anything else (calls, subscripts) → ``None``. Rules
+    use this to classify receivers ("does this look like a lock /
+    an instrumentation handle?") without type information.
+    """
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def iter_source_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Expand files and directories into a sorted stream of ``.py`` files.
+
+    Directories are walked recursively; the walk order is sorted so a
+    lint run is deterministic — the linter holds itself to the
+    determinism standard it enforces.
+    """
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+        else:
+            raise LintError(f"not a python file or directory: {path}")

@@ -1,0 +1,81 @@
+"""Suppression pragmas: ``# lint: ignore[RULE]`` comments.
+
+Two forms are recognized:
+
+* **Line pragma** — ``# lint: ignore[DET001]`` (or a comma list,
+  ``ignore[DET001, COST001]``) on the line a finding anchors to
+  suppresses the named rules for that line only.
+* **File pragma** — ``# lint: ignore-file[CONC002]`` anywhere in the
+  file suppresses the named rules for the whole file.
+
+``ignore[*]`` suppresses every rule. Pragmas are the *surgical*
+escape hatch for lines where the flagged construct is deliberate and
+locally justified; findings that are grandfathered wholesale belong in
+the committed baseline instead (see :mod:`repro.lint.baseline`), where
+each entry carries a reviewable justification.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = ["Pragmas", "collect_pragmas"]
+
+_PRAGMA = re.compile(
+    r"#\s*lint:\s*(?P<scope>ignore|ignore-file)\s*\[(?P<codes>[^\]]+)\]"
+)
+
+
+def _parse_codes(raw: str) -> frozenset[str]:
+    return frozenset(
+        code.strip().upper() for code in raw.split(",") if code.strip()
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class Pragmas:
+    """Parsed suppression pragmas of one source file.
+
+    Attributes:
+        line_rules: 1-based line number → rule codes suppressed there.
+        file_rules: rule codes suppressed for the entire file.
+    """
+
+    line_rules: dict[int, frozenset[str]] = field(default_factory=dict)
+    file_rules: frozenset[str] = frozenset()
+
+    def suppresses(self, rule: str, line: int) -> bool:
+        """Whether ``rule`` is suppressed at ``line``."""
+        rule = rule.upper()
+        if rule in self.file_rules or "*" in self.file_rules:
+            return True
+        codes = self.line_rules.get(line)
+        if codes is None:
+            return False
+        return rule in codes or "*" in codes
+
+
+def collect_pragmas(lines: Iterable[str]) -> Pragmas:
+    """Scan source ``lines`` for pragmas.
+
+    The scan is textual (it does not tokenize), so a pragma-shaped
+    string *literal* would also register; in practice that never
+    happens outside the lint framework's own tests, and a textual scan
+    keeps pragma handling independent of whether the file parses.
+    """
+    line_rules: dict[int, frozenset[str]] = {}
+    file_rules: frozenset[str] = frozenset()
+    for number, line in enumerate(lines, start=1):
+        match = _PRAGMA.search(line)
+        if match is None:
+            continue
+        codes = _parse_codes(match.group("codes"))
+        if not codes:
+            continue
+        if match.group("scope") == "ignore-file":
+            file_rules = file_rules | codes
+        else:
+            line_rules[number] = line_rules.get(number, frozenset()) | codes
+    return Pragmas(line_rules=line_rules, file_rules=file_rules)

@@ -1,0 +1,87 @@
+"""Reporters: human-readable text and machine-readable JSON.
+
+The JSON document is the CI artifact (``lint --format json``); its
+shape is versioned so downstream tooling can rely on it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.lint.framework import Rule
+from repro.lint.runner import LintResult
+
+__all__ = ["render_findings", "render_rules", "result_to_json"]
+
+#: Schema version of the JSON report.
+REPORT_VERSION = 1
+
+
+def render_findings(result: LintResult, verbose: bool = False) -> str:
+    """Human report: one line per finding plus a summary footer."""
+    lines: list[str] = []
+    for finding in result.findings:
+        lines.append(
+            f"{finding.location}: {finding.severity} "
+            f"[{finding.rule}] {finding.message}"
+        )
+        if finding.snippet:
+            lines.append(f"    {finding.snippet}")
+    if verbose:
+        for finding in result.baselined:
+            lines.append(
+                f"{finding.location}: baselined [{finding.rule}] "
+                f"{finding.message}"
+            )
+        for finding in result.suppressed:
+            lines.append(
+                f"{finding.location}: suppressed by pragma [{finding.rule}]"
+            )
+    for entry in result.stale_baseline:
+        lines.append(
+            f"stale baseline entry: [{entry.rule}] {entry.path} — "
+            f"{entry.snippet!r} no longer matches; delete it"
+        )
+    lines.append(
+        f"checked {result.files_checked} file(s) with "
+        f"{len(result.rules)} rule(s): {len(result.findings)} finding(s), "
+        f"{len(result.baselined)} baselined, "
+        f"{len(result.suppressed)} pragma-suppressed"
+    )
+    return "\n".join(lines)
+
+
+def render_rules(rules: list[Rule]) -> str:
+    """The rule catalog: code, severity, scope, and invariant."""
+    sections: list[str] = []
+    for rule in rules:
+        scope = ", ".join(rule.include)
+        sections.append(
+            f"{rule.code} ({rule.name}) — {rule.severity}\n"
+            f"  {rule.description}\n"
+            f"  invariant: {rule.invariant}\n"
+            f"  scope: {scope}"
+        )
+    return "\n".join(sections)
+
+
+def result_to_json(result: LintResult, indent: int | None = 2) -> str:
+    """The run as a versioned JSON document (the CI artifact)."""
+    document: dict[str, Any] = {
+        "version": REPORT_VERSION,
+        "files_checked": result.files_checked,
+        "rules": list(result.rules),
+        "summary": {
+            "findings": len(result.findings),
+            "baselined": len(result.baselined),
+            "suppressed": len(result.suppressed),
+            "stale_baseline": len(result.stale_baseline),
+        },
+        "findings": [finding.as_dict() for finding in result.findings],
+        "baselined": [finding.as_dict() for finding in result.baselined],
+        "stale_baseline": [
+            entry.as_dict() for entry in result.stale_baseline
+        ],
+    }
+    return json.dumps(document, indent=indent, sort_keys=True)

@@ -1,0 +1,51 @@
+"""The rule set: importing this package registers every rule.
+
+Rule families (one module each):
+
+* :mod:`~repro.lint.rules.determinism` — DET001/DET002: unordered
+  iteration and arbitrary-element extraction in plan/fingerprint
+  paths;
+* :mod:`~repro.lint.rules.concurrency` — CONC001/CONC002: locks held
+  across blocking calls; module-level mutable state mutated at
+  runtime;
+* :mod:`~repro.lint.rules.costmodel` — COST001/COST002: exact float
+  cost comparison; separability-gate bypass (the DPconv
+  split-independence precondition);
+* :mod:`~repro.lint.rules.obs_discipline` — OBS001: ungated obs calls
+  in enumerator hot loops;
+* :mod:`~repro.lint.rules.api` — API001/API002: ``__all__`` drift and
+  wildcard imports;
+* :mod:`~repro.lint.rules.typing_rules` — TYPE001: public return
+  annotations (the ast half of the mypy gate).
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules.api import DunderAllIntegrityRule, WildcardImportRule
+from repro.lint.rules.concurrency import (
+    LockAcrossBlockingCallRule,
+    ModuleMutableStateRule,
+)
+from repro.lint.rules.costmodel import (
+    ExactFloatCostComparisonRule,
+    SeparabilityGateRule,
+)
+from repro.lint.rules.determinism import (
+    ArbitrarySetElementRule,
+    UnorderedSetIterationRule,
+)
+from repro.lint.rules.obs_discipline import ObsInHotLoopRule
+from repro.lint.rules.typing_rules import PublicAnnotationRule
+
+__all__ = [
+    "ArbitrarySetElementRule",
+    "DunderAllIntegrityRule",
+    "ExactFloatCostComparisonRule",
+    "LockAcrossBlockingCallRule",
+    "ModuleMutableStateRule",
+    "ObsInHotLoopRule",
+    "PublicAnnotationRule",
+    "SeparabilityGateRule",
+    "UnorderedSetIterationRule",
+    "WildcardImportRule",
+]

@@ -1,0 +1,177 @@
+"""API-hygiene rules: ``__all__`` integrity and wildcard imports.
+
+Every module in this package declares ``__all__``; the public surface
+documented in ``docs/API.md`` is generated from it, and the service
+re-exports rely on it. Drift — an ``__all__`` entry whose definition
+was renamed away, duplicates, or a module that silently lost its
+declaration — breaks ``from repro.x import *`` consumers and the
+docs' contract without any dynamic test noticing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import ERROR, Finding, WARNING
+from repro.lint.framework import ModuleContext, Rule, register
+
+__all__ = ["DunderAllIntegrityRule", "WildcardImportRule"]
+
+#: Modules exempt from the "must declare __all__" check: executable
+#: entry points and empty packages have no import surface to declare.
+_ALL_EXEMPT_BASENAMES = frozenset({"__main__.py"})
+
+
+def _module_level_names(tree: ast.Module) -> set[str]:
+    """Every name bound at module level (defs, classes, imports,
+    assignments — including inside top-level ``if``/``try`` blocks)."""
+    names: set[str] = set()
+
+    def visit_block(statements: list[ast.stmt]) -> None:
+        for node in statements:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                names.add(node.name)
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name.split(".")[0]
+                    names.add(bound)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    names.update(_target_names(target))
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                names.update(_target_names(node.target))
+            elif isinstance(node, ast.If):
+                visit_block(node.body)
+                visit_block(node.orelse)
+            elif isinstance(node, ast.Try):
+                visit_block(node.body)
+                visit_block(node.orelse)
+                visit_block(node.finalbody)
+                for handler in node.handlers:
+                    visit_block(handler.body)
+            elif isinstance(node, (ast.With, ast.For, ast.While)):
+                visit_block(node.body)
+
+    visit_block(tree.body)
+    return names
+
+
+def _target_names(target: ast.expr) -> set[str]:
+    if isinstance(target, ast.Name):
+        return {target.id}
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: set[str] = set()
+        for element in target.elts:
+            names.update(_target_names(element))
+        return names
+    return set()
+
+
+def _find_dunder_all(
+    tree: ast.Module,
+) -> tuple[ast.stmt | None, list[ast.expr]]:
+    """The ``__all__ = [...]`` statement and its element nodes."""
+    for node in tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and any(
+                isinstance(target, ast.Name) and target.id == "__all__"
+                for target in node.targets
+            )
+            and isinstance(node.value, (ast.List, ast.Tuple))
+        ):
+            return node, list(node.value.elts)
+    return None, []
+
+
+@register
+class DunderAllIntegrityRule(Rule):
+    """API001: ``__all__`` missing, undefined, duplicated, or untyped."""
+
+    code = "API001"
+    name = "dunder-all-integrity"
+    severity = WARNING
+    description = (
+        "__all__ is missing, lists an undefined name, repeats an "
+        "entry, or holds a non-string"
+    )
+    invariant = (
+        "docs/API.md and the package re-exports are generated from "
+        "__all__; an entry without a definition breaks "
+        "`from repro.x import *` and the documented surface silently"
+    )
+    include = ("*/repro/*.py",)
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        statement, elements = _find_dunder_all(module.tree)
+        if statement is None:
+            basename = module.path.rsplit("/", 1)[-1]
+            if basename in _ALL_EXEMPT_BASENAMES:
+                return
+            if not any(
+                not isinstance(node, (ast.Expr, ast.ImportFrom, ast.Import))
+                for node in module.tree.body
+            ):
+                return  # docstring/import-only stub has no surface
+            yield module.finding(
+                self,
+                module.tree.body[0] if module.tree.body else module.tree,
+                "module defines names but declares no __all__; declare "
+                "its public surface explicitly",
+            )
+            return
+        defined = _module_level_names(module.tree)
+        seen: set[str] = set()
+        for element in elements:
+            if not isinstance(element, ast.Constant) or not isinstance(
+                element.value, str
+            ):
+                yield module.finding(
+                    self, element, "__all__ entries must be string literals"
+                )
+                continue
+            name = element.value
+            if name in seen:
+                yield module.finding(
+                    self, element, f"duplicate __all__ entry {name!r}"
+                )
+            seen.add(name)
+            if name not in defined:
+                yield module.finding(
+                    self,
+                    element,
+                    f"__all__ lists {name!r} but the module defines no "
+                    "such name (drift after a rename/move?)",
+                )
+
+
+@register
+class WildcardImportRule(Rule):
+    """API002: ``from module import *``."""
+
+    code = "API002"
+    name = "wildcard-import"
+    severity = ERROR
+    description = "wildcard import"
+    invariant = (
+        "wildcard imports make the importing module's surface depend "
+        "on another module's __all__ at import time — renames stop "
+        "being statically traceable and shadowing goes unnoticed"
+    )
+    include = ("*/repro/*.py",)
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and any(
+                alias.name == "*" for alias in node.names
+            ):
+                yield module.finding(
+                    self,
+                    node,
+                    f"wildcard import from {node.module or '.'}; import "
+                    "names explicitly",
+                )

@@ -1,0 +1,101 @@
+"""Obs discipline: no instrumentation calls in enumerator hot loops.
+
+The obs layer's design rule (enforced dynamically by the overhead
+guard in ``tests/obs/``) is that **enumeration hot paths never call
+into obs**: enumerators accumulate the paper counters in plain-int
+``CounterSet`` fields and publish totals *once per run*. A single
+``obs.count(...)`` inside the DPsub subset loop is ``O(2^n)`` calls —
+and worse, one that is not behind the ``enabled`` gate (or a
+``is not None`` check) makes the obs-off fast path lie about "zero
+calls when instrumentation is off".
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.lint.findings import ERROR, Finding
+from repro.lint.framework import ModuleContext, Rule, register, terminal_name
+
+__all__ = ["ObsInHotLoopRule"]
+
+#: Receiver names that look like an instrumentation handle.
+_OBS_RECEIVER = re.compile(r"(obs|instrument|tracer)", re.I)
+
+#: Instrumentation entry points.
+_OBS_METHODS = frozenset(
+    {"count", "observe", "span", "timed", "record_optimization", "increment"}
+)
+
+#: Gate fragments: an ancestor `if` mentioning one of these sanctions
+#: the call (textual check on the unparsed test expression).
+_GATE_TOKENS = ("enabled", "is not None")
+
+
+@register
+class ObsInHotLoopRule(Rule):
+    """OBS001: an obs call inside an enumerator loop, ungated."""
+
+    code = "OBS001"
+    name = "obs-call-in-hot-loop"
+    severity = ERROR
+    description = (
+        "an instrumentation call inside a loop in an enumerator "
+        "module, not behind an `enabled`/`is not None` gate"
+    )
+    invariant = (
+        "obs-off runs make zero obs calls and hot loops publish "
+        "counters once per run; backed by the structural O(1)-obs-"
+        "calls overhead guard in tests/obs/, which cannot see a gated "
+        "call that later loses its gate"
+    )
+    include = ("*/repro/core/*.py", "*/repro/hyper/*.py")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        yield from self._visit(module.tree, module, in_loop=False, gated=False)
+
+    def _visit(
+        self, node: ast.AST, module: ModuleContext, in_loop: bool, gated: bool
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            child_in_loop = in_loop
+            child_gated = gated
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda)):
+                # A nested def is its own execution context.
+                yield from self._visit(child, module, False, False)
+                continue
+            if isinstance(child, (ast.For, ast.AsyncFor, ast.While)):
+                child_in_loop = True
+            elif isinstance(child, ast.If) and self._is_gate(child.test):
+                child_gated = True
+            if in_loop and not gated and isinstance(child, ast.Call):
+                finding = self._check_call(module, child)
+                if finding is not None:
+                    yield finding
+            yield from self._visit(child, module, child_in_loop, child_gated)
+
+    def _is_gate(self, test: ast.expr) -> bool:
+        rendered = ast.unparse(test)
+        return any(token in rendered for token in _GATE_TOKENS)
+
+    def _check_call(
+        self, module: ModuleContext, call: ast.Call
+    ) -> Finding | None:
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return None
+        if func.attr not in _OBS_METHODS:
+            return None
+        receiver = terminal_name(func.value)
+        if receiver is None or _OBS_RECEIVER.search(receiver) is None:
+            return None
+        return module.finding(
+            self,
+            call,
+            f"{receiver}.{func.attr}(...) inside an enumerator loop; "
+            "accumulate in CounterSet plain ints and publish once per "
+            "run, or gate the call behind `if <obs>.enabled:`",
+        )

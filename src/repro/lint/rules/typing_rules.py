@@ -1,0 +1,80 @@
+"""Typing coverage: the ast-side half of the strict-typing gate.
+
+mypy (configured in ``pyproject.toml``, run in CI's static-analysis
+job) checks the types that exist; this rule makes sure the *public*
+surface keeps declaring them in the first place, and it runs in every
+environment — including ones without mypy installed — so the
+annotation floor is enforced by the same meta-test that keeps the
+tree lint-clean.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import ADVICE, Finding
+from repro.lint.framework import ModuleContext, Rule, register
+
+__all__ = ["PublicAnnotationRule"]
+
+#: Dunder methods whose return type is fixed by protocol; annotating
+#: them adds noise, not information.
+_PROTOCOL_DUNDERS = frozenset(
+    {"__init__", "__exit__", "__aexit__", "__init_subclass__", "__set_name__"}
+)
+
+
+@register
+class PublicAnnotationRule(Rule):
+    """TYPE001: a public callable is missing its return annotation."""
+
+    code = "TYPE001"
+    name = "public-return-annotation"
+    severity = ADVICE
+    description = (
+        "a public (non-underscore) function or method has no return "
+        "annotation"
+    )
+    invariant = (
+        "mypy only checks what is declared: an unannotated public "
+        "return erases type errors at every call site; the CI mypy "
+        "gate (pyproject [tool.mypy]) is the dynamic half of this "
+        "check"
+    )
+    include = ("*/repro/*.py",)
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        yield from self._visit(module, module.tree, inside_function=False)
+
+    def _visit(
+        self, module: ModuleContext, node: ast.AST, inside_function: bool
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if not inside_function and self._needs_annotation(child):
+                    yield module.finding(
+                        self,
+                        child,
+                        f"public callable {child.name!r} has no return "
+                        "annotation; declare one so mypy checks its "
+                        "call sites",
+                    )
+                # Nested (closure) functions are implementation detail.
+                yield from self._visit(module, child, inside_function=True)
+            else:
+                yield from self._visit(module, child, inside_function)
+
+    def _needs_annotation(
+        self, function: "ast.FunctionDef | ast.AsyncFunctionDef"
+    ) -> bool:
+        name = function.name
+        if function.returns is not None:
+            return False
+        if name.startswith("_") and not (
+            name.startswith("__") and name.endswith("__")
+        ):
+            return False
+        if name in _PROTOCOL_DUNDERS:
+            return False
+        return True

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import json
 import re
-from typing import Mapping
+from typing import Any, Mapping
 
 from repro.obs.instrumentation import Instrumentation
 from repro.obs.tracer import Span
@@ -28,7 +28,7 @@ _INVALID_METRIC_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
 _QUANTILE_KEYS = (("p50_ms", "0.5"), ("p95_ms", "0.95"), ("p99_ms", "0.99"))
 
 
-def to_json(snapshot: Mapping, indent: int | None = 2) -> str:
+def to_json(snapshot: Mapping[str, Any], indent: int | None = 2) -> str:
     """Serialize a snapshot dict as JSON."""
     return json.dumps(snapshot, indent=indent, sort_keys=True)
 
@@ -39,7 +39,7 @@ def metric_name(name: str, prefix: str = "repro") -> str:
     return f"{prefix}_{sanitized}" if prefix else sanitized
 
 
-def to_prometheus(snapshot: Mapping, prefix: str = "repro") -> str:
+def to_prometheus(snapshot: Mapping[str, Any], prefix: str = "repro") -> str:
     """Render counters and histograms in the Prometheus text format.
 
     Spans have no Prometheus equivalent and are skipped. Histogram
@@ -87,7 +87,7 @@ def render_report(
                 [[name, value] for name, value in counters.items()],
             )
         )
-    histograms: Mapping[str, Mapping] = snapshot["histograms"]
+    histograms: Mapping[str, Mapping[str, Any]] = snapshot["histograms"]
     populated = {
         name: summary for name, summary in histograms.items() if summary.get("count")
     }
@@ -110,5 +110,5 @@ def render_report(
     return "\n\n".join(sections) if sections else "no observations recorded"
 
 
-def _round(value):
+def _round(value: object) -> object:
     return round(value, 3) if isinstance(value, float) else value

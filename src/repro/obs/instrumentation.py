@@ -17,7 +17,7 @@ and enumeration runs the pre-obs fast path.
 from __future__ import annotations
 
 from contextlib import contextmanager, nullcontext
-from typing import TYPE_CHECKING, ContextManager
+from typing import TYPE_CHECKING, ContextManager, Iterator
 
 from repro.obs.counters import CounterRegistry
 from repro.obs.histogram import HistogramRegistry
@@ -81,7 +81,12 @@ class Instrumentation:
             self.histograms.observe(name, seconds)
 
     @contextmanager
-    def timed(self, histogram_name: str, span_name: str | None = None, **attributes):
+    def timed(
+        self,
+        histogram_name: str,
+        span_name: str | None = None,
+        **attributes: object,
+    ) -> Iterator[Span | None]:
         """Time a block into a histogram (and optionally a span)."""
         import time
 
@@ -139,9 +144,9 @@ class Instrumentation:
     # Introspection
     # ------------------------------------------------------------------
 
-    def snapshot(self, include_spans: bool = True) -> dict:
+    def snapshot(self, include_spans: bool = True) -> dict[str, object]:
         """Counters, histograms and (optionally) span trees as one dict."""
-        snapshot: dict = {
+        snapshot: dict[str, object] = {
             "counters": self.counters.snapshot(),
             "histograms": self.histograms.snapshot(),
         }

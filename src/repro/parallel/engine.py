@@ -44,8 +44,14 @@ import hashlib
 import pickle
 import time
 from contextlib import nullcontext
+from typing import TYPE_CHECKING
 
-from repro.core.base import CounterSet, JoinOrderer, PlanTable
+from repro.core.base import (
+    CounterSet,
+    JoinOrderer,
+    OptimizationResult,
+    PlanTable,
+)
 from repro.core.dpsize import DPsize
 from repro.cost.base import CostModel
 from repro.errors import PoolBrokenError
@@ -56,6 +62,10 @@ from repro.parallel.resilience import CircuitBreaker, RetryPolicy
 from repro.parallel.worker import QuerySpec, ShardTask, run_shard
 from repro.plans.jointree import JoinTree
 from repro.service.fingerprint import compute_fingerprint
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.catalog import Catalog
+    from repro.obs.instrumentation import Instrumentation
 
 __all__ = ["ParallelDPsize", "DEFAULT_MIN_PAIRS_PER_SHARD"]
 
@@ -162,7 +172,13 @@ class ParallelDPsize(JoinOrderer):
     # JoinOrderer plumbing
     # ------------------------------------------------------------------
 
-    def optimize(self, graph, cost_model=None, catalog=None, instrumentation=None):
+    def optimize(
+        self,
+        graph: QueryGraph,
+        cost_model: "CostModel | None" = None,
+        catalog: "Catalog | None" = None,
+        instrumentation: "Instrumentation | None" = None,
+    ) -> OptimizationResult:
         # Capture the instrumentation so _run can emit per-level spans;
         # the base class owns the outer optimize:<name> span and the
         # once-per-run counter publication.

@@ -168,20 +168,46 @@ class _QueryState:
         self.installed: set[int] = {1}
 
 
-_STATE: "OrderedDict[str, _QueryState]" = OrderedDict()
+class _WarmStateCache:
+    """LRU cache of :class:`_QueryState`, local to one worker process.
+
+    Worker processes re-import this module fresh, so each process owns
+    an independent instance: entries are only ever touched from task
+    bodies running *in that process*, never shared across processes,
+    and the coordinator's merge step depends only on the authoritative
+    shard results shipped back — never on this cache's contents.
+    Encapsulating the dict here keeps that process-locality structural
+    instead of a convention about a bare module-level mapping.
+    """
+
+    __slots__ = ("_entries", "_capacity")
+
+    def __init__(self, capacity: int) -> None:
+        self._entries: OrderedDict[str, _QueryState] = OrderedDict()
+        self._capacity = capacity
+
+    def get_or_build(self, spec: QuerySpec) -> _QueryState:
+        """Fetch or build the warm state for ``spec`` (LRU-capped)."""
+        state = self._entries.get(spec.key)
+        if state is not None:
+            self._entries.move_to_end(spec.key)
+            return state
+        state = _QueryState(spec)
+        self._entries[spec.key] = state
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+        return state
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+_STATE = _WarmStateCache(STATE_CAPACITY)
 
 
 def _state_for(spec: QuerySpec) -> _QueryState:
-    """Fetch or build the warm state for ``spec`` (LRU-capped)."""
-    state = _STATE.get(spec.key)
-    if state is not None:
-        _STATE.move_to_end(spec.key)
-        return state
-    state = _QueryState(spec)
-    _STATE[spec.key] = state
-    while len(_STATE) > STATE_CAPACITY:
-        _STATE.popitem(last=False)
-    return state
+    """Fetch or build the warm state for ``spec`` in this process."""
+    return _STATE.get_or_build(spec)
 
 
 def _install_levels(

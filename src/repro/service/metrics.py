@@ -13,7 +13,7 @@ counters and span timings all land in the same snapshot.
 from __future__ import annotations
 
 import json
-from typing import Mapping
+from typing import Any, Mapping
 
 from repro.obs.counters import Counter, CounterRegistry
 from repro.obs.histogram import DEFAULT_WINDOW, Histogram, HistogramRegistry
@@ -61,7 +61,7 @@ class MetricsRegistry:
         """The histogram called ``name``, created if needed."""
         return self._histograms.histogram(name)
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, dict[str, object]]:
         """All instruments as a plain, JSON-serializable dict."""
         return {
             "counters": self._counters.snapshot(),
@@ -73,12 +73,12 @@ class MetricsRegistry:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
 
 
-def render_snapshot(snapshot: Mapping) -> str:
+def render_snapshot(snapshot: Mapping[str, Any]) -> str:
     """Render a :meth:`MetricsRegistry.snapshot` dict as monospace tables."""
     from repro.bench.reporting import render_table
 
     sections: list[str] = []
-    cache: Mapping = snapshot.get("cache", {})
+    cache: Mapping[str, Any] = snapshot.get("cache", {})
     if cache:
         sections.append(
             "plan cache\n"
@@ -101,7 +101,7 @@ def render_snapshot(snapshot: Mapping) -> str:
                 ["name", "value"], [[name, value] for name, value in counters.items()]
             )
         )
-    histograms: Mapping[str, Mapping] = snapshot.get("histograms", {})
+    histograms: Mapping[str, Mapping[str, Any]] = snapshot.get("histograms", {})
     populated = {
         name: summary for name, summary in histograms.items() if summary.get("count")
     }

@@ -1,0 +1,27 @@
+"""Shared paths and helpers for the lint test battery."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+SRC_REPRO = REPO_ROOT / "src" / "repro"
+BASELINE_FILE = REPO_ROOT / "LINT_BASELINE.json"
+
+
+@pytest.fixture()
+def fixtures_root() -> Path:
+    return FIXTURES
+
+
+def rule_by_code(code: str):
+    """The registered rule instance with ``code``."""
+    from repro.lint import all_rules
+
+    for rule in all_rules():
+        if rule.code == code:
+            return rule
+    raise LookupError(code)

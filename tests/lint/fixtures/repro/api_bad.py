@@ -1,0 +1,7 @@
+"""API001 true positives: __all__ drift."""
+
+__all__ = ["exists", "exists", "missing_name", 42]
+
+
+def exists() -> None:
+    return None

@@ -1,0 +1,9 @@
+"""API001/API002 true negatives."""
+
+from os import path
+
+__all__ = ["exists"]
+
+
+def exists() -> bool:
+    return path.exists(".")

@@ -1,0 +1,5 @@
+"""API001 true positive: defines names but declares no __all__."""
+
+
+def orphan() -> None:
+    return None

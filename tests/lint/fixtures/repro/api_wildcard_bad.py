@@ -1,0 +1,5 @@
+"""API002 true positive."""
+
+from os.path import *  # noqa: F403
+
+__all__ = []

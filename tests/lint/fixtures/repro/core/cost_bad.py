@@ -1,0 +1,25 @@
+"""COST001/COST002 true positives."""
+
+
+def pick(result, reference) -> bool:
+    if result.cost == reference.cost:  # COST001: exact float equality
+        return True
+    return result.total_cost != reference.total_cost  # COST001
+
+
+def contracted(result, reference) -> bool:
+    return result.cost == reference.cost  # lint: ignore[COST001]
+
+
+def half_gated_symmetry(cost_model, plans):
+    operator = cost_model.separable_join_operator
+    if operator is not None:  # COST002: missing cost_model.symmetric
+        return [operator(p) for p in plans]
+    return plans
+
+
+def half_gated_none(cost_model):
+    operator = getattr(cost_model, "separable_join_operator", None)
+    if cost_model.symmetric:  # COST002: missing `is not None` check
+        return operator
+    return None

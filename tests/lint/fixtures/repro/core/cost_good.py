@@ -1,0 +1,18 @@
+"""COST001/COST002 true negatives."""
+
+import math
+
+
+def verified(result, reference) -> bool:
+    if result.cost is None:  # None comparison is exempt
+        return False
+    if result.status == "ok":  # string comparison is exempt
+        return math.isclose(result.cost, reference.cost)
+    return False
+
+
+def fully_gated(cost_model, plans):
+    operator = getattr(cost_model, "separable_join_operator", None)
+    if operator is not None and cost_model.symmetric:
+        return [operator(p) for p in plans]
+    return plans

@@ -1,0 +1,16 @@
+"""DET001/DET002 true positives: unordered set consumption."""
+
+__all__ = ["merge"]
+
+
+def merge(plans: set[int]) -> list[int]:
+    out: list[int] = []
+    for mask in plans:  # DET001: for-loop over a set
+        out.append(mask)
+    masks = {m for m in out}
+    listed = list(masks)  # DET001: list() over a set
+    doubled = [m * 2 for m in masks]  # DET001: comprehension over a set
+    first = next(iter(masks))  # DET002: arbitrary element
+    popped = masks.pop()  # DET002: arbitrary element
+    allowed = [m for m in masks]  # lint: ignore[DET001]
+    return listed + doubled + [first, popped] + allowed

@@ -1,0 +1,17 @@
+"""DET001/DET002 true negatives: bitset ints, membership-only sets,
+sorted iteration."""
+
+__all__ = ["enumerate_masks"]
+
+
+def enumerate_masks(n: int) -> list[int]:
+    seen: set[int] = set()
+    out: list[int] = []
+    for mask in range(1, 1 << n):  # int loop, not a set
+        low = mask & -mask  # bitset algebra on plain ints
+        if low not in seen:  # membership test only
+            seen.add(low)
+            out.append(low)
+    for mask in sorted(seen):  # sorted() makes the order total
+        out.append(mask)
+    return out

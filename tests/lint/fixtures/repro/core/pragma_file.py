@@ -1,0 +1,6 @@
+# lint: ignore-file[DET001]
+"""File-scope pragma: every DET001 below is deliberately suppressed."""
+
+
+def all_iteration(masks: set[int]) -> list[int]:
+    return [m for m in masks] + list(masks)

@@ -1,0 +1,13 @@
+"""OBS001 true positives: ungated obs calls inside enumeration loops."""
+
+
+def enumerate_pairs(obs, pairs):
+    total = 0
+    for left, right in pairs:
+        obs.count("enumerator.pairs")  # OBS001: per-candidate obs call
+        obs.observe("enumerator.pair_seconds", 0.0)  # OBS001
+        total += 1
+    while total:
+        total -= 1
+        obs.count("enumerator.drain")  # lint: ignore[OBS001]
+    return total

@@ -1,0 +1,17 @@
+"""OBS001 true negatives: gated calls, once-per-run publication."""
+
+
+def enumerate_gated(obs, pairs):
+    total = 0
+    for left, right in pairs:
+        total += 1
+        if obs.enabled:  # gate sanctions the call
+            obs.count("enumerator.pairs")
+    obs.count("enumerator.total", total)  # outside the loop: fine
+    return total
+
+
+def plain_counters(counters, pairs):
+    for left, right in pairs:
+        counters.inner += 1  # plain-int accumulation, not an obs call
+    return counters

@@ -1,0 +1,9 @@
+"""CONC002 true positives: module-level containers mutated at runtime."""
+
+_REGISTRY: dict[str, int] = {}
+_QUEUE = []
+
+
+def register(name: str, value: int) -> None:
+    _REGISTRY[name] = value  # CONC002: subscript assignment
+    _QUEUE.append(name)  # CONC002: mutator method

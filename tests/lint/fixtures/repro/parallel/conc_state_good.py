@@ -1,0 +1,17 @@
+"""CONC002 true negatives: import-time-frozen registry, instance state."""
+
+_FROZEN = {"a": 1, "b": 2}  # populated at import time, read-only after
+
+
+def lookup(name: str) -> int:
+    return _FROZEN.get(name, 0)
+
+
+class Cache:
+    """Mutable state lives on instances, not the module."""
+
+    def __init__(self) -> None:
+        self.entries: dict[str, int] = {}
+
+    def put(self, name: str, value: int) -> None:
+        self.entries[name] = value

@@ -1,0 +1,19 @@
+"""CONC001 true positives: blocking while a lock is held."""
+
+import threading
+import time
+
+_lock = threading.Lock()
+
+
+def hold_and_block(pool, future):
+    with _lock:
+        value = future.result()  # CONC001: Future.result under lock
+        time.sleep(0.01)  # CONC001: sleep under lock
+        pool.submit(print, value)  # CONC001: pool dispatch under lock
+    return value
+
+
+def suppressed(future):
+    with _lock:
+        return future.result()  # lint: ignore[CONC001]

@@ -1,0 +1,16 @@
+"""CONC001 true negatives: compute under the lock, block outside."""
+
+import threading
+
+_lock = threading.Lock()
+
+
+def compute_then_block(future, waiters):
+    with _lock:
+        pending = list(waiters)
+    return future.result()  # outside the lock: fine
+
+
+def string_join(parts):
+    with _lock:
+        return ", ".join(parts)  # str.join is not a thread join

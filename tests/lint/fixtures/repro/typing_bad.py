@@ -1,0 +1,15 @@
+"""TYPE001 true positives: public callables without return annotations."""
+
+__all__ = ["public_no_annotation", "Thing"]
+
+
+def public_no_annotation(x):  # TYPE001
+    return x
+
+
+class Thing:
+    def method_no_annotation(self):  # TYPE001
+        return 1
+
+    def tolerated(self):  # lint: ignore[TYPE001]
+        return 2

@@ -1,0 +1,29 @@
+"""TYPE001 true negatives."""
+
+__all__ = ["annotated", "Thing", "outer"]
+
+
+def annotated() -> int:
+    return 1
+
+
+def _private(x):  # private helpers are exempt
+    return x
+
+
+class Thing:
+    def __init__(self, x):  # protocol dunder: return type is fixed
+        self.x = x
+
+    def value(self) -> int:
+        return self.x
+
+    def _helper(self):
+        return None
+
+
+def outer() -> int:
+    def inner(y):  # nested closures are implementation detail
+        return y
+
+    return inner(1)

@@ -1,0 +1,134 @@
+"""Baseline semantics: content-anchored matching, staleness, schema."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint import load_baseline, run_lint, write_baseline
+from repro.lint.baseline import Baseline, BaselineEntry
+from repro.lint.findings import ERROR, Finding
+
+from tests.lint.conftest import FIXTURES, rule_by_code
+
+
+def _finding(path: str = "src/repro/core/x.py", snippet: str = "s.pop()") -> Finding:
+    return Finding(
+        rule="DET002",
+        path=path,
+        line=10,
+        column=0,
+        severity=ERROR,
+        message="msg",
+        snippet=snippet,
+    )
+
+
+class TestMatching:
+    def test_content_match_ignores_line_numbers(self) -> None:
+        entry = BaselineEntry(
+            rule="DET002",
+            path="src/repro/core/x.py",
+            snippet="s.pop()",
+            justification="because",
+        )
+        moved = _finding()
+        assert entry.matches(moved)  # entry carries no line at all
+
+    def test_path_suffix_matches_on_segment_boundary(self) -> None:
+        entry = BaselineEntry(
+            rule="DET002", path="core/x.py", snippet="s.pop()", justification="j"
+        )
+        assert entry.matches(_finding(path="src/repro/core/x.py"))
+        assert not entry.matches(_finding(path="src/repro/hardcore/x.py"))
+
+    def test_snippet_change_resurfaces_finding(self) -> None:
+        entry = BaselineEntry(
+            rule="DET002",
+            path="src/repro/core/x.py",
+            snippet="s.pop()",
+            justification="j",
+        )
+        assert not entry.matches(_finding(snippet="t.pop()"))
+
+    def test_stale_entries_reported(self) -> None:
+        matching = BaselineEntry(
+            rule="DET002",
+            path="src/repro/core/x.py",
+            snippet="s.pop()",
+            justification="j",
+        )
+        stale = BaselineEntry(
+            rule="DET001", path="gone.py", snippet="for x in s:", justification="j"
+        )
+        baseline = Baseline([matching, stale])
+        assert baseline.absorbs(_finding())
+        assert baseline.stale_entries() == [stale]
+
+
+class TestDocuments:
+    def test_write_then_load_round_trip(self, tmp_path: Path) -> None:
+        result = run_lint(
+            [FIXTURES / "repro/core/det_bad.py"],
+            rules=[rule_by_code("DET002")],
+        )
+        assert result.findings
+        baseline_path = tmp_path / "baseline.json"
+        count = write_baseline(baseline_path, result.findings)
+        assert count == len(result.findings)
+        baseline = load_baseline(baseline_path)
+        rerun = run_lint(
+            [FIXTURES / "repro/core/det_bad.py"],
+            rules=[rule_by_code("DET002")],
+            baseline=baseline,
+        )
+        assert rerun.findings == []
+        assert len(rerun.baselined) == count
+        assert rerun.stale_baseline == []
+
+    def test_empty_justification_rejected(self, tmp_path: Path) -> None:
+        path = tmp_path / "b.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "entries": [
+                        {
+                            "rule": "DET001",
+                            "path": "x.py",
+                            "snippet": "s",
+                            "justification": "  ",
+                        }
+                    ],
+                }
+            ),
+            encoding="utf-8",
+        )
+        with pytest.raises(LintError, match="justification"):
+            load_baseline(path)
+
+    def test_missing_field_rejected(self, tmp_path: Path) -> None:
+        path = tmp_path / "b.json"
+        path.write_text(
+            json.dumps({"version": 1, "entries": [{"rule": "DET001"}]}),
+            encoding="utf-8",
+        )
+        with pytest.raises(LintError, match="missing field"):
+            load_baseline(path)
+
+    def test_wrong_version_rejected(self, tmp_path: Path) -> None:
+        path = tmp_path / "b.json"
+        path.write_text(
+            json.dumps({"version": 99, "entries": []}), encoding="utf-8"
+        )
+        with pytest.raises(LintError, match="version"):
+            load_baseline(path)
+
+    def test_invalid_json_rejected(self, tmp_path: Path) -> None:
+        path = tmp_path / "b.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(LintError, match="JSON"):
+            load_baseline(path)

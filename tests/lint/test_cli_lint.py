@@ -1,0 +1,111 @@
+"""The ``repro-joinorder lint`` subcommand: formats, gating, baseline
+workflow, exit codes."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.lint import registered_codes
+
+from tests.lint.conftest import FIXTURES
+
+DET_BAD = str(FIXTURES / "repro" / "core" / "det_bad.py")
+DET_GOOD = str(FIXTURES / "repro" / "core" / "det_good.py")
+
+
+def test_clean_tree_exits_zero(capsys: pytest.CaptureFixture) -> None:
+    code = main(["lint", DET_GOOD, "--no-baseline"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "0 finding(s)" in out
+
+
+def test_findings_fail_the_gate(capsys: pytest.CaptureFixture) -> None:
+    code = main(["lint", DET_BAD, "--no-baseline"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "DET001" in out and "DET002" in out
+
+
+def test_fail_on_never_reports_but_passes(
+    capsys: pytest.CaptureFixture,
+) -> None:
+    code = main(["lint", DET_BAD, "--no-baseline", "--fail-on", "never"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "DET001" in out
+
+
+def test_json_format_is_machine_readable(
+    capsys: pytest.CaptureFixture,
+) -> None:
+    code = main(["lint", DET_BAD, "--no-baseline", "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    rules = {finding["rule"] for finding in payload["findings"]}
+    assert {"DET001", "DET002"} <= rules
+    assert payload["files_checked"] == 1
+
+
+def test_rule_subset_filter(capsys: pytest.CaptureFixture) -> None:
+    code = main(
+        ["lint", DET_BAD, "--no-baseline", "--rules", "DET002",
+         "--format", "json"]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert {f["rule"] for f in payload["findings"]} == {"DET002"}
+
+
+def test_unknown_rule_code_is_a_usage_error(
+    capsys: pytest.CaptureFixture,
+) -> None:
+    code = main(["lint", DET_BAD, "--rules", "NOPE001"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "NOPE001" in err
+
+
+def test_list_rules_catalog(capsys: pytest.CaptureFixture) -> None:
+    code = main(["lint", "--list-rules"])
+    out = capsys.readouterr().out
+    assert code == 0
+    for rule_code in registered_codes():
+        assert rule_code in out
+    assert "invariant:" in out
+
+
+def test_write_baseline_then_rescan_clean(
+    tmp_path: Path, capsys: pytest.CaptureFixture
+) -> None:
+    baseline = tmp_path / "baseline.json"
+    code = main(
+        ["lint", DET_BAD, "--write-baseline", str(baseline)]
+    )
+    assert code == 0
+    document = json.loads(baseline.read_text(encoding="utf-8"))
+    assert document["entries"], "baseline should capture the findings"
+    assert all(
+        entry["justification"].startswith("TODO")
+        for entry in document["entries"]
+    )
+    capsys.readouterr()
+    rescan = main(["lint", DET_BAD, "--baseline", str(baseline)])
+    out = capsys.readouterr().out
+    assert rescan == 0
+    assert "0 finding(s)" in out
+
+
+def test_missing_baseline_file_is_not_an_error(
+    tmp_path: Path, capsys: pytest.CaptureFixture
+) -> None:
+    # The default baseline path simply may not exist (fresh checkout
+    # of a clean tree); that must not crash the command.
+    code = main(
+        ["lint", DET_GOOD, "--baseline", str(tmp_path / "absent.json")]
+    )
+    assert code == 0

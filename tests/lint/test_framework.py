@@ -1,0 +1,139 @@
+"""Framework mechanics: pragmas, registration, loading, findings."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint import all_rules, load_module, registered_codes, run_lint
+from repro.lint.findings import (
+    ADVICE,
+    ERROR,
+    WARNING,
+    Finding,
+    severity_rank,
+)
+from repro.lint.framework import Rule, register
+from repro.lint.pragmas import collect_pragmas
+
+
+class TestPragmas:
+    def test_line_pragma_targets_its_line(self) -> None:
+        pragmas = collect_pragmas(
+            ["x = 1", "y = 2  # lint: ignore[DET001]", "z = 3"]
+        )
+        assert pragmas.suppresses("DET001", 2)
+        assert not pragmas.suppresses("DET001", 1)
+        assert not pragmas.suppresses("DET001", 3)
+        assert not pragmas.suppresses("CONC001", 2)
+
+    def test_multiple_codes_and_spacing(self) -> None:
+        pragmas = collect_pragmas(["q()  # lint: ignore[DET001, CONC001]"])
+        assert pragmas.suppresses("DET001", 1)
+        assert pragmas.suppresses("CONC001", 1)
+        assert not pragmas.suppresses("COST001", 1)
+
+    def test_wildcard_pragma(self) -> None:
+        pragmas = collect_pragmas(["q()  # lint: ignore[*]"])
+        assert pragmas.suppresses("ANYTHING", 1)
+
+    def test_file_pragma_covers_every_line(self) -> None:
+        pragmas = collect_pragmas(
+            ["# lint: ignore-file[OBS001]", "a = 1", "b = 2"]
+        )
+        assert pragmas.suppresses("OBS001", 1)
+        assert pragmas.suppresses("OBS001", 3)
+        assert not pragmas.suppresses("DET001", 2)
+
+
+class TestRegistry:
+    def test_all_rules_sorted_and_unique(self) -> None:
+        codes = [rule.code for rule in all_rules()]
+        assert codes == sorted(codes)
+        assert len(codes) == len(set(codes))
+        assert tuple(codes) == registered_codes()
+
+    def test_duplicate_code_rejected(self) -> None:
+        class Duplicate(Rule):
+            code = "DET001"
+            name = "imposter"
+            severity = ERROR
+            description = "duplicate"
+            invariant = "none"
+            include = ("*",)
+
+            def check(self, module):  # pragma: no cover - never runs
+                return iter(())
+
+        with pytest.raises(LintError, match="DET001"):
+            register(Duplicate)
+
+    def test_bad_severity_rejected(self) -> None:
+        class BadSeverity(Rule):
+            code = "ZZZ999"
+            name = "bad-severity"
+            severity = "fatal"
+            description = "bad"
+            invariant = "none"
+            include = ("*",)
+
+            def check(self, module):  # pragma: no cover - never runs
+                return iter(())
+
+        with pytest.raises(LintError, match="severity"):
+            register(BadSeverity)
+
+
+class TestLoadModule:
+    def test_syntax_error_raises_lint_error(self, tmp_path: Path) -> None:
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n", encoding="utf-8")
+        with pytest.raises(LintError, match="broken.py"):
+            load_module(bad)
+
+    def test_missing_file_raises_lint_error(self, tmp_path: Path) -> None:
+        with pytest.raises(LintError):
+            load_module(tmp_path / "absent.py")
+
+
+class TestFindings:
+    def test_severity_order(self) -> None:
+        assert severity_rank(ADVICE) < severity_rank(WARNING)
+        assert severity_rank(WARNING) < severity_rank(ERROR)
+        with pytest.raises(LintError):
+            severity_rank("nope")
+
+    def test_as_dict_round_trip(self) -> None:
+        finding = Finding(
+            rule="DET001",
+            path="src/repro/core/x.py",
+            line=3,
+            column=4,
+            severity=ERROR,
+            message="msg",
+            snippet="for x in s:",
+        )
+        payload = finding.as_dict()
+        assert payload["rule"] == "DET001"
+        assert payload["line"] == 3
+        assert finding.identity == ("DET001", "src/repro/core/x.py", "for x in s:")
+
+
+class TestRunner:
+    def test_directory_scan_is_deterministic(self) -> None:
+        fixtures = Path(__file__).resolve().parent / "fixtures"
+        first = run_lint([fixtures])
+        second = run_lint([fixtures])
+        assert [f.identity for f in first.findings] == [
+            f.identity for f in second.findings
+        ]
+        assert first.files_checked == second.files_checked
+
+    def test_gate_thresholds(self) -> None:
+        fixtures = Path(__file__).resolve().parent / "fixtures"
+        result = run_lint([fixtures])
+        assert not result.gate("advice")
+        assert not result.gate("error")  # corpus contains DET001 errors
+        assert result.gate("never")

@@ -1,0 +1,70 @@
+"""The meta-test: the shipped source tree is lint-clean modulo the
+committed baseline, and the baseline itself carries no dead weight.
+
+This is the local enforcement of the CI static-analysis gate — the
+linter's rules are only worth their fixtures if the code they were
+written for actually satisfies them.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.lint import load_baseline, run_lint
+
+from tests.lint.conftest import BASELINE_FILE, REPO_ROOT, SRC_REPRO
+
+
+def test_src_repro_is_clean_modulo_baseline() -> None:
+    baseline = (
+        load_baseline(BASELINE_FILE) if BASELINE_FILE.exists() else None
+    )
+    result = run_lint([SRC_REPRO], baseline=baseline, root=REPO_ROOT)
+    assert result.findings == [], "\n".join(
+        f"{f.location}: [{f.rule}] {f.message}" for f in result.findings
+    )
+
+
+def test_baseline_has_no_stale_entries() -> None:
+    if not BASELINE_FILE.exists():
+        pytest.skip("no committed baseline")
+    baseline = load_baseline(BASELINE_FILE)
+    result = run_lint([SRC_REPRO], baseline=baseline, root=REPO_ROOT)
+    assert result.stale_baseline == [], [
+        entry.as_dict() for entry in result.stale_baseline
+    ]
+
+
+def test_baseline_justifications_are_real() -> None:
+    if not BASELINE_FILE.exists():
+        pytest.skip("no committed baseline")
+    document = json.loads(BASELINE_FILE.read_text(encoding="utf-8"))
+    for entry in document["entries"]:
+        justification = entry["justification"]
+        assert len(justification) > 20, entry
+        assert not justification.startswith("TODO"), entry
+
+
+def test_no_error_severity_findings_even_without_baseline() -> None:
+    # The baseline may grandfather warnings, never invariant errors:
+    # determinism- and concurrency-class findings must be fixed, not
+    # suppressed.
+    result = run_lint([SRC_REPRO], root=REPO_ROOT)
+    errors = [f for f in result.findings if f.severity == "error"]
+    assert errors == [], "\n".join(f.location for f in errors)
+
+
+def test_mypy_gate_if_available() -> None:
+    pytest.importorskip("mypy", reason="mypy runs in CI's static-analysis job")
+    completed = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "pyproject.toml"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stdout + completed.stderr

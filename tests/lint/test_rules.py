@@ -1,0 +1,142 @@
+"""Every rule against its fixture corpus: true positives fire, true
+negatives stay silent, pragmas suppress.
+
+Each case pins the *snippets* a rule must flag (content, not line
+numbers, so fixture edits elsewhere don't invalidate the test) and
+asserts the paired ``*_good.py`` fixture produces nothing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import run_lint
+
+from tests.lint.conftest import FIXTURES, rule_by_code
+
+#: code -> (bad fixtures, good fixtures, expected flagged snippet
+#: fragments, expected suppressed count)
+RULE_CASES = {
+    "DET001": (
+        ["repro/core/det_bad.py", "repro/core/pragma_file.py"],
+        ["repro/core/det_good.py"],
+        ["for mask in plans", "listed = list(masks)", "doubled = [m * 2"],
+        3,  # one line pragma + two under the file-scope pragma
+    ),
+    "DET002": (
+        ["repro/core/det_bad.py"],
+        ["repro/core/det_good.py"],
+        ["next(iter(masks))", "masks.pop()"],
+        0,
+    ),
+    "CONC001": (
+        ["repro/service/conc_bad.py"],
+        ["repro/service/conc_good.py"],
+        ["future.result()", "time.sleep(0.01)", "pool.submit("],
+        1,
+    ),
+    "CONC002": (
+        ["repro/parallel/conc_state_bad.py"],
+        ["repro/parallel/conc_state_good.py"],
+        ["_REGISTRY[name] = value", "_QUEUE.append(name)"],
+        0,
+    ),
+    "COST001": (
+        ["repro/core/cost_bad.py"],
+        ["repro/core/cost_good.py"],
+        ["result.cost == reference.cost", "result.total_cost !="],
+        1,
+    ),
+    "COST002": (
+        ["repro/core/cost_bad.py"],
+        ["repro/core/cost_good.py"],
+        [
+            "operator = cost_model.separable_join_operator",
+            'getattr(cost_model, "separable_join_operator", None)',
+        ],
+        0,
+    ),
+    "OBS001": (
+        ["repro/hyper/obs_bad.py"],
+        ["repro/hyper/obs_good.py"],
+        ['obs.count("enumerator.pairs")', "obs.observe("],
+        1,
+    ),
+    "API001": (
+        ["repro/api_bad.py", "repro/api_missing_all.py"],
+        ["repro/api_good.py"],
+        ["__all__ ="] * 3 + ['"""API001 true positive'],
+        0,
+    ),
+    "API002": (
+        ["repro/api_wildcard_bad.py"],
+        ["repro/api_good.py"],
+        ["from os.path import *"],
+        0,
+    ),
+    "TYPE001": (
+        ["repro/typing_bad.py"],
+        ["repro/typing_good.py"],
+        ["def public_no_annotation(x):", "def method_no_annotation(self):"],
+        1,
+    ),
+}
+
+
+def _paths(relative: list[str]) -> list[Path]:
+    return [FIXTURES / rel for rel in relative]
+
+
+@pytest.mark.parametrize("code", sorted(RULE_CASES))
+def test_rule_fires_on_bad_fixture(code: str) -> None:
+    bad, _good, fragments, _suppressed = RULE_CASES[code]
+    result = run_lint(_paths(bad), rules=[rule_by_code(code)])
+    snippets = [finding.snippet for finding in result.findings]
+    assert len(snippets) == len(fragments), snippets
+    for fragment in fragments:
+        assert any(fragment in snippet for snippet in snippets), (
+            fragment,
+            snippets,
+        )
+    for finding in result.findings:
+        assert finding.rule == code
+        assert finding.severity == rule_by_code(code).severity
+        assert finding.line > 0 and finding.message
+
+
+@pytest.mark.parametrize("code", sorted(RULE_CASES))
+def test_rule_silent_on_good_fixture(code: str) -> None:
+    _bad, good, _fragments, _suppressed = RULE_CASES[code]
+    result = run_lint(_paths(good), rules=[rule_by_code(code)])
+    assert result.findings == [], [f.snippet for f in result.findings]
+
+
+@pytest.mark.parametrize("code", sorted(RULE_CASES))
+def test_pragma_suppression_counts(code: str) -> None:
+    bad, _good, _fragments, suppressed = RULE_CASES[code]
+    result = run_lint(_paths(bad), rules=[rule_by_code(code)])
+    assert len(result.suppressed) == suppressed, [
+        f.snippet for f in result.suppressed
+    ]
+
+
+def test_every_registered_rule_has_a_fixture_case() -> None:
+    from repro.lint import registered_codes
+
+    assert set(registered_codes()) == set(RULE_CASES)
+
+
+def test_rule_scoping_excludes_out_of_scope_paths(tmp_path: Path) -> None:
+    # The same DET001-triggering source outside a determinism-critical
+    # directory produces nothing: scope is part of the rule.
+    out_of_scope = tmp_path / "repro" / "bench" / "free.py"
+    out_of_scope.parent.mkdir(parents=True)
+    out_of_scope.write_text(
+        "def f(masks: set[int]) -> list[int]:\n"
+        "    return [m for m in masks]\n",
+        encoding="utf-8",
+    )
+    result = run_lint([out_of_scope], rules=[rule_by_code("DET001")])
+    assert result.findings == []
