@@ -325,6 +325,11 @@ class PlanService:
         if self._closed.is_set():
             raise ServiceError("the plan service is closed")
         with self._front_door_lock:
+            # Re-check under the lock: a close() racing past the check
+            # above has already swapped the executor to None, and lazily
+            # recreating one here would leak threads on a closed service.
+            if self._closed.is_set():
+                raise ServiceError("the plan service is closed")
             if self._front_door is None:
                 self._front_door = ThreadPoolExecutor(
                     max_workers=max(2, self._workers),

@@ -140,6 +140,42 @@ class TestConfigAndLifecycle:
         with pytest.raises(ServiceError):
             service.plan(graph, catalog)
 
+    def test_submit_request_refuses_after_close(self):
+        service = PlanService(workers=1)
+        service.close()
+        graph, catalog = make_instance(n=4)
+        with pytest.raises(ServiceError):
+            service.submit_request(PlanRequest(graph=graph, catalog=catalog))
+        assert service._front_door is None
+
+    def test_submit_request_close_race_does_not_revive_front_door(self):
+        # Deterministic interleaving of the submit/close race: the first
+        # _closed check sees an open service, close() completes before
+        # the front-door lock is taken, and the re-check under the lock
+        # must refuse instead of lazily creating a fresh executor on
+        # the closed service (which would leak its threads forever).
+        service = PlanService(workers=1)
+        graph, catalog = make_instance(n=4)
+        real_is_set = service._closed.is_set
+        state = {"first": True}
+
+        def racing_is_set():
+            if state["first"]:
+                state["first"] = False
+                service.close()
+                return False  # the pre-close snapshot the caller saw
+            return real_is_set()
+
+        service._closed.is_set = racing_is_set
+        try:
+            with pytest.raises(ServiceError):
+                service.submit_request(
+                    PlanRequest(graph=graph, catalog=catalog)
+                )
+        finally:
+            del service._closed.is_set
+        assert service._front_door is None
+
     def test_snapshot_contains_cache_and_latency(self, service):
         graph, catalog = make_instance(n=5)
         service.plan(graph, catalog)
