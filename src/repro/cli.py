@@ -8,6 +8,7 @@
     python -m repro table    --figure 3
     python -m repro bench    --figure 10 --budget 500000
     python -m repro serve-batch --topology star -n 10 --requests 200 --repeat-ratio 0.7
+    python -m repro serve --port 8080 --cache-shards 8 --k-best 2
     python -m repro stats
     python -m repro obs-report --topology star -n 8
     python -m repro lint src/repro --format json
@@ -18,7 +19,10 @@ same on multiple cores via the level-synchronous parallel DPsize
 analytical and measured counters; ``table`` regenerates Figure 3;
 ``bench`` runs the timing experiments of Figures 8-12; ``serve-batch``
 replays a workload through the caching :class:`~repro.service.PlanService`
-and reports hit rates and latency percentiles; ``stats`` renders a
+and reports hit rates and latency percentiles; ``serve`` exposes that
+service over HTTP (:mod:`repro.server` — admission control, per-tenant
+quotas, sharded cache, optional warm-start persistence) until
+interrupted; ``stats`` renders a
 metrics snapshot (from a ``--metrics`` JSON file or a built-in demo
 workload); ``obs-report`` runs instrumented enumerations through the
 unified :mod:`repro.obs` layer, prints counters/timings/span trees, and
@@ -255,6 +259,74 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="write the final metrics snapshot as JSON",
+    )
+
+    http_serve = commands.add_parser(
+        "serve",
+        help="serve the plan service over HTTP until interrupted "
+        "(admission control, tenant quotas, sharded cache)",
+    )
+    http_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default loopback)"
+    )
+    http_serve.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="TCP port; 0 picks a free port and prints it",
+    )
+    http_serve.add_argument(
+        "--algorithm", choices=sorted(ALGORITHMS), default="adaptive"
+    )
+    http_serve.add_argument("--cache-capacity", type=int, default=1024)
+    http_serve.add_argument(
+        "--cache-shards",
+        type=int,
+        default=8,
+        help="plan-cache lock domains (1 = the single-lock cache)",
+    )
+    http_serve.add_argument(
+        "--k-best",
+        type=int,
+        default=2,
+        help="plans retained per fingerprint; >= 2 lets degraded "
+        "requests serve the cached rank-2 plan instead of a heuristic",
+    )
+    http_serve.add_argument("--ttl-seconds", type=float, default=None)
+    http_serve.add_argument(
+        "--workers", type=int, default=4, help="planning threads"
+    )
+    http_serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="default per-request deadline (requests may override)",
+    )
+    http_serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help="admission-control bound; excess requests get 429 + "
+        "Retry-After",
+    )
+    http_serve.add_argument(
+        "--tenant-rate",
+        type=float,
+        default=200.0,
+        help="token-bucket refill per tenant (requests/second)",
+    )
+    http_serve.add_argument(
+        "--tenant-burst",
+        type=float,
+        default=400.0,
+        help="token-bucket capacity per tenant",
+    )
+    http_serve.add_argument(
+        "--persist",
+        default=None,
+        metavar="FILE",
+        help="cache snapshot file: warm-start from it on boot, write "
+        "it back on shutdown",
     )
 
     stats = commands.add_parser(
@@ -739,6 +811,51 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.server import PlanServer, ServerConfig
+    from repro.service import PlanService
+
+    deadline = None if args.deadline_ms is None else args.deadline_ms / 1000.0
+    with PlanService(
+        algorithm=args.algorithm,
+        cache_capacity=args.cache_capacity,
+        cache_shards=args.cache_shards,
+        k_best=args.k_best,
+        ttl_seconds=args.ttl_seconds,
+        workers=args.workers,
+        default_deadline_seconds=deadline,
+    ) as service:
+        server = PlanServer(
+            service,
+            ServerConfig(
+                host=args.host,
+                port=args.port,
+                max_inflight=args.max_inflight,
+                tenant_rate=args.tenant_rate,
+                tenant_burst=args.tenant_burst,
+                persist_path=args.persist,
+            ),
+        )
+
+        def announce(started: PlanServer) -> None:
+            print(
+                f"serving on http://{args.host}:{started.port} — "
+                f"algorithm={args.algorithm}, "
+                f"cache_shards={args.cache_shards}, k_best={args.k_best}, "
+                f"max_inflight={args.max_inflight}"
+            )
+            if args.persist is not None:
+                print(
+                    f"warm-start: {started.restored_entries} cache "
+                    f"entr{'y' if started.restored_entries == 1 else 'ies'} "
+                    f"restored from {args.persist}"
+                )
+            print("Ctrl-C to stop")
+
+        server.run_until_interrupted(on_started=announce)
+    return 0
+
+
 def _command_stats(args: argparse.Namespace) -> int:
     import json
 
@@ -995,6 +1112,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "parse": _command_parse,
         "selfcheck": _command_selfcheck,
         "serve-batch": _command_serve_batch,
+        "serve": _command_serve,
         "stats": _command_stats,
         "obs-report": _command_obs_report,
         "pipeline": _command_pipeline,

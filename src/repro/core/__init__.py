@@ -29,6 +29,7 @@ from repro.core.greedy import GreedyOperatorOrdering
 from repro.core.dpall import DPall
 from repro.core.idp import IterativeDP
 from repro.core.ikkbz import IKKBZ
+from repro.core.kbest import KBestResult, k_best_plans, plan_fingerprint
 from repro.core.leftdeep import LeftDeepDP
 from repro.core.quickpick import QuickPick
 from repro.core.topdown import TopDownBB
@@ -59,8 +60,11 @@ __all__ = [
     "AdaptiveOptimizer",
     "ALGORITHMS",
     "FALLBACK_ALGORITHMS",
+    "KBestResult",
+    "k_best_plans",
     "make_algorithm",
     "optimize",
+    "plan_fingerprint",
 ]
 
 #: Registry of constructible algorithms, keyed by lower-case name.

@@ -83,13 +83,17 @@ class AdaptiveOptimizer(JoinOrderer):
         cost_model: CostModel | None = None,
         catalog: Catalog | None = None,
         instrumentation=None,
+        plan_table_factory=None,
     ) -> OptimizationResult:
         """Dispatch to the chosen algorithm; result names the delegate.
 
         The delegate publishes its obs events under its own name
         (``enumerator.DPccp.*``), which is what the paper's per-
         algorithm accounting wants; only the returned result carries
-        the combined ``adaptive->`` label.
+        the combined ``adaptive->`` label. A ``plan_table_factory``
+        (the k-best capture hook) is forwarded only when the delegate
+        supports in-run capture — DPconv's value-only sweep would
+        silently miss candidates.
         """
         delegate = self.choose(graph)
         result = delegate.optimize(
@@ -97,6 +101,9 @@ class AdaptiveOptimizer(JoinOrderer):
             cost_model=cost_model,
             catalog=catalog,
             instrumentation=instrumentation,
+            plan_table_factory=(
+                plan_table_factory if delegate.kbest_capture else None
+            ),
         )
         result.algorithm = f"{self.name}->{delegate.name}"
         return result

@@ -14,7 +14,7 @@ import abc
 import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterator
+from typing import TYPE_CHECKING, Callable, Iterator
 
 from repro import bitset
 from repro.catalog.catalog import Catalog
@@ -221,12 +221,22 @@ class JoinOrderer(abc.ABC):
     #: products and therefore handles disconnected graphs.
     requires_connected: bool = True
 
+    #: True for bottom-up enumerators that route *every* candidate plan
+    #: for the full relation set through ``table.consider``/``register``
+    #: — the precondition for in-run k-best capture via an injected
+    #: :class:`~repro.core.kbest.KBestPlanTable`. False for algorithms
+    #: that memoize or prune root candidates internally (exhaustive's
+    #: champion memo, top-down branch-and-bound, DPconv's value-only
+    #: sweep); those get post-hoc capture instead.
+    kbest_capture: bool = False
+
     def optimize(
         self,
         graph: QueryGraph,
         cost_model: CostModel | None = None,
         catalog: Catalog | None = None,
         instrumentation: "Instrumentation | None" = None,
+        plan_table_factory: "Callable[[], PlanTable] | None" = None,
     ) -> OptimizationResult:
         """Find the optimal bushy cross-product-free join tree.
 
@@ -242,6 +252,14 @@ class JoinOrderer(abc.ABC):
                 enumeration, as ``enumerator.<name>.*`` events. ``None``
                 (the default) keeps the uninstrumented fast path: no
                 obs call happens anywhere.
+            plan_table_factory: optional factory for the ``BestPlan``
+                table, letting callers observe the enumeration through
+                a :class:`PlanTable` subclass (the k-best capture in
+                :mod:`repro.core.kbest`). The injected table MUST
+                preserve the base compare-and-replace semantics so the
+                returned plan stays bit-identical to an uninstrumented
+                run. Ignored for single-relation queries, which never
+                build a table.
 
         Raises:
             EmptyQueryError: zero relations (unreachable via
@@ -282,7 +300,11 @@ class JoinOrderer(abc.ABC):
                 plan = cost_model.leaf(0)
                 table_size = 1
             else:
-                table = PlanTable()
+                table = (
+                    plan_table_factory()
+                    if plan_table_factory is not None
+                    else PlanTable()
+                )
                 for index in range(graph.n_relations):
                     table.register(cost_model.leaf(index))
                 self._run(graph, cost_model, table, counters)

@@ -35,6 +35,7 @@ class DPall(JoinOrderer):
     """Optimal bushy join trees *including* cross products."""
 
     name = "DPall"
+    kbest_capture = True
     requires_connected = False
 
     def _run(

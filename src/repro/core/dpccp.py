@@ -32,6 +32,7 @@ class DPccp(JoinOrderer):
     """Csg-cmp-pair-driven DP enumeration — adapts to any graph shape."""
 
     name = "DPccp"
+    kbest_capture = True
 
     def _run(
         self,

@@ -31,6 +31,7 @@ class DPsize(JoinOrderer):
     """Size-driven DP enumeration of bushy cross-product-free trees."""
 
     name = "DPsize"
+    kbest_capture = True
 
     def _run(
         self,

@@ -41,6 +41,7 @@ class DPsub(JoinOrderer):
     """Subset-driven DP enumeration of bushy cross-product-free trees."""
 
     name = "DPsub"
+    kbest_capture = True
 
     def _run(
         self,

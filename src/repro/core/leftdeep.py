@@ -30,6 +30,7 @@ class LeftDeepDP(JoinOrderer):
     """Exact DP over left-deep cross-product-free join trees."""
 
     name = "LeftDeepDP"
+    kbest_capture = True
 
     def _run(
         self,

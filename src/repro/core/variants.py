@@ -35,6 +35,7 @@ class DPsizeBasic(JoinOrderer):
     """Figure 1 verbatim: full left-size range, no equal-size halving."""
 
     name = "DPsize-basic"
+    kbest_capture = True
 
     def _run(
         self,
@@ -79,6 +80,7 @@ class DPsubBasic(JoinOrderer):
     """Figure 2 without the ``(*)`` outer connectedness filter."""
 
     name = "DPsub-basic"
+    kbest_capture = True
 
     def _run(
         self,

@@ -8,6 +8,8 @@ Rule families (one module each):
 * :mod:`~repro.lint.rules.concurrency` — CONC001/CONC002: locks held
   across blocking calls; module-level mutable state mutated at
   runtime;
+* :mod:`~repro.lint.rules.async_rules` — ASYNC001: blocking calls
+  inside coroutine bodies of the asyncio HTTP front door;
 * :mod:`~repro.lint.rules.costmodel` — COST001/COST002: exact float
   cost comparison; separability-gate bypass (the DPconv
   split-independence precondition);
@@ -22,6 +24,7 @@ Rule families (one module each):
 from __future__ import annotations
 
 from repro.lint.rules.api import DunderAllIntegrityRule, WildcardImportRule
+from repro.lint.rules.async_rules import BlockingCallInCoroutineRule
 from repro.lint.rules.concurrency import (
     LockAcrossBlockingCallRule,
     ModuleMutableStateRule,
@@ -39,6 +42,7 @@ from repro.lint.rules.typing_rules import PublicAnnotationRule
 
 __all__ = [
     "ArbitrarySetElementRule",
+    "BlockingCallInCoroutineRule",
     "DunderAllIntegrityRule",
     "ExactFloatCostComparisonRule",
     "LockAcrossBlockingCallRule",

@@ -1,0 +1,131 @@
+"""Event-loop hygiene for the asyncio HTTP front door.
+
+The plan server runs every connection on ONE event loop. A single
+blocking call inside a coroutine — ``time.sleep``, ``Future.result``,
+an untimed ``Lock.acquire`` — freezes every connection at once, and
+does so silently: the server still works under a one-client test and
+collapses under the concurrency the server exists to provide. The
+correct patterns are ``await asyncio.sleep``,
+``await asyncio.wrap_future(...)`` and
+``loop.run_in_executor(...)`` for anything that must block.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import ERROR, Finding
+from repro.lint.framework import ModuleContext, Rule, register, terminal_name
+
+__all__ = ["BlockingCallInCoroutineRule"]
+
+#: The asyncio front door: the only package whose code runs on the
+#: event loop (the service/ and parallel/ layers are thread-based and
+#: have their own CONC001 discipline).
+ASYNC_SCOPE: tuple[str, ...] = ("*/repro/server/*.py",)
+
+
+def _is_time_sleep(call: ast.Call) -> bool:
+    """``time.sleep(...)`` — but never ``asyncio.sleep``/``loop.sleep``."""
+    func = call.func
+    return (
+        isinstance(func, ast.Attribute)
+        and func.attr == "sleep"
+        and terminal_name(func.value) == "time"
+    )
+
+
+def _is_future_result(call: ast.Call) -> bool:
+    """``<anything>.result(...)`` — Future.result and
+    ``executor.submit(...).result()`` both land here."""
+    func = call.func
+    return isinstance(func, ast.Attribute) and func.attr == "result"
+
+
+def _is_untimed_acquire(call: ast.Call) -> bool:
+    """``<lock>.acquire()`` with neither a timeout nor blocking=False."""
+    func = call.func
+    if not (isinstance(func, ast.Attribute) and func.attr == "acquire"):
+        return False
+    if call.args:
+        # acquire(False) / acquire(True, 0.5): a positional arg is the
+        # blocking flag or, with two, also the timeout — both bounded.
+        return False
+    for keyword in call.keywords:
+        if keyword.arg == "timeout":
+            return False
+        if keyword.arg == "blocking" and isinstance(
+            keyword.value, ast.Constant
+        ) and keyword.value.value is False:
+            return False
+    return True
+
+
+@register
+class BlockingCallInCoroutineRule(Rule):
+    """ASYNC001: a blocking call inside an ``async def`` body."""
+
+    code = "ASYNC001"
+    name = "blocking-call-in-coroutine"
+    severity = ERROR
+    description = (
+        "a blocking call (time.sleep / Future.result / "
+        "Executor.submit(...).result() / untimed lock .acquire()) "
+        "inside an `async def` body"
+    )
+    invariant = (
+        "the HTTP front door's event loop never blocks: one blocked "
+        "coroutine stalls every open connection; backed by the server "
+        "e2e battery and the CI smoke job's concurrent mixed workload, "
+        "which time out when the loop is frozen — use await "
+        "asyncio.sleep / await asyncio.wrap_future / "
+        "loop.run_in_executor instead"
+    )
+    include = ASYNC_SCOPE
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_coroutine_body(module, node)
+
+    def _check_coroutine_body(
+        self, module: ModuleContext, coroutine: ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        yield from self._visit(module, coroutine)
+
+    def _visit(
+        self, module: ModuleContext, node: ast.AST
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.Lambda)):
+                # A nested sync def is a callback that runs elsewhere
+                # (an executor, a done-callback): not this loop's body.
+                continue
+            if isinstance(child, ast.AsyncFunctionDef):
+                # Handled by its own walk() visit; avoid double reports.
+                continue
+            if isinstance(child, ast.Call):
+                finding = self._check_call(module, child)
+                if finding is not None:
+                    yield finding
+            yield from self._visit(module, child)
+
+    def _check_call(
+        self, module: ModuleContext, call: ast.Call
+    ) -> Finding | None:
+        if _is_time_sleep(call):
+            blocked = "time.sleep() freezes the event loop"
+            fix = "await asyncio.sleep(...) instead"
+        elif _is_future_result(call):
+            blocked = ".result() blocks the event loop until the future resolves"
+            fix = "await asyncio.wrap_future(future) instead"
+        elif _is_untimed_acquire(call):
+            blocked = "an untimed .acquire() can block the event loop indefinitely"
+            fix = (
+                "use asyncio.Lock with `async with`, pass a timeout, "
+                "or move the critical section to an executor"
+            )
+        else:
+            return None
+        return module.finding(self, call, f"{blocked} — {fix}")

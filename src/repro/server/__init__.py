@@ -1,0 +1,35 @@
+"""HTTP front door for the plan service.
+
+The package splits along the request path: :mod:`~repro.server.protocol`
+(HTTP/JSON framing), :mod:`~repro.server.quotas` (per-tenant token
+buckets), :mod:`~repro.server.admission` (global in-flight cap),
+:mod:`~repro.server.app` (the asyncio server itself) and
+:mod:`~repro.server.persistence` (cache warm-start). Start one with::
+
+    from repro.server import PlanServer, ServerConfig
+    from repro.service import PlanService
+
+    with PlanService(cache_shards=8, k_best=2) as service:
+        PlanServer(service, ServerConfig(port=8080)).run_until_interrupted()
+
+or from the CLI: ``repro-joinorder serve --port 8080``.
+"""
+
+from repro.server.admission import AdmissionController, AdmissionDecision
+from repro.server.app import PlanServer, ServerConfig
+from repro.server.persistence import load_cache, save_cache
+from repro.server.protocol import HttpRequest, ProtocolError
+from repro.server.quotas import TenantQuotas, TokenBucket
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "HttpRequest",
+    "PlanServer",
+    "ProtocolError",
+    "ServerConfig",
+    "TenantQuotas",
+    "TokenBucket",
+    "load_cache",
+    "save_cache",
+]

@@ -1,0 +1,131 @@
+"""Admission control: bound the in-flight work, reject the rest early.
+
+A planning request ties up a front-door thread, possibly a worker
+thread and possibly a worker process. Accepting unbounded concurrent
+requests therefore does not increase throughput — it increases queue
+depth until every deadline in the queue is dead on arrival. The
+:class:`AdmissionController` keeps a hard cap on concurrently admitted
+requests and rejects the overflow *immediately* with a structured
+429-style signal carrying a ``retry_after`` hint, which is cheaper for
+everyone than accepting work the server cannot finish in time
+(load-shedding as in SEDA / the Google SRE "handling overload"
+playbook).
+
+The controller is event-loop-internal state: all mutation happens on
+the server's single asyncio loop, so plain integers suffice — no lock,
+and (important for the ASYNC001 rule) nothing here can block the loop.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ServiceError
+
+__all__ = ["AdmissionController", "AdmissionDecision"]
+
+
+class AdmissionDecision:
+    """Outcome of one admission attempt.
+
+    Truthy when admitted. On rejection, ``retry_after`` estimates when
+    a slot is likely to free up (half the observed mean hold time,
+    floored at 50 ms) — a hint, not a promise.
+    """
+
+    __slots__ = ("admitted", "retry_after")
+
+    def __init__(self, admitted: bool, retry_after: float | None = None) -> None:
+        self.admitted = admitted
+        self.retry_after = retry_after
+
+    def __bool__(self) -> bool:
+        return self.admitted
+
+
+class AdmissionController:
+    """Counter-based admission gate with a fixed in-flight cap.
+
+    Args:
+        max_inflight: concurrently admitted requests; further attempts
+            are rejected until a slot releases.
+
+    Usage (from the event loop only)::
+
+        decision = controller.try_admit()
+        if not decision:
+            reject(retry_after=decision.retry_after)
+        try:
+            ...
+        finally:
+            controller.release(elapsed_seconds)
+    """
+
+    __slots__ = (
+        "_max_inflight",
+        "_inflight",
+        "admitted",
+        "rejected",
+        "peak_inflight",
+        "_hold_seconds",
+        "_holds",
+    )
+
+    def __init__(self, max_inflight: int) -> None:
+        if max_inflight < 1:
+            raise ServiceError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        self._max_inflight = max_inflight
+        self._inflight = 0
+        #: Lifetime admission counters (served by /snapshot).
+        self.admitted = 0
+        self.rejected = 0
+        self.peak_inflight = 0
+        self._hold_seconds = 0.0
+        self._holds = 0
+
+    @property
+    def max_inflight(self) -> int:
+        """The configured concurrency cap."""
+        return self._max_inflight
+
+    @property
+    def inflight(self) -> int:
+        """Currently admitted requests."""
+        return self._inflight
+
+    def try_admit(self) -> AdmissionDecision:
+        """Claim a slot, or get a rejection with a retry hint."""
+        if self._inflight >= self._max_inflight:
+            self.rejected += 1
+            return AdmissionDecision(False, retry_after=self._retry_hint())
+        self._inflight += 1
+        self.admitted += 1
+        if self._inflight > self.peak_inflight:
+            self.peak_inflight = self._inflight
+        return AdmissionDecision(True)
+
+    def release(self, hold_seconds: float) -> None:
+        """Return a slot claimed by :meth:`try_admit`."""
+        if self._inflight <= 0:
+            raise ServiceError("release() without a matching try_admit()")
+        self._inflight -= 1
+        self._hold_seconds += max(0.0, hold_seconds)
+        self._holds += 1
+
+    def _retry_hint(self) -> float:
+        if self._holds == 0:
+            return 0.05
+        return max(0.05, 0.5 * self._hold_seconds / self._holds)
+
+    def snapshot(self) -> dict:
+        """JSON-ready admission statistics."""
+        return {
+            "max_inflight": self._max_inflight,
+            "inflight": self._inflight,
+            "peak_inflight": self.peak_inflight,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "mean_hold_seconds": (
+                self._hold_seconds / self._holds if self._holds else 0.0
+            ),
+        }

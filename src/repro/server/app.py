@@ -1,0 +1,428 @@
+"""The asyncio HTTP front door over :class:`~repro.service.PlanService`.
+
+One event loop accepts connections and parses requests; every admitted
+planning request is handed to the service's front-door thread pool via
+``submit_request``/``submit_sql`` and awaited through
+``asyncio.wrap_future`` — the loop itself never runs an enumeration,
+never blocks on a lock with unbounded wait, and never sleeps (the
+ASYNC001 lint rule enforces exactly this discipline over this package).
+
+The request path, in order:
+
+1. **Protocol** — parse HTTP + JSON (:mod:`repro.server.protocol`);
+   malformed input answers 400/413 without touching the service.
+2. **Quota** — the tenant's token bucket
+   (:mod:`repro.server.quotas`); an empty bucket answers 429 with the
+   exact time until the next token.
+3. **Admission** — the global in-flight cap
+   (:mod:`repro.server.admission`); overload answers 429 with a
+   mean-hold-time retry hint instead of queueing doomed work.
+4. **Service** — the full cache/deadline/degradation pipeline;
+   deadlines from the request body propagate into the service's
+   deadline-degradation path, so an expired budget comes back as a
+   degraded plan (rank-2 cached tree when retained, else the
+   heuristic) rather than an error.
+
+Warm start: with ``ServerConfig.persist_path`` set, the server reloads
+the persisted plan cache before accepting the first connection and
+writes it back on shutdown (:mod:`repro.server.persistence`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import ReproError, ServiceError
+from repro.io import (
+    SerializationError,
+    catalog_from_dict,
+    graph_from_dict,
+    plan_to_dict,
+)
+from repro.server.admission import AdmissionController
+from repro.server.protocol import (
+    HttpRequest,
+    ProtocolError,
+    error_body,
+    parse_plan_payload,
+    read_request,
+    render_response,
+)
+from repro.server.quotas import TenantQuotas
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.optimizer_service import PlanResponse, PlanService
+
+__all__ = ["PlanServer", "ServerConfig"]
+
+
+@dataclass(frozen=True, slots=True)
+class ServerConfig:
+    """Tunables of one :class:`PlanServer`.
+
+    Attributes:
+        host / port: bind address; port 0 picks an ephemeral port
+            (read the result from :attr:`PlanServer.port`).
+        max_inflight: admission-control cap on concurrently admitted
+            planning requests (reads like ``/healthz`` are exempt).
+        tenant_rate / tenant_burst: per-tenant token-bucket policy,
+            tokens per second and bucket capacity.
+        max_tenants: bound on simultaneously tracked tenant buckets.
+        persist_path: where the plan cache is saved on shutdown and
+            loaded from on startup; ``None`` disables persistence.
+        shutdown_grace_seconds: how long :meth:`PlanServer.stop` waits
+            for in-flight connections before cancelling them.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_inflight: int = 64
+    tenant_rate: float = 200.0
+    tenant_burst: float = 400.0
+    max_tenants: int = 1024
+    persist_path: str | None = None
+    shutdown_grace_seconds: float = 5.0
+
+
+class PlanServer:
+    """Serves a :class:`~repro.service.PlanService` over HTTP/JSON.
+
+    Lifecycle::
+
+        server = PlanServer(service, ServerConfig(port=0))
+        await server.start()          # binds, warm-starts the cache
+        ...                           # server.port is now real
+        await server.stop()           # drains, persists the cache
+
+    or, blocking convenience for CLI use::
+
+        server.run_until_interrupted()
+
+    The server does not own the service: closing the service remains
+    the caller's job (the CLI's ``serve`` command does both).
+    """
+
+    def __init__(self, service: "PlanService", config: ServerConfig | None = None) -> None:
+        self._service = service
+        self._config = config if config is not None else ServerConfig()
+        self._admission = AdmissionController(self._config.max_inflight)
+        self._quotas = TenantQuotas(
+            rate=self._config.tenant_rate,
+            burst=self._config.tenant_burst,
+            max_tenants=self._config.max_tenants,
+        )
+        self._server: asyncio.Server | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._started = False
+        self._requests_served = 0
+        self._restored_entries = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (only meaningful after :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            raise ServiceError("the server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def restored_entries(self) -> int:
+        """Cache entries restored from the warm-start snapshot."""
+        return self._restored_entries
+
+    async def start(self) -> None:
+        """Warm-start the cache and begin accepting connections."""
+        if self._started:
+            raise ServiceError("the server is already started")
+        if self._config.persist_path is not None:
+            from repro.server.persistence import load_cache
+
+            loop = asyncio.get_running_loop()
+            # File I/O + plan decoding happen off the loop.
+            self._restored_entries = await loop.run_in_executor(
+                None, load_cache, self._service, self._config.persist_path
+            )
+        self._server = await asyncio.start_server(
+            self._on_connection, self._config.host, self._config.port
+        )
+        self._started = True
+
+    async def serve_forever(self) -> None:
+        """Block until the server is stopped (CLI entry)."""
+        if self._server is None:
+            raise ServiceError("call start() first")
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:  # stop() closing the listener
+            pass
+
+    async def stop(self) -> None:
+        """Stop accepting, drain connections, persist the cache."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._connections:
+            done, pending = await asyncio.wait(
+                self._connections,
+                timeout=self._config.shutdown_grace_seconds,
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.wait(pending)
+        if self._config.persist_path is not None:
+            from repro.server.persistence import save_cache
+
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(
+                None, save_cache, self._service, self._config.persist_path
+            )
+        self._started = False
+
+    def run_until_interrupted(
+        self, on_started: Callable[["PlanServer"], None] | None = None
+    ) -> None:
+        """Blocking convenience loop: start, serve, stop on Ctrl-C.
+
+        Args:
+            on_started: called once the listener is bound (the CLI uses
+                it to announce the resolved port when ``port=0``).
+        """
+
+        async def main() -> None:
+            await self.start()
+            if on_started is not None:
+                on_started(self)
+            try:
+                await self.serve_forever()
+            finally:
+                await self.stop()
+
+        try:
+            asyncio.run(main())
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            pass
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.get_running_loop().create_task(
+            self._serve_connection(reader, writer)
+        )
+        self._connections.add(task)
+        task.add_done_callback(self._connections.discard)
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except ProtocolError as error:
+                    # Framing is unreliable after a protocol error, so
+                    # answer and close instead of resynchronizing.
+                    writer.write(
+                        render_response(
+                            error.status,
+                            error_body(error.code, str(error)),
+                            keep_alive=False,
+                        )
+                    )
+                    await writer.drain()
+                    return
+                if request is None:
+                    return
+                status, payload, retry_after = await self._dispatch(request)
+                self._requests_served += 1
+                writer.write(
+                    render_response(
+                        status,
+                        payload,
+                        keep_alive=request.keep_alive,
+                        retry_after=retry_after,
+                    )
+                )
+                await writer.drain()
+                if not request.keep_alive:
+                    return
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    async def _dispatch(
+        self, request: HttpRequest
+    ) -> tuple[int, dict, float | None]:
+        """Route one request; returns (status, body, retry_after)."""
+        route = (request.method, request.path)
+        if route == ("GET", "/healthz"):
+            return 200, {"status": "ok"}, None
+        if route == ("GET", "/snapshot"):
+            return 200, self.snapshot(), None
+        if route in (("POST", "/plan"), ("POST", "/plan_sql")):
+            return await self._handle_planning(request)
+        if request.path in ("/plan", "/plan_sql", "/healthz", "/snapshot"):
+            return (
+                405,
+                error_body("method_not_allowed", f"{request.method} not supported here"),
+                None,
+            )
+        return 404, error_body("not_found", f"unknown path {request.path}"), None
+
+    async def _handle_planning(
+        self, request: HttpRequest
+    ) -> tuple[int, dict, float | None]:
+        """Quota → admission → service for both planning routes."""
+        try:
+            payload = request.json()
+            common = parse_plan_payload(payload)
+        except ProtocolError as error:
+            return error.status, error_body(error.code, str(error)), None
+
+        tenant = common["tenant"] or request.headers.get("x-tenant")
+        quota_wait = self._quotas.try_take(tenant)
+        if quota_wait is not None:
+            return (
+                429,
+                error_body(
+                    "quota_exceeded",
+                    f"tenant {tenant or 'default'!r} is out of tokens",
+                    retry_after=quota_wait,
+                ),
+                quota_wait,
+            )
+
+        decision = self._admission.try_admit()
+        if not decision:
+            return (
+                429,
+                error_body(
+                    "overloaded",
+                    "too many requests in flight; retry later",
+                    retry_after=decision.retry_after,
+                ),
+                decision.retry_after,
+            )
+
+        admitted_at = time.monotonic()
+        try:
+            if request.path == "/plan":
+                future = self._submit_plan(payload, common)
+            else:
+                future = self._submit_plan_sql(payload, common)
+            response = await asyncio.wrap_future(future)
+        except ProtocolError as error:
+            return error.status, error_body(error.code, str(error)), None
+        except ReproError as error:
+            return (
+                400,
+                error_body("plan_error", f"{type(error).__name__}: {error}"),
+                None,
+            )
+        except Exception as error:  # noqa: BLE001 - last-resort boundary
+            return (
+                500,
+                error_body("internal", f"{type(error).__name__}: {error}"),
+                None,
+            )
+        finally:
+            self._admission.release(time.monotonic() - admitted_at)
+        return 200, self._render_plan(response), None
+
+    def _submit_plan(self, payload: dict, common: dict):
+        """Build a PlanRequest from JSON and submit it (returns a Future)."""
+        from repro.service.optimizer_service import PlanRequest
+
+        graph_data = payload.get("graph")
+        if not isinstance(graph_data, dict):
+            raise ProtocolError(400, "bad_field", "graph must be an object")
+        try:
+            graph = graph_from_dict(graph_data)
+            catalog_data = payload.get("catalog")
+            catalog = (
+                catalog_from_dict(catalog_data)
+                if catalog_data is not None
+                else None
+            )
+        except (SerializationError, ReproError) as error:
+            raise ProtocolError(
+                400, "bad_instance", f"{type(error).__name__}: {error}"
+            ) from error
+        return self._service.submit_request(
+            PlanRequest(
+                graph=graph,
+                catalog=catalog,
+                deadline_seconds=common["deadline_seconds"],
+                algorithm=common["algorithm"],
+            )
+        )
+
+    def _submit_plan_sql(self, payload: dict, common: dict):
+        """Submit a plan_sql request (returns a Future)."""
+        sql = payload.get("sql")
+        if not isinstance(sql, str) or not sql.strip():
+            raise ProtocolError(
+                400, "bad_field", "sql must be a non-empty string"
+            )
+        estimator = payload.get("estimator", "independence")
+        if not isinstance(estimator, str):
+            raise ProtocolError(400, "bad_field", "estimator must be a string")
+        return self._service.submit_sql(
+            sql,
+            estimator=estimator,
+            deadline_seconds=common["deadline_seconds"],
+            algorithm=common["algorithm"],
+        )
+
+    def _render_plan(self, response: "PlanResponse") -> dict:
+        return {
+            "plan": plan_to_dict(response.plan),
+            "algorithm": response.algorithm,
+            "cost": response.cost,
+            "cache_hit": response.cache_hit,
+            "degraded": response.degraded,
+            "plan_rank": response.plan_rank,
+            "fingerprint_key": response.fingerprint_key,
+            "elapsed_seconds": response.elapsed_seconds,
+            "optimize_seconds": response.optimize_seconds,
+            "error": response.error,
+        }
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The service's obs snapshot plus the server's own sections."""
+        snapshot = self._service.snapshot()
+        snapshot["server"] = {
+            "requests_served": self._requests_served,
+            "open_connections": len(self._connections),
+            "restored_entries": self._restored_entries,
+            "admission": self._admission.snapshot(),
+            "quotas": self._quotas.snapshot(),
+        }
+        return snapshot
+
+    def __repr__(self) -> str:
+        state = "started" if self._started else "stopped"
+        return f"PlanServer({state}, inflight={self._admission.inflight})"

@@ -1,0 +1,102 @@
+"""Warm-start persistence: the plan cache survives server restarts.
+
+A restarted planner with a cold cache pays the full DP cost for every
+query its predecessor had already solved — for a front door whose whole
+point is amortizing planning across requests, that is the worst moment
+to be slow. :func:`save_cache` serializes every live cache entry (all
+retained ranks, via :meth:`PlanService.export_cache` and the
+:mod:`repro.io` plan codec) on shutdown; :func:`load_cache` restores
+them on boot.
+
+Snapshots are **versioned twice**:
+
+* ``format_version`` — the snapshot file layout itself;
+* ``fingerprint_version`` —
+  :data:`repro.service.fingerprint.FINGERPRINT_VERSION`, the cache-key
+  *scheme*. Keys computed under an older scheme would never match live
+  requests (or worse, collide with the wrong query), so a mismatch
+  drops the whole snapshot — a cold start is always safe, a poisoned
+  cache is not.
+
+Writes are atomic (temp file + ``os.replace``) so a crash mid-save
+leaves the previous snapshot intact, never a half-written one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.service.fingerprint import FINGERPRINT_VERSION
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.optimizer_service import PlanService
+
+__all__ = ["FORMAT_VERSION", "load_cache", "save_cache"]
+
+#: Snapshot file layout version; bump when the envelope changes shape.
+FORMAT_VERSION = 1
+
+
+def save_cache(service: "PlanService", path: str | Path) -> int:
+    """Write every live cache entry of ``service`` to ``path``.
+
+    Returns the number of entries written. The write is atomic: the
+    snapshot lands under a temporary name in the target directory and
+    is renamed into place only once fully flushed.
+    """
+    path = Path(path)
+    records = service.export_cache()
+    envelope = {
+        "kind": "plan_cache_snapshot",
+        "format_version": FORMAT_VERSION,
+        "fingerprint_version": FINGERPRINT_VERSION,
+        "entries": records,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    descriptor, temp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            json.dump(envelope, handle, separators=(",", ":"))
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:  # pragma: no cover - already renamed/removed
+            pass
+        raise
+    return len(records)
+
+
+def load_cache(service: "PlanService", path: str | Path) -> int:
+    """Restore a :func:`save_cache` snapshot into ``service``.
+
+    Returns the number of entries restored. Every failure mode of a
+    warm start — missing file, unreadable JSON, wrong envelope, stale
+    ``fingerprint_version`` or ``format_version`` — restores zero
+    entries and lets the server boot cold; a snapshot must never be
+    able to prevent startup.
+    """
+    path = Path(path)
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            envelope = json.load(handle)
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        return 0
+    if not isinstance(envelope, dict):
+        return 0
+    if envelope.get("kind") != "plan_cache_snapshot":
+        return 0
+    if envelope.get("format_version") != FORMAT_VERSION:
+        return 0
+    if envelope.get("fingerprint_version") != FINGERPRINT_VERSION:
+        return 0
+    entries = envelope.get("entries")
+    if not isinstance(entries, list):
+        return 0
+    return service.import_cache(entries)

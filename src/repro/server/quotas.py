@@ -1,0 +1,145 @@
+"""Per-tenant token-bucket quotas for the plan server.
+
+Admission control (:mod:`repro.server.admission`) bounds *total* load;
+quotas bound *per-tenant* load so one chatty client cannot starve the
+rest even while the server as a whole has capacity. The classic token
+bucket: each tenant accrues ``rate`` tokens per second up to ``burst``,
+a request spends one token, an empty bucket means rejection with the
+exact time until the next token as the retry hint.
+
+Like the admission controller, buckets are touched only from the
+server's event loop, so there is no locking; the clock is injectable
+for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.errors import ServiceError
+
+__all__ = ["DEFAULT_TENANT", "TenantQuotas", "TokenBucket"]
+
+#: Bucket used for requests that do not identify a tenant.
+DEFAULT_TENANT = "default"
+
+
+class TokenBucket:
+    """One tenant's refillable budget.
+
+    Args:
+        rate: tokens added per second (> 0).
+        burst: bucket capacity — the largest instantaneous burst
+            a tenant can spend (>= 1).
+        clock: monotonic time source.
+    """
+
+    __slots__ = ("_rate", "_burst", "_clock", "_tokens", "_updated", "spent", "denied")
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ServiceError(f"quota rate must be positive, got {rate}")
+        if burst < 1:
+            raise ServiceError(f"quota burst must be >= 1, got {burst}")
+        self._rate = rate
+        self._burst = burst
+        self._clock = clock
+        self._tokens = burst
+        self._updated = clock()
+        #: Lifetime accounting (served by /snapshot).
+        self.spent = 0
+        self.denied = 0
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(
+            self._burst, self._tokens + (now - self._updated) * self._rate
+        )
+        self._updated = now
+
+    def try_take(self) -> float | None:
+        """Spend one token; ``None`` on success, else seconds-until-token."""
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            self.spent += 1
+            return None
+        self.denied += 1
+        return (1.0 - self._tokens) / self._rate
+
+    @property
+    def tokens(self) -> float:
+        """Tokens available right now (refilled on read)."""
+        self._refill()
+        return self._tokens
+
+
+class TenantQuotas:
+    """Registry of per-tenant buckets with a shared rate/burst policy.
+
+    Buckets are created lazily on first sight of a tenant name and
+    bounded in number: past ``max_tenants`` distinct names, the least
+    recently *seen* bucket is dropped (its tenant silently reverts to
+    a fresh — full — bucket on return, which errs on the side of
+    admitting; an adversary inventing tenant names defeats per-name
+    quotas by construction, and total load stays capped by admission
+    control anyway).
+
+    Args:
+        rate / burst: token-bucket policy applied to every tenant.
+        max_tenants: bound on simultaneously tracked buckets.
+        clock: monotonic time source shared by all buckets.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        max_tenants: int = 1024,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_tenants < 1:
+            raise ServiceError(
+                f"max_tenants must be >= 1, got {max_tenants}"
+            )
+        self._rate = rate
+        self._burst = burst
+        self._max_tenants = max_tenants
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+
+    def bucket(self, tenant: str | None) -> TokenBucket:
+        """The (lazily created) bucket for ``tenant``."""
+        name = tenant if tenant is not None else DEFAULT_TENANT
+        bucket = self._buckets.pop(name, None)
+        if bucket is None:
+            bucket = TokenBucket(self._rate, self._burst, clock=self._clock)
+        self._buckets[name] = bucket  # re-insert = most recently seen
+        while len(self._buckets) > self._max_tenants:
+            self._buckets.pop(next(iter(self._buckets)))
+        return bucket
+
+    def try_take(self, tenant: str | None) -> float | None:
+        """Spend a token for ``tenant``; ``None`` or the retry hint."""
+        return self.bucket(tenant).try_take()
+
+    def snapshot(self) -> dict:
+        """JSON-ready per-tenant accounting."""
+        return {
+            "rate": self._rate,
+            "burst": self._burst,
+            "tenants": {
+                name: {
+                    "tokens": round(bucket.tokens, 3),
+                    "spent": bucket.spent,
+                    "denied": bucket.denied,
+                }
+                for name, bucket in self._buckets.items()
+            },
+        }

@@ -34,7 +34,20 @@ from repro.catalog.catalog import Catalog
 from repro.graph.canonical import canonical_order
 from repro.graph.querygraph import QueryGraph
 
-__all__ = ["Fingerprint", "compute_fingerprint", "quantize"]
+__all__ = [
+    "FINGERPRINT_VERSION",
+    "Fingerprint",
+    "compute_fingerprint",
+    "quantize",
+]
+
+#: Version of the fingerprint *scheme* (canonicalization + quantization
+#: + digest layout). Persisted cache snapshots embed it; a warm-start
+#: drops any snapshot written under a different version, because keys
+#: from an old scheme would silently never match (dead entries) or —
+#: worse — collide with different queries. Bump on any change to
+#: :func:`compute_fingerprint`'s encoding.
+FINGERPRINT_VERSION = 1
 
 #: Significant digits kept of each cardinality / selectivity. Three
 #: digits keeps estimates that genuinely differ apart (synthetic

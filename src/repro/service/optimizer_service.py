@@ -18,6 +18,15 @@ something a query engine can keep resident and hammer:
   :data:`repro.core.FALLBACK_ALGORITHMS`) on the caller's thread,
   returns its plan flagged ``degraded=True``, and lets the DP finish in
   the background so the *next* request hits the cache;
+* the cache can be **sharded** (``cache_shards``) into independent
+  lock domains via :class:`~repro.service.sharding.ShardedPlanCache`,
+  so concurrent lookups for distinct fingerprints stop contending on
+  one lock;
+* the service can retain the **k best plans** per fingerprint
+  (``k_best``, see :mod:`repro.core.kbest`); a deadline-degraded or
+  breaker-open request then serves the cached rank-2 tree — still an
+  optimal-subplans plan, just not the champion — with an explicit
+  ``plan_rank=2`` marker instead of recomputing a greedy fallback;
 * counters and latency histograms record all of the above
   (:class:`~repro.service.metrics.MetricsRegistry`).
 
@@ -50,7 +59,8 @@ from repro.service.fingerprint import (
 )
 from repro.obs.instrumentation import Instrumentation
 from repro.service.metrics import MetricsRegistry
-from repro.service.plancache import CacheStats, PlanCache
+from repro.service.plancache import CacheStats
+from repro.service.sharding import ShardedPlanCache
 
 __all__ = ["PlanRequest", "PlanResponse", "PlanService"]
 
@@ -94,6 +104,11 @@ class PlanResponse:
         error: short description of the exact optimization's failure
             when this response degraded because of one (worker crash,
             optimizer bug) rather than a deadline; ``None`` otherwise.
+        plan_rank: which rank of the cached k-best list this plan is.
+            ``1`` for every exact answer (and for heuristic fallbacks,
+            which have no ranked list); ``2`` when a degraded request
+            was answered from the retained rank-2 tree instead of the
+            fallback heuristic.
     """
 
     plan: JoinTree
@@ -104,6 +119,7 @@ class PlanResponse:
     elapsed_seconds: float
     optimize_seconds: float
     error: str | None = None
+    plan_rank: int = 1
 
     @property
     def cost(self) -> float:
@@ -113,11 +129,20 @@ class PlanResponse:
 
 @dataclass(frozen=True, slots=True)
 class _CacheEntry:
-    """A cached optimization, stored in canonical numbering."""
+    """A cached optimization, stored in canonical numbering.
 
-    canonical_plan: JoinTree = field(repr=False)
+    ``canonical_plans`` is the rank-ordered k-best tuple (rank 1
+    first); services configured with ``k_best=1`` store a 1-tuple.
+    """
+
+    canonical_plans: tuple[JoinTree, ...] = field(repr=False)
     algorithm: str
     optimize_seconds: float
+
+    @property
+    def canonical_plan(self) -> JoinTree:
+        """The rank-1 (champion) plan."""
+        return self.canonical_plans[0]
 
 
 class PlanService:
@@ -130,6 +155,18 @@ class PlanService:
         fallback: heuristic to run when a deadline expires; one of
             :data:`repro.core.FALLBACK_ALGORITHMS`.
         cache_capacity / ttl_seconds: plan cache bounds.
+        cache_shards: independent lock domains the cache is split over
+            (consistent hashing; see
+            :class:`~repro.service.sharding.ShardedPlanCache`). ``1``
+            keeps the single-lock layout and the historical ``cache.*``
+            counter names.
+        k_best: ranked plans retained per cache entry
+            (1..:data:`repro.core.kbest.MAX_K`). With ``k_best >= 2``
+            cache misses plan in-process via
+            :func:`repro.core.kbest.k_best_plans` (the process pool
+            ships only the champion home, so pooled planning stays
+            rank-1-only and is bypassed), and degraded responses can
+            serve the cached rank-2 tree (``PlanResponse.plan_rank``).
         workers: optimizer thread-pool size.
         jobs: worker *processes* for the actual enumeration. ``None``
             or ``1`` keeps optimization in-process on the thread pool
@@ -170,6 +207,8 @@ class PlanService:
         fallback: str = "goo",
         cache_capacity: int = 1024,
         ttl_seconds: float | None = None,
+        cache_shards: int = 1,
+        k_best: int = 1,
         workers: int = 4,
         jobs: int | None = None,
         default_deadline_seconds: float | None = None,
@@ -199,7 +238,12 @@ class PlanService:
             raise ServiceError("default_deadline_seconds must be >= 0")
         if max_retries < 0:
             raise ServiceError(f"max_retries must be >= 0, got {max_retries}")
+        from repro.core.kbest import MAX_K
+
+        if not 1 <= k_best <= MAX_K:
+            raise ServiceError(f"k_best must be in 1..{MAX_K}, got {k_best}")
         self._algorithm = algorithm
+        self._k_best = k_best
         self._fallback = fallback
         self._default_deadline = default_deadline_seconds
         self._card_digits = card_digits
@@ -207,11 +251,20 @@ class PlanService:
         self._obs = (
             instrumentation if instrumentation is not None else Instrumentation()
         )
-        self._cache = PlanCache(
+        self._cache = ShardedPlanCache(
+            shards=cache_shards,
             capacity=cache_capacity,
             ttl_seconds=ttl_seconds,
             counters=self._obs.counters,
         )
+        # fingerprint.key -> last fulfilled algorithm-qualified cache
+        # key: lets the degraded path find a retained entry for the
+        # query regardless of which algorithm planned it. Guarded by a
+        # plain lock (dict ops only); bounded by the cache's own
+        # capacity since only fulfilled keys enter.
+        self._fp_index: dict[str, str] = {}
+        self._fp_index_lock = threading.Lock()
+        self._fp_index_capacity = max(4 * cache_capacity, 1024)
         self._metrics = MetricsRegistry(
             counters=self._obs.counters, histograms=self._obs.histograms
         )
@@ -322,6 +375,20 @@ class PlanService:
         can fan out many requests without blocking and event loops can
         ``await asyncio.wrap_future(service.submit_request(r))``.
         """
+        return self._front_door_executor().submit(self.plan_request, request)
+
+    def submit_sql(self, sql: str, **kwargs) -> "Future[PlanResponse]":
+        """Asynchronous :meth:`plan_sql`; returns a future for the response.
+
+        Same front-door executor as :meth:`submit_request`, so parsing
+        and statistics preparation also stay off the caller's thread —
+        this is what the asyncio HTTP server awaits for ``plan_sql``
+        requests.
+        """
+        return self._front_door_executor().submit(self.plan_sql, sql, **kwargs)
+
+    def _front_door_executor(self) -> ThreadPoolExecutor:
+        """The lazily-created front-door pool (raises when closed)."""
         if self._closed.is_set():
             raise ServiceError("the plan service is closed")
         with self._front_door_lock:
@@ -335,8 +402,7 @@ class PlanService:
                     max_workers=max(2, self._workers),
                     thread_name_prefix="plan-front",
                 )
-            front_door = self._front_door
-        return front_door.submit(self.plan_request, request)
+            return self._front_door
 
     def plan_prepared(
         self, request: PlanRequest, fingerprint: Fingerprint
@@ -465,6 +531,33 @@ class PlanService:
         canonical_graph, canonical_catalog = fingerprint.canonical_instance(
             request.graph, request.catalog
         )
+        if self._k_best > 1:
+            # Ranked retention needs the in-run capture hook, which the
+            # process-pool protocol does not carry (workers ship only
+            # the champion home) — so k-best services plan in-process.
+            from repro.core.kbest import k_best_plans
+
+            with self._obs.span(
+                "service.kbest_plan",
+                algorithm=algorithm,
+                n_relations=canonical_graph.n_relations,
+            ):
+                kbest = k_best_plans(
+                    canonical_graph,
+                    k=self._k_best,
+                    algorithm=algorithm,
+                    catalog=canonical_catalog,
+                    instrumentation=self._obs,
+                )
+            result = kbest.result
+            self._metrics.histogram("optimize_seconds").observe(
+                result.elapsed_seconds
+            )
+            return _CacheEntry(
+                canonical_plans=kbest.plans,
+                algorithm=result.algorithm,
+                optimize_seconds=result.elapsed_seconds,
+            )
         result = None
         if self._process_pool is not None and self._breaker.allow():
             # CPU-bound enumeration runs off the GIL on a worker
@@ -512,7 +605,7 @@ class PlanService:
             )
         self._metrics.histogram("optimize_seconds").observe(result.elapsed_seconds)
         return _CacheEntry(
-            canonical_plan=result.plan,
+            canonical_plans=(result.plan,),
             algorithm=result.algorithm,
             optimize_seconds=result.elapsed_seconds,
         )
@@ -525,6 +618,22 @@ class PlanService:
             self._cache.abandon(cache_key, error)
         else:
             self._cache.fulfill(cache_key, job.result())
+            self._index_fulfillment(cache_key)
+
+    def _index_fulfillment(self, cache_key: str) -> None:
+        """Remember where ``cache_key``'s fingerprint was last cached.
+
+        Cache keys are ``<algorithm>:<fingerprint-hex>`` — algorithm
+        names never contain a colon, so one split recovers the
+        fingerprint. The index is LRU-bounded: a re-fulfilled key moves
+        to the back, and overflow drops the oldest mapping.
+        """
+        fingerprint_key = cache_key.split(":", 1)[1]
+        with self._fp_index_lock:
+            self._fp_index.pop(fingerprint_key, None)
+            self._fp_index[fingerprint_key] = cache_key
+            while len(self._fp_index) > self._fp_index_capacity:
+                self._fp_index.pop(next(iter(self._fp_index)))
 
     def _respond(
         self,
@@ -563,16 +672,29 @@ class PlanService:
         """Deadline expired or the exact DP failed: answer with the
         fallback heuristic.
 
-        Runs on the caller's thread (the pool may be what is
-        saturated), against the request's own numbering (no relabeling
-        needed). On deadline expiry the exact optimization keeps
-        running in the background and lands in the cache for future
-        requests; on failure (``error`` given) nothing was cached and
-        the response carries the failure description. Degraded plans
-        are never cached.
+        Before paying for the heuristic, the service checks whether it
+        already holds a ranked entry for this fingerprint (live under
+        another algorithm's key, or parked in the cache's stale tier
+        after TTL expiry/LRU eviction) with at least two plans — if so
+        it serves that entry's **rank-2 tree** (``plan_rank=2``): an
+        optimal-subplans candidate the DP itself priced, strictly
+        better-informed than a from-scratch greedy pass, and
+        deliberately not the rank-1 champion, which the in-flight
+        recomputation will re-deliver fresh.
+
+        Otherwise this runs the fallback on the caller's thread (the
+        pool may be what is saturated), against the request's own
+        numbering (no relabeling needed). On deadline expiry the exact
+        optimization keeps running in the background and lands in the
+        cache for future requests; on failure (``error`` given)
+        nothing was cached and the response carries the failure
+        description. Degraded plans are never cached.
         """
         self._metrics.counter("degraded").increment()
         reason = None if error is None else f"{type(error).__name__}: {error}"
+        ranked = self._degraded_from_cache(request, fingerprint, started, reason)
+        if ranked is not None:
+            return ranked
         with self._obs.span(
             "service.degrade", fallback=self._fallback
         ) as span:
@@ -593,6 +715,60 @@ class PlanService:
             optimize_seconds=result.elapsed_seconds,
             error=reason,
         )
+
+    def _degraded_from_cache(
+        self,
+        request: PlanRequest,
+        fingerprint: Fingerprint,
+        started: float,
+        reason: str | None,
+    ) -> PlanResponse | None:
+        """Serve a retained rank-2 plan for a degraded request, if any.
+
+        Probes the request's own cache key first, then the fingerprint
+        index (the key of whichever algorithm last fulfilled this
+        fingerprint). Either probe may surface a live entry (cached
+        under a different algorithm than requested) or a stale-tier
+        entry (TTL-expired / LRU-evicted); both serve, because a
+        degraded answer never promised freshness. Returns ``None`` when
+        no reachable entry holds at least two ranked plans.
+        """
+        algorithm = request.algorithm or self._algorithm
+        keys = [f"{algorithm}:{fingerprint.key}"]
+        with self._fp_index_lock:
+            indexed = self._fp_index.get(fingerprint.key)
+        if indexed is not None and indexed not in keys:
+            keys.append(indexed)
+        for cache_key in keys:
+            found = self._cache.peek_stale(cache_key)
+            if found is None:
+                continue
+            freshness, entry = found
+            if len(entry.canonical_plans) < 2:
+                continue
+            self._metrics.counter("degraded_rank2").increment()
+            with self._obs.span(
+                "service.degrade_rank2", freshness=freshness
+            ):
+                plan = relabel_plan(
+                    entry.canonical_plans[1],
+                    fingerprint.old_of_new,
+                    names=request.graph.names,
+                )
+            elapsed = time.perf_counter() - started
+            self._metrics.histogram("plan_latency").observe(elapsed)
+            return PlanResponse(
+                plan=plan,
+                algorithm=f"{entry.algorithm} (rank-2)",
+                cache_hit=True,
+                degraded=True,
+                fingerprint_key=fingerprint.key,
+                elapsed_seconds=elapsed,
+                optimize_seconds=entry.optimize_seconds,
+                error=reason,
+                plan_rank=2,
+            )
+        return None
 
     def plan_degraded(
         self,
@@ -643,12 +819,73 @@ class PlanService:
         return f"{request.algorithm or self._algorithm}:{fingerprint.key}"
 
     def cache_stats(self) -> CacheStats:
-        """Plan-cache counters."""
+        """Plan-cache counters (aggregate when sharded)."""
         return self._cache.stats()
+
+    def cache_shard_stats(self) -> list[CacheStats]:
+        """Per-shard cache counters, each exact under its shard's lock."""
+        return self._cache.shard_stats()
 
     def clear_cache(self) -> None:
         """Drop every cached plan (counters are preserved)."""
         self._cache.clear()
+
+    def export_cache(self) -> list[dict]:
+        """Snapshot every live cache entry as JSON-ready records.
+
+        Each record carries the algorithm-qualified cache key, the
+        rank-ordered plans in :func:`repro.io.plan_to_dict` form, and
+        the entry's provenance — exactly what
+        :func:`repro.server.persistence.save_cache` writes for
+        warm-start. Stale-tier entries and in-flight computations are
+        not exported.
+        """
+        from repro.io import plan_to_dict
+
+        records = []
+        for key, entry in self._cache.items():
+            records.append(
+                {
+                    "key": key,
+                    "algorithm": entry.algorithm,
+                    "optimize_seconds": entry.optimize_seconds,
+                    "plans": [
+                        plan_to_dict(plan) for plan in entry.canonical_plans
+                    ],
+                }
+            )
+        return records
+
+    def import_cache(self, records: "list[dict]") -> int:
+        """Rebuild cache entries from :meth:`export_cache` records.
+
+        Malformed records are skipped (a warm-start must never prevent
+        boot); returns the number of entries restored. Restored keys
+        also enter the fingerprint index so degraded rank-2 serving
+        works from the first post-boot request.
+        """
+        from repro.io import SerializationError, plan_from_dict
+
+        restored = 0
+        for record in records:
+            try:
+                key = record["key"]
+                plans = tuple(
+                    plan_from_dict(plan) for plan in record["plans"]
+                )
+                if not isinstance(key, str) or ":" not in key or not plans:
+                    continue
+                entry = _CacheEntry(
+                    canonical_plans=plans,
+                    algorithm=str(record["algorithm"]),
+                    optimize_seconds=float(record["optimize_seconds"]),
+                )
+            except (KeyError, TypeError, ValueError, SerializationError):
+                continue
+            self._cache.put(key, entry)
+            self._index_fulfillment(key)
+            restored += 1
+        return restored
 
     @property
     def workers(self) -> int:
@@ -659,6 +896,21 @@ class PlanService:
     def jobs(self) -> int:
         """Worker processes doing enumeration; 1 means in-process."""
         return self._process_pool.jobs if self._process_pool is not None else 1
+
+    @property
+    def cache_shards(self) -> int:
+        """Lock domains the plan cache is split over."""
+        return self._cache.shards
+
+    @property
+    def k_best(self) -> int:
+        """Ranked plans retained per cache entry."""
+        return self._k_best
+
+    @property
+    def default_algorithm(self) -> str:
+        """The algorithm used when a request does not name one."""
+        return self._algorithm
 
     @property
     def metrics(self) -> MetricsRegistry:
@@ -688,7 +940,21 @@ class PlanService:
             "size": stats.size,
             "capacity": stats.capacity,
             "hit_rate": stats.hit_rate,
+            "stale_served": stats.stale_served,
+            "stale_size": stats.stale_size,
+            "shards": [
+                {
+                    "hits": shard.hits,
+                    "misses": shard.misses,
+                    "size": shard.size,
+                    "evictions": shard.evictions,
+                    "expirations": shard.expirations,
+                    "stale_size": shard.stale_size,
+                }
+                for shard in self._cache.shard_stats()
+            ],
         }
+        snapshot["k_best"] = self._k_best
         pool = self._process_pool
         snapshot["resilience"] = {
             "breaker_state": self._breaker.state,

@@ -13,6 +13,12 @@ an optimizer front door:
   optimizations.
 * **Observability** — hit/miss/eviction/expiration/coalesced counters,
   exposed as a :class:`CacheStats` snapshot.
+* **Stale tier** — entries dropped by TTL or LRU pressure are retained
+  in a bounded side table instead of vanishing. Normal lookups never
+  see them (an expired entry is still a miss), but the service's
+  degraded path may :meth:`~PlanCache.peek_stale` one to serve a
+  previously-computed plan when the fresh recomputation cannot finish
+  inside the request deadline.
 
 The waiting protocol is deadline-friendly: :meth:`get_or_join` hands
 followers the leader's future so they can bound their own wait and
@@ -49,6 +55,9 @@ class CacheStats:
         expirations: entries dropped because their TTL lapsed.
         size: entries currently stored.
         capacity: the LRU bound.
+        stale_served: degraded-path lookups answered from the stale
+            tier (see :meth:`PlanCache.peek_stale`).
+        stale_size: entries currently parked in the stale tier.
     """
 
     hits: int
@@ -58,6 +67,8 @@ class CacheStats:
     expirations: int
     size: int
     capacity: int
+    stale_served: int = 0
+    stale_size: int = 0
 
     @property
     def lookups(self) -> int:
@@ -90,6 +101,11 @@ class PlanCache:
             Passing a shared :class:`~repro.obs.Instrumentation`'s
             registry is how the plan service funnels cache hit-rates
             into the unified snapshot.
+        counter_prefix: namespace of the published counters. The
+            default keeps the historical ``cache.*`` names; the sharded
+            cache gives each shard its own prefix
+            (``cache.shard3.hits``) so per-shard pressure is visible in
+            the unified obs snapshot.
     """
 
     def __init__(
@@ -98,6 +114,7 @@ class PlanCache:
         ttl_seconds: float | None = None,
         clock: Callable[[], float] = time.monotonic,
         counters: CounterRegistry | None = None,
+        counter_prefix: str = "cache",
     ) -> None:
         if capacity <= 0:
             raise ServiceError(f"cache capacity must be positive, got {capacity}")
@@ -108,17 +125,21 @@ class PlanCache:
         self._clock = clock
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, tuple[Any, float | None]]" = OrderedDict()
+        #: Dead entries (TTL lapse, LRU eviction) parked for degraded
+        #: serving; bounded by the same capacity as the live table.
+        self._stale: "OrderedDict[str, Any]" = OrderedDict()
         self._inflight: dict[str, Future] = {}
         registry = counters if counters is not None else CounterRegistry()
         self._counters = registry
         # One obs Counter per stat, hoisted so the hot path never does
         # a name lookup. Counter locks nest inside the cache lock and
         # acquire nothing else, so ordering is deadlock-free.
-        self._hits = registry.counter("cache.hits")
-        self._misses = registry.counter("cache.misses")
-        self._coalesced = registry.counter("cache.coalesced")
-        self._evictions = registry.counter("cache.evictions")
-        self._expirations = registry.counter("cache.expirations")
+        self._hits = registry.counter(f"{counter_prefix}.hits")
+        self._misses = registry.counter(f"{counter_prefix}.misses")
+        self._coalesced = registry.counter(f"{counter_prefix}.coalesced")
+        self._evictions = registry.counter(f"{counter_prefix}.evictions")
+        self._expirations = registry.counter(f"{counter_prefix}.expirations")
+        self._stale_served = registry.counter(f"{counter_prefix}.stale_served")
 
     # ------------------------------------------------------------------
     # Core dictionary operations
@@ -149,10 +170,18 @@ class PlanCache:
         value, expires_at = entry
         if expires_at is not None and self._clock() >= expires_at:
             del self._entries[key]
+            self._park_stale(key, value)
             self._expirations.increment()
             return None
         self._entries.move_to_end(key)
         return value
+
+    def _park_stale(self, key: str, value: Any) -> None:
+        """Unlocked: retain a dead entry for degraded serving."""
+        self._stale[key] = value
+        self._stale.move_to_end(key)
+        while len(self._stale) > self._capacity:
+            self._stale.popitem(last=False)
 
     def _store(self, key: str, value: Any) -> None:
         """Unlocked insert with expiry sweep, then LRU eviction.
@@ -165,10 +194,13 @@ class PlanCache:
         expires_at = None if self._ttl is None else self._clock() + self._ttl
         self._entries[key] = (value, expires_at)
         self._entries.move_to_end(key)
+        # A fresh value supersedes any parked stale copy.
+        self._stale.pop(key, None)
         if len(self._entries) > self._capacity:
             self._sweep_expired()
         while len(self._entries) > self._capacity:
-            self._entries.popitem(last=False)
+            evicted_key, (evicted_value, _) = self._entries.popitem(last=False)
+            self._park_stale(evicted_key, evicted_value)
             self._evictions.increment()
 
     def _sweep_expired(self) -> None:
@@ -182,7 +214,8 @@ class PlanCache:
             if expires_at is not None and now >= expires_at
         ]
         for key in expired:
-            del self._entries[key]
+            value, _ = self._entries.pop(key)
+            self._park_stale(key, value)
         if expired:
             self._expirations.increment(len(expired))
 
@@ -191,11 +224,12 @@ class PlanCache:
             entry = self._entries.get(key)
             if entry is None:
                 return False
-            _, expires_at = entry
+            value, expires_at = entry
             if expires_at is not None and self._clock() >= expires_at:
                 # Sweep eagerly so the dead entry stops occupying a
                 # slot; attributed as an expiration, like any TTL lapse.
                 del self._entries[key]
+                self._park_stale(key, value)
                 self._expirations.increment()
                 return False
             return True
@@ -205,6 +239,44 @@ class PlanCache:
         with self._lock:
             self._sweep_expired()
             return len(self._entries)
+
+    def peek_stale(self, key: str) -> tuple[Literal["fresh", "stale"], Any] | None:
+        """Read-only probe used by the service's degraded path.
+
+        Returns ``("fresh", value)`` for a live entry (without
+        promoting it or counting a hit), ``("stale", value)`` for an
+        entry the TTL or LRU pressure already dropped (counted as
+        ``stale_served``), and ``None`` when the key was never cached
+        or its stale copy has itself been displaced.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                value, expires_at = entry
+                if expires_at is None or self._clock() < expires_at:
+                    return "fresh", value
+                # Expired but unswept: serve it as stale, park it so the
+                # live slot frees up, and account the TTL lapse.
+                del self._entries[key]
+                self._park_stale(key, value)
+                self._expirations.increment()
+                self._stale_served.increment()
+                return "stale", value
+            stale = self._stale.get(key)
+            if stale is not None:
+                self._stale_served.increment()
+                return "stale", stale
+            return None
+
+    def items(self) -> list[tuple[str, Any]]:
+        """Point-in-time snapshot of live entries (LRU → MRU order).
+
+        Expired entries are swept first, so persistence never archives
+        a value a lookup would refuse to serve.
+        """
+        with self._lock:
+            self._sweep_expired()
+            return [(key, value) for key, (value, _) in self._entries.items()]
 
     # ------------------------------------------------------------------
     # Stampede guard
@@ -298,12 +370,15 @@ class PlanCache:
                 expirations=self._expirations.value,
                 size=len(self._entries),
                 capacity=self._capacity,
+                stale_served=self._stale_served.value,
+                stale_size=len(self._stale),
             )
 
     def clear(self) -> None:
-        """Drop all entries (counters are preserved)."""
+        """Drop all entries, stale tier included (counters preserved)."""
         with self._lock:
             self._entries.clear()
+            self._stale.clear()
 
     def __repr__(self) -> str:
         stats = self.stats()

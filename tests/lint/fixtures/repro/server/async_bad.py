@@ -1,0 +1,25 @@
+"""ASYNC001 true positives: blocking calls on the event loop."""
+
+import threading
+import time
+
+_lock = threading.Lock()
+
+
+async def handle(executor, future):
+    time.sleep(0.01)  # ASYNC001: freezes the loop
+    value = future.result()  # ASYNC001: blocking wait on a future
+    other = executor.submit(print, value).result()  # ASYNC001: submit+result
+    _lock.acquire()  # ASYNC001: untimed lock acquisition
+    return other
+
+
+async def nested_async(future):
+    async def inner():
+        return future.result()  # ASYNC001: still a coroutine body
+
+    return await inner()
+
+
+async def suppressed(future):
+    return future.result()  # lint: ignore[ASYNC001]

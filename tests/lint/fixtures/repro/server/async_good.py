@@ -1,0 +1,33 @@
+"""ASYNC001 true negatives: loop-safe waiting and bounded blocking."""
+
+import asyncio
+import threading
+import time
+
+_lock = threading.Lock()
+
+
+async def handle(loop, executor, future):
+    await asyncio.sleep(0.01)  # asyncio.sleep is not time.sleep
+    value = await asyncio.wrap_future(future)  # the non-blocking wait
+    other = await loop.run_in_executor(executor, work)  # blocking work offloaded
+    if _lock.acquire(timeout=0.5):  # bounded acquisition
+        _lock.release()
+    if _lock.acquire(blocking=False):  # non-blocking acquisition
+        _lock.release()
+    return value, other
+
+
+def work(future):
+    # A plain function may block — it runs on an executor thread, and
+    # nested sync defs inside coroutines are callbacks, not loop code.
+    time.sleep(0.01)
+    return future.result()
+
+
+async def with_callback(future):
+    def on_done(finished):
+        return finished.result()  # done-callback runs off the await path
+
+    future.add_done_callback(on_done)
+    return await asyncio.wrap_future(future)

@@ -19,6 +19,18 @@ from tests.lint.conftest import FIXTURES, rule_by_code
 #: code -> (bad fixtures, good fixtures, expected flagged snippet
 #: fragments, expected suppressed count)
 RULE_CASES = {
+    "ASYNC001": (
+        ["repro/server/async_bad.py"],
+        ["repro/server/async_good.py"],
+        [
+            "time.sleep(0.01)",
+            "value = future.result()",
+            "executor.submit(print, value).result()",
+            "_lock.acquire()",
+            "return future.result()",
+        ],
+        1,
+    ),
     "DET001": (
         ["repro/core/det_bad.py", "repro/core/pragma_file.py"],
         ["repro/core/det_good.py"],

@@ -1,0 +1,72 @@
+"""Shared plumbing for the server tests: a real server over a real socket.
+
+Every e2e test here talks to a :class:`~repro.server.PlanServer` bound
+to an ephemeral loopback port through stdlib ``http.client`` — no
+in-process shortcuts — so the wire protocol, the event loop and the
+thread handoff into :class:`~repro.service.PlanService` are all on the
+tested path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import http.client
+import json
+import threading
+from typing import Any, Iterator
+
+from repro.server import PlanServer, ServerConfig
+from repro.service import PlanService
+
+
+@contextlib.contextmanager
+def running_server(
+    service_kwargs: dict[str, Any] | None = None,
+    config_kwargs: dict[str, Any] | None = None,
+) -> Iterator[PlanServer]:
+    """Boot a server on an ephemeral port; guarantee a clean shutdown."""
+    service = PlanService(
+        **{"algorithm": "dpccp", "workers": 2, **(service_kwargs or {})}
+    )
+    server = PlanServer(
+        service, ServerConfig(**{"port": 0, **(config_kwargs or {})})
+    )
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(
+        target=loop.run_forever, name="test-server-loop", daemon=True
+    )
+    thread.start()
+    try:
+        asyncio.run_coroutine_threadsafe(server.start(), loop).result(10)
+        yield server
+    finally:
+        asyncio.run_coroutine_threadsafe(server.stop(), loop).result(30)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(10)
+        loop.close()
+        service.close()
+
+
+def request_json(
+    port: int,
+    method: str,
+    path: str,
+    body: dict | bytes | None = None,
+    timeout: float = 30.0,
+) -> tuple[int, dict, dict[str, str]]:
+    """One HTTP exchange; returns (status, parsed body, headers)."""
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        encoded: bytes | None
+        if isinstance(body, dict):
+            encoded = json.dumps(body).encode("utf-8")
+        else:
+            encoded = body
+        connection.request(method, path, body=encoded)
+        response = connection.getresponse()
+        payload = json.loads(response.read())
+        headers = {key.lower(): value for key, value in response.getheaders()}
+        return response.status, payload, headers
+    finally:
+        connection.close()

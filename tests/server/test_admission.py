@@ -1,0 +1,141 @@
+"""Admission control and per-tenant token-bucket quotas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.server.admission import AdmissionController
+from repro.server.quotas import DEFAULT_TENANT, TenantQuotas, TokenBucket
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# ----------------------------------------------------------------------
+# AdmissionController
+# ----------------------------------------------------------------------
+
+
+def test_admits_to_cap_then_rejects_with_retry_hint() -> None:
+    controller = AdmissionController(2)
+    first, second = controller.try_admit(), controller.try_admit()
+    assert first and second
+    rejected = controller.try_admit()
+    assert not rejected
+    assert rejected.retry_after == 0.05  # floor before any hold data
+    assert controller.inflight == 2
+    assert controller.rejected == 1
+
+    controller.release(1.0)
+    assert controller.try_admit()
+    # Hint adapts to observed hold times: half the mean, floored 50 ms.
+    denied = controller.try_admit()
+    assert denied.retry_after == pytest.approx(0.5)
+
+
+def test_release_restores_capacity_and_tracks_peak() -> None:
+    controller = AdmissionController(3)
+    for _ in range(3):
+        assert controller.try_admit()
+    controller.release(0.2)
+    controller.release(0.4)
+    assert controller.try_admit()
+    snapshot = controller.snapshot()
+    assert snapshot["peak_inflight"] == 3
+    assert snapshot["inflight"] == 2
+    assert snapshot["admitted"] == 4
+    assert snapshot["mean_hold_seconds"] == pytest.approx(0.3)
+
+
+def test_unbalanced_release_is_an_error() -> None:
+    controller = AdmissionController(1)
+    with pytest.raises(ServiceError):
+        controller.release(0.0)
+    with pytest.raises(ServiceError):
+        AdmissionController(0)
+
+
+# ----------------------------------------------------------------------
+# TokenBucket
+# ----------------------------------------------------------------------
+
+
+def test_bucket_spends_burst_then_meters_at_rate() -> None:
+    clock = FakeClock()
+    bucket = TokenBucket(rate=2.0, burst=3.0, clock=clock)
+    assert [bucket.try_take() for _ in range(3)] == [None, None, None]
+    hint = bucket.try_take()
+    assert hint == pytest.approx(0.5)  # 1 token at 2/s
+    assert bucket.spent == 3
+    assert bucket.denied == 1
+    clock.advance(0.5)
+    assert bucket.try_take() is None  # exactly one token accrued
+    assert bucket.try_take() is not None
+
+
+def test_bucket_never_accrues_past_burst() -> None:
+    clock = FakeClock()
+    bucket = TokenBucket(rate=100.0, burst=2.0, clock=clock)
+    clock.advance(3600.0)
+    assert bucket.tokens == 2.0
+
+
+def test_bucket_validates_policy() -> None:
+    with pytest.raises(ServiceError):
+        TokenBucket(rate=0.0, burst=2.0)
+    with pytest.raises(ServiceError):
+        TokenBucket(rate=1.0, burst=0.5)
+
+
+# ----------------------------------------------------------------------
+# TenantQuotas
+# ----------------------------------------------------------------------
+
+
+def test_tenants_are_isolated() -> None:
+    clock = FakeClock()
+    quotas = TenantQuotas(rate=1.0, burst=1.0, clock=clock)
+    assert quotas.try_take("alpha") is None
+    assert quotas.try_take("alpha") is not None  # alpha is drained...
+    assert quotas.try_take("beta") is None  # ...beta is untouched
+    assert quotas.try_take(None) is None  # anonymous -> default bucket
+    snapshot = quotas.snapshot()
+    assert set(snapshot["tenants"]) == {"alpha", "beta", DEFAULT_TENANT}
+    assert snapshot["tenants"]["alpha"]["denied"] == 1
+    assert snapshot["tenants"]["beta"]["spent"] == 1
+
+
+def test_registry_is_lru_bounded() -> None:
+    clock = FakeClock()
+    quotas = TenantQuotas(rate=1.0, burst=1.0, max_tenants=2, clock=clock)
+    quotas.try_take("a")
+    quotas.try_take("b")
+    quotas.try_take("c")  # evicts "a", the least recently seen
+    assert set(quotas.snapshot()["tenants"]) == {"b", "c"}
+    # A returning evicted tenant restarts with a full (fresh) bucket:
+    # the documented err-on-admission trade.
+    assert quotas.try_take("a") is None
+
+
+def test_touching_a_tenant_refreshes_its_recency() -> None:
+    clock = FakeClock()
+    quotas = TenantQuotas(rate=1.0, burst=5.0, max_tenants=2, clock=clock)
+    quotas.try_take("a")
+    quotas.try_take("b")
+    quotas.try_take("a")  # "a" is now most recently seen
+    quotas.try_take("c")  # so "b" is the one evicted
+    assert set(quotas.snapshot()["tenants"]) == {"a", "c"}
+
+
+def test_quotas_validate_configuration() -> None:
+    with pytest.raises(ServiceError):
+        TenantQuotas(rate=1.0, burst=1.0, max_tenants=0)

@@ -1,0 +1,197 @@
+"""Wire-protocol units: request parsing, response framing, validation."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.server.protocol import (
+    MAX_BODY_BYTES,
+    HttpRequest,
+    ProtocolError,
+    error_body,
+    parse_plan_payload,
+    read_request,
+    render_response,
+)
+
+
+def _read(data: bytes) -> HttpRequest | None:
+    async def go() -> HttpRequest | None:
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(go())
+
+
+def _read_error(data: bytes) -> ProtocolError:
+    with pytest.raises(ProtocolError) as caught:
+        _read(data)
+    return caught.value
+
+
+# ----------------------------------------------------------------------
+# read_request
+# ----------------------------------------------------------------------
+
+
+def test_parses_get_without_body() -> None:
+    request = _read(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+    assert request is not None
+    assert request.method == "GET"
+    assert request.path == "/healthz"
+    assert request.headers["host"] == "x"
+    assert request.body == b""
+    assert request.keep_alive  # HTTP/1.1 default
+
+
+def test_parses_post_with_content_length_body() -> None:
+    body = b'{"sql": "SELECT 1"}'
+    request = _read(
+        b"POST /plan_sql HTTP/1.1\r\n"
+        + f"Content-Length: {len(body)}\r\n\r\n".encode()
+        + body
+    )
+    assert request is not None
+    assert request.method == "POST"
+    assert request.body == body
+    assert request.json() == {"sql": "SELECT 1"}
+
+
+def test_query_string_is_stripped_and_method_uppercased() -> None:
+    request = _read(b"get /snapshot?pretty=1 HTTP/1.1\r\n\r\n")
+    assert request is not None
+    assert request.method == "GET"
+    assert request.path == "/snapshot"
+
+
+def test_connection_close_disables_keep_alive() -> None:
+    request = _read(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+    assert request is not None
+    assert not request.keep_alive
+
+
+def test_clean_eof_returns_none() -> None:
+    # A client closing an idle keep-alive connection is not an error.
+    assert _read(b"") is None
+
+
+def test_mid_request_eof_is_a_protocol_error() -> None:
+    error = _read_error(b"POST /plan HTTP/1.1\r\nContent-")
+    assert error.status == 400
+    error = _read_error(
+        b"POST /plan HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"
+    )
+    assert error.status == 400  # body shorter than declared
+
+
+def test_malformed_request_line_and_headers() -> None:
+    assert _read_error(b"NONSENSE\r\n\r\n").status == 400
+    assert (
+        _read_error(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n").status == 400
+    )
+
+
+def test_content_length_validation() -> None:
+    assert (
+        _read_error(b"POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n").status
+        == 400
+    )
+    assert (
+        _read_error(b"POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n").status
+        == 400
+    )
+    oversized = _read_error(
+        f"POST / HTTP/1.1\r\nContent-Length: {MAX_BODY_BYTES + 1}\r\n\r\n".encode()
+    )
+    assert oversized.status == 413
+    assert oversized.code == "body_too_large"
+
+
+# ----------------------------------------------------------------------
+# render_response / error_body
+# ----------------------------------------------------------------------
+
+
+def test_response_framing_round_trips() -> None:
+    raw = render_response(200, {"status": "ok"})
+    head, _, body = raw.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    assert lines[0] == "HTTP/1.1 200 OK"
+    assert f"Content-Length: {len(body)}" in lines
+    assert "Connection: keep-alive" in lines
+    assert json.loads(body) == {"status": "ok"}
+
+    raw = render_response(400, {}, keep_alive=False)
+    assert b"Connection: close" in raw
+
+
+def test_retry_after_header_rounds_up_to_a_positive_integer() -> None:
+    # Fractional Retry-After is not in the RFC grammar; 50 ms must
+    # become "1", never "0" (which clients read as "retry now").
+    raw = render_response(429, {}, retry_after=0.05)
+    assert b"Retry-After: 1\r\n" in raw
+    raw = render_response(429, {}, retry_after=2.3)
+    assert b"Retry-After: 3\r\n" in raw
+    assert b"Retry-After" not in render_response(200, {})
+
+
+def test_error_body_shape() -> None:
+    assert error_body("overloaded", "busy", 0.1) == {
+        "error": {"code": "overloaded", "message": "busy", "retry_after": 0.1}
+    }
+    assert error_body("bad_json", "nope") == {
+        "error": {"code": "bad_json", "message": "nope"}
+    }
+
+
+# ----------------------------------------------------------------------
+# HttpRequest.json / parse_plan_payload
+# ----------------------------------------------------------------------
+
+
+def test_json_body_validation() -> None:
+    request = HttpRequest(method="POST", path="/plan", body=b"{not json")
+    with pytest.raises(ProtocolError) as caught:
+        request.json()
+    assert caught.value.code == "bad_json"
+    request = HttpRequest(method="POST", path="/plan", body=b"[1, 2]")
+    with pytest.raises(ProtocolError):
+        request.json()  # a JSON array is not a request object
+    assert HttpRequest(method="POST", path="/plan").json() == {}
+
+
+def test_parse_plan_payload_accepts_and_normalizes() -> None:
+    assert parse_plan_payload({}) == {
+        "algorithm": None,
+        "deadline_seconds": None,
+        "tenant": None,
+    }
+    parsed = parse_plan_payload(
+        {"algorithm": "dpccp", "deadline_seconds": 1, "tenant": "alpha"}
+    )
+    assert parsed["algorithm"] == "dpccp"
+    assert parsed["deadline_seconds"] == 1.0
+    assert isinstance(parsed["deadline_seconds"], float)
+    assert parsed["tenant"] == "alpha"
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        {"algorithm": 7},
+        {"deadline_seconds": "soon"},
+        {"deadline_seconds": True},  # bool is not a duration
+        {"deadline_seconds": -1.0},
+        {"tenant": ["a"]},
+    ],
+)
+def test_parse_plan_payload_rejects_bad_fields(payload: dict) -> None:
+    with pytest.raises(ProtocolError) as caught:
+        parse_plan_payload(payload)
+    assert caught.value.status == 400
+    assert caught.value.code == "bad_field"

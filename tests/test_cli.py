@@ -252,3 +252,40 @@ class TestServiceCommands:
         snapshot = json.loads(capsys.readouterr().out)
         assert snapshot["counters"]["requests"] == 12
         assert "cache" in snapshot
+
+
+class TestServeCommand:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8080
+        assert args.algorithm == "adaptive"
+        assert args.cache_shards == 8
+        assert args.k_best == 2
+        assert args.max_inflight == 64
+        assert args.persist is None
+
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--port", "0",
+                "--cache-shards", "4",
+                "--k-best", "3",
+                "--tenant-rate", "10",
+                "--persist", "/tmp/snap.json",
+            ]
+        )
+        assert args.port == 0
+        assert args.cache_shards == 4
+        assert args.k_best == 3
+        assert args.tenant_rate == 10.0
+        assert args.persist == "/tmp/snap.json"
+
+    def test_invalid_configuration_reports_cleanly(self, capsys):
+        # Bad service configuration dies on construction — before the
+        # command ever binds a socket or blocks on the event loop.
+        assert main(["serve", "--cache-shards", "0"]) == 2
+        assert "error:" in capsys.readouterr().err
+        assert main(["serve", "--k-best", "999"]) == 2
+        assert "error:" in capsys.readouterr().err
