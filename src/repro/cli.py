@@ -48,8 +48,8 @@ from repro.bench.reporting import (
 )
 from repro.bench.workloads import DEFAULT_BUDGET
 from repro.catalog.synthetic import random_catalog
-from repro.core import ALGORITHMS, make_algorithm
-from repro.errors import ReproError
+from repro.core import ALGORITHMS, FALLBACK_ALGORITHMS, make_algorithm
+from repro.errors import OptimizerError, ReproError
 from repro.graph.generators import PAPER_TOPOLOGIES, graph_for_topology
 from repro.plans.visitors import render_indented
 
@@ -81,8 +81,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     plan = commands.add_parser(
         "plan",
-        help="plan one query with an accelerated exact engine "
-        "(parallel DPsize or the DPconv lattice sweep)",
+        help="plan one query with any registered engine (parallel "
+        "DPsize, the DPconv lattice sweep, LinDP, ...)",
     )
     plan.add_argument("--topology", choices=PAPER_TOPOLOGIES, default="clique")
     plan.add_argument("-n", "--relations", type=int, default=10)
@@ -91,11 +91,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     plan.add_argument(
         "--algorithm",
-        choices=("dpsize", "dpconv"),
+        choices=sorted(ALGORITHMS),
         default="dpsize",
-        help="engine: 'dpsize' = level-synchronous parallel DPsize "
+        help="engine; 'dpsize' = level-synchronous parallel DPsize "
         "(multi-core), 'dpconv' = in-process subset-convolution "
-        "lattice sweep (vectorized when numpy is available)",
+        "lattice sweep (vectorized when numpy is available); any "
+        "other registry name runs in-process",
     )
     plan.add_argument(
         "--backend",
@@ -107,27 +108,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs",
         type=int,
         default=None,
-        help="worker processes; 1 = in-process (no pool); "
-        "default = host core count",
+        help="worker processes (dpsize only); 1 = in-process (no "
+        "pool); default = host core count",
     )
     plan.add_argument(
         "--min-shard-pairs",
         type=int,
         default=None,
         help="dispatch threshold in candidate pairs per level "
-        "(smaller levels run in-process)",
+        "(dpsize only; smaller levels run in-process)",
     )
     plan.add_argument(
         "--verify",
         action="store_true",
-        help="also run sequential DPsize and check the plans match",
+        help="also run sequential DPsize and check the plans match "
+        "(exact engines only)",
     )
     plan.add_argument(
         "--max-retries",
         type=int,
         default=None,
         help="re-submissions after a worker-process crash before a "
-        "level degrades to in-process evaluation (default 2)",
+        "level degrades to in-process evaluation (dpsize only; "
+        "default 2)",
     )
 
     count = commands.add_parser(
@@ -204,11 +207,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithm", choices=sorted(ALGORITHMS), default="adaptive"
     )
     serve.add_argument(
+        "--fallback",
+        choices=("ladder", *FALLBACK_ALGORITHMS),
+        default="ladder",
+        help="degraded-request policy: 'ladder' steps down the "
+        "escalation ladder (cached rank-2, then LinDP where "
+        "admissible, then GOO); a fallback algorithm name pins one "
+        "rung",
+    )
+    serve.add_argument(
         "--deadline-ms",
         type=float,
         default=None,
-        help="per-request deadline; expired requests degrade to the "
-        "greedy fallback instead of failing",
+        help="per-request deadline; expired requests degrade down "
+        "the fallback ladder instead of failing",
     )
     serve.add_argument("--workers", type=int, default=4)
     serve.add_argument(
@@ -277,6 +289,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     http_serve.add_argument(
         "--algorithm", choices=sorted(ALGORITHMS), default="adaptive"
+    )
+    http_serve.add_argument(
+        "--fallback",
+        choices=("ladder", *FALLBACK_ALGORITHMS),
+        default="ladder",
+        help="degraded-request policy: 'ladder' steps down the "
+        "escalation ladder; a fallback algorithm name pins one rung",
     )
     http_serve.add_argument("--cache-capacity", type=int, default=1024)
     http_serve.add_argument(
@@ -481,8 +500,19 @@ def _command_optimize(args: argparse.Namespace) -> int:
     rng = random.Random(args.seed)
     graph = graph_for_topology(args.topology, args.relations, rng=rng)
     catalog = random_catalog(args.relations, rng)
-    result = make_algorithm(args.algorithm).optimize(graph, catalog=catalog)
+    engine = make_algorithm(args.algorithm)
+    result = engine.optimize(graph, catalog=catalog)
     print(f"algorithm : {result.algorithm}")
+    if args.algorithm == "adaptive":
+        from repro.core.adaptive import AdaptiveOptimizer
+
+        assert isinstance(engine, AdaptiveOptimizer)
+        decision = engine.route(graph)
+        print(
+            f"routing   : {decision.graph_class} query, "
+            f"n={decision.n_relations} -> rung '{decision.rung}' "
+            f"({decision.algorithm}): {decision.reason}"
+        )
     print(f"cost      : {result.cost:g}")
     print(f"counters  : {result.counters.as_dict()}")
     print(f"elapsed   : {result.elapsed_seconds * 1000:.2f} ms")
@@ -490,15 +520,67 @@ def _command_optimize(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``plan`` flags that configure the parallel DPsize worker pool and
+#: therefore compose with ``--algorithm dpsize`` only.
+_PLAN_POOL_FLAGS = (
+    ("--jobs", "jobs"),
+    ("--min-shard-pairs", "min_shard_pairs"),
+    ("--max-retries", "max_retries"),
+)
+
+#: Engines whose optimal cost provably matches sequential DPsize on a
+#: connected graph, so ``--verify`` is a meaningful cross-check (the
+#: heuristics and bounded-space engines may legitimately cost more;
+#: ``dpall`` and ``leftdeep`` search a different plan space).
+_PLAN_VERIFY_ALGORITHMS = frozenset(
+    {"dpsize", "dpsub", "dpccp", "dpconv", "dpsize-basic", "dpsub-basic",
+     "exhaustive", "topdown"}
+)
+
+
+def _validate_plan_flags(args: argparse.Namespace) -> None:
+    """Reject ``plan`` flag combinations that do not compose."""
+    if args.algorithm != "dpsize":
+        offending = [
+            flag
+            for flag, attribute in _PLAN_POOL_FLAGS
+            if getattr(args, attribute) is not None
+        ]
+        if offending:
+            raise OptimizerError(
+                f"{'/'.join(offending)} configure the parallel DPsize "
+                f"worker pool and do not compose with --algorithm "
+                f"{args.algorithm}; drop the flag(s) or use "
+                f"--algorithm dpsize"
+            )
+    if args.backend != "auto" and args.algorithm != "dpconv":
+        raise OptimizerError(
+            f"--backend selects the DPconv sweep backend and does not "
+            f"compose with --algorithm {args.algorithm}; drop the flag "
+            f"or use --algorithm dpconv"
+        )
+    if args.verify and args.algorithm not in _PLAN_VERIFY_ALGORITHMS:
+        supported = ", ".join(sorted(_PLAN_VERIFY_ALGORITHMS))
+        raise OptimizerError(
+            f"--verify cross-checks the plan against sequential DPsize "
+            f"and only composes with the exact bushy enumerators "
+            f"({supported}); {args.algorithm!r} may legitimately "
+            f"return a costlier plan"
+        )
+
+
 def _command_plan(args: argparse.Namespace) -> int:
     from repro.obs import Instrumentation
     from repro.parallel import DEFAULT_MIN_PAIRS_PER_SHARD, ParallelDPsize
 
+    _validate_plan_flags(args)
     rng = random.Random(args.seed)
     graph = graph_for_topology(args.topology, args.relations, rng=rng)
     catalog = random_catalog(args.relations, rng)
     if args.algorithm == "dpconv":
         return _plan_dpconv(args, graph, catalog)
+    if args.algorithm != "dpsize":
+        return _plan_generic(args, graph, catalog)
     min_pairs = (
         args.min_shard_pairs
         if args.min_shard_pairs is not None
@@ -584,6 +666,41 @@ def _plan_dpconv(args: argparse.Namespace, graph, catalog) -> int:
                 "verify    : MISMATCH — sequential DPsize cost "
                 f"{reference.cost:g}, #ccp "
                 f"{reference.counters.ono_lohman_counter}"
+            )
+            return 1
+    return 0
+
+
+def _plan_generic(args: argparse.Namespace, graph, catalog) -> int:
+    """Run any registered in-process engine through ``plan``."""
+    import math
+
+    from repro.obs import Instrumentation
+
+    obs = Instrumentation()
+    engine = make_algorithm(args.algorithm)
+    result = engine.optimize(graph, catalog=catalog, instrumentation=obs)
+    print(f"algorithm : {result.algorithm}")
+    print(f"cost      : {result.cost:g}")
+    print(f"counters  : {result.counters.as_dict()}")
+    print(f"elapsed   : {result.elapsed_seconds * 1000:.2f} ms")
+    extra = result.counters.extra
+    if "lindp_orderings" in extra:
+        print(
+            f"lindp     : {extra['lindp_orderings']} linearization(s), "
+            f"{extra.get('lindp_splits', 0)} interval splits considered"
+        )
+    print(render_indented(result.plan))
+    if args.verify:
+        reference = make_algorithm("dpsize").optimize(graph, catalog=catalog)
+        # Equal optimal cost up to float association noise (see the
+        # dpconv verify path); counter profiles differ by design.
+        if math.isclose(reference.cost, result.cost, rel_tol=1e-9):
+            print("verify    : matches sequential DPsize (cost)")
+        else:
+            print(
+                "verify    : MISMATCH — sequential DPsize cost "
+                f"{reference.cost:g}"
             )
             return 1
     return 0
@@ -769,6 +886,7 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
     requests = _build_service_workload(args)
     with PlanService(
         algorithm=args.algorithm,
+        fallback=args.fallback,
         cache_capacity=args.cache_capacity,
         ttl_seconds=args.ttl_seconds,
         workers=args.workers,
@@ -818,6 +936,7 @@ def _command_serve(args: argparse.Namespace) -> int:
     deadline = None if args.deadline_ms is None else args.deadline_ms / 1000.0
     with PlanService(
         algorithm=args.algorithm,
+        fallback=args.fallback,
         cache_capacity=args.cache_capacity,
         cache_shards=args.cache_shards,
         k_best=args.k_best,
@@ -840,7 +959,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         def announce(started: PlanServer) -> None:
             print(
                 f"serving on http://{args.host}:{started.port} — "
-                f"algorithm={args.algorithm}, "
+                f"algorithm={args.algorithm}, fallback={args.fallback}, "
                 f"cache_shards={args.cache_shards}, k_best={args.k_best}, "
                 f"max_inflight={args.max_inflight}"
             )

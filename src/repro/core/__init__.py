@@ -31,6 +31,7 @@ from repro.core.idp import IterativeDP
 from repro.core.ikkbz import IKKBZ
 from repro.core.kbest import KBestResult, k_best_plans, plan_fingerprint
 from repro.core.leftdeep import LeftDeepDP
+from repro.core.lindp import LinDP
 from repro.core.quickpick import QuickPick
 from repro.core.topdown import TopDownBB
 from repro.core.variants import DPsizeBasic, DPsubBasic
@@ -57,6 +58,7 @@ __all__ = [
     "GreedyOperatorOrdering",
     "IKKBZ",
     "IterativeDP",
+    "LinDP",
     "AdaptiveOptimizer",
     "ALGORITHMS",
     "FALLBACK_ALGORITHMS",
@@ -83,16 +85,20 @@ ALGORITHMS: dict[str, type[JoinOrderer]] = {
     "goo": GreedyOperatorOrdering,
     "ikkbz": IKKBZ,
     "idp": IterativeDP,
+    "lindp": LinDP,
     "adaptive": AdaptiveOptimizer,
 }
 
 
-#: Heuristics safe to run under a (near-)expired deadline: each is
+#: Algorithms safe to run under a (near-)expired deadline: each is
 #: polynomial, allocation-light, and produces a valid cross-product-free
 #: bushy tree on any connected graph (which is why IKKBZ, acyclic-only,
-#: is absent). The service layer (:mod:`repro.service`) restricts its
-#: timeout fallback to these.
-FALLBACK_ALGORITHMS: tuple[str, ...] = ("goo", "quickpick")
+#: is absent; LinDP qualifies because its cyclic fallback linearizes
+#: with GOO/BFS orders). The service layer (:mod:`repro.service`)
+#: restricts its timeout fallback to these — or to the ``"ladder"``
+#: policy, which steps down
+#: :meth:`repro.core.adaptive.AdaptiveOptimizer.degradation_path`.
+FALLBACK_ALGORITHMS: tuple[str, ...] = ("goo", "quickpick", "lindp")
 
 
 def make_algorithm(name: str) -> JoinOrderer:

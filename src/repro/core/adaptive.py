@@ -1,52 +1,151 @@
-"""Adaptive algorithm selection — the paper's conclusion, operationalized.
+"""Adaptive algorithm selection — the escalation ladder.
 
-The paper's experiments show DPccp is "either the fastest or nearly the
-fastest algorithm" on every topology; its only loss is a bounded
-(< 30 %) overhead on cliques, where DPsub's trivial enumeration wins
-because *every* subset is connected. :class:`AdaptiveOptimizer` encodes
-exactly that decision — DPsub for (near-)clique graphs, DPccp for
-everything else — with one post-paper refinement: on dense graphs large
-enough that per-pair Python work dominates (``conv_min_relations``, set
-from BENCH_dpconv.json's measured crossover), the subset-convolution
-enumerator :class:`~repro.core.dpconv.DPconv` takes over, since its
-layered value sweep prices only ``n - 1`` joins and vectorizes over the
-same 2^n lattice DPsub walks pair by pair.
+The paper's experiments end where its algorithms do: DPccp is "either
+the fastest or nearly the fastest algorithm" *within* exact DP's reach,
+DPsub/DPconv win on (near-)cliques, and everything stalls near twenty
+relations because the number of connected subgraphs explodes. A
+production optimizer still has to answer for the 25-relation sparse
+query, the 100-relation chain and the 300-relation monster — so this
+module routes every query down an explicit **escalation ladder**:
+
+    exact DP  →  LinDP  →  IDP  →  GOO
+
+keyed on the graph's *class* (shape/density) and *size*. Each rung
+trades optimality guarantees for asymptotic headroom, and each class
+gets its own exact-DP ceiling because the paper's own counter formulas
+say the wall arrives at different n per topology (#ccp is cubic on
+chains but exponential on stars and cliques).
+
+Routing table (defaults; every ceiling is a constructor knob):
+
+    class    | exact rung            | lindp     | idp      | goo
+    ---------+-----------------------+-----------+----------+-------
+    chain    | dpccp      n <= 22    | n <= 160  | n <= 400 | beyond
+    cycle    | dpccp      n <= 22    | n <= 160  | n <= 400 | beyond
+    star     | dpccp      n <= 14    | n <= 160  | —        | beyond
+    tree     | dpccp      n <= 14    | n <= 160  | —        | beyond
+    general  | dpccp      n <= 13    | n <= 160  | —        | beyond
+    dense    | dpsub      n < 4      | n <= 160  | —        | beyond
+             | dpconv     n <= 16    |           |          |
+
+Why the gaps: IDP's bounded blocks enumerate every connected subgraph
+of size <= k, which is linear-ish on bounded-degree graphs (chains,
+cycles) but re-creates the exponential star/clique blowup inside every
+block the moment a hub appears — so IDP is only a rung where it is
+provably polynomial. Dense graphs keep the paper's DPsub/DPconv story
+on the exact rung (density >= ``dense_threshold``; the 1.1 sentinel
+disables the dense path entirely and such graphs fall through to the
+``general`` row).
+
+The service's deadline-degradation path uses the same object:
+:meth:`AdaptiveOptimizer.degradation_path` lists the rungs *below* the
+routed one that are safe to run synchronously on a caller's thread, so
+a degraded 60-relation chain answers with LinDP instead of jumping all
+the way down to GOO.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
 
 from repro.catalog.catalog import Catalog
 from repro.core.base import JoinOrderer, OptimizationResult
 from repro.core.dpccp import DPccp
 from repro.core.dpconv import DPconv
 from repro.core.dpsub import DPsub
+from repro.core.greedy import GreedyOperatorOrdering
+from repro.core.idp import IterativeDP
+from repro.core.lindp import LinDP
 from repro.cost.base import CostModel
-from repro.graph.properties import density
+from repro.errors import DisconnectedGraphError
+from repro.graph.properties import GraphShape, classify_shape, density
 from repro.graph.querygraph import QueryGraph
 
-__all__ = ["AdaptiveOptimizer"]
+__all__ = [
+    "AdaptiveOptimizer",
+    "RoutingDecision",
+    "LADDER_RUNGS",
+    "DEFAULT_EXACT_LIMITS",
+]
+
+#: The ladder's rungs, best answer first.
+LADDER_RUNGS: tuple[str, ...] = ("exact", "lindp", "idp", "goo")
+
+#: Default exact-DP ceilings per graph class. Chains/cycles have cubic
+#: #ccp so exact DP stretches further; stars/trees/general hit the
+#: exponential wall earlier (Figure 3's growth rates).
+DEFAULT_EXACT_LIMITS: Mapping[str, int] = {
+    "chain": 22,
+    "cycle": 22,
+    "star": 14,
+    "tree": 14,
+    "general": 13,
+}
+
+_CLASS_OF_SHAPE: Mapping[GraphShape, str] = {
+    GraphShape.CHAIN: "chain",
+    GraphShape.CYCLE: "cycle",
+    GraphShape.STAR: "star",
+    GraphShape.TREE: "tree",
+    GraphShape.CLIQUE: "general",
+    GraphShape.GENERAL: "general",
+}
+
+#: Classes where IDP's size-k blocks stay polynomial (bounded degree).
+_IDP_CLASSES: tuple[str, ...] = ("chain", "cycle")
+
+
+@dataclass(frozen=True, slots=True)
+class RoutingDecision:
+    """Where the ladder sends one query, and why.
+
+    Attributes:
+        graph_class: ``dense``/``chain``/``cycle``/``star``/``tree``/
+            ``general`` — the routing-table row.
+        n_relations: query size the decision was made for.
+        rung: one of :data:`LADDER_RUNGS`.
+        algorithm: registry name of the delegate
+            (:data:`repro.core.ALGORITHMS` key).
+        reason: one human-readable line for logs and the CLI.
+    """
+
+    graph_class: str
+    n_relations: int
+    rung: str
+    algorithm: str
+    reason: str
 
 
 class AdaptiveOptimizer(JoinOrderer):
-    """Picks DPsub/DPconv for dense graphs, DPccp otherwise.
+    """Routes queries down the exact → LinDP → IDP → GOO ladder.
 
     Args:
-        dense_threshold: edge density at or above which the search
-            space is treated as clique-like and handed to the dense
-            enumerators. The default of 0.9 only triggers on
-            (near-)cliques; set to 1.1 to force DPccp always.
-        dense_size_limit: above this many relations even clique-like
-            graphs go to DPccp, because dense 2^n side tables and the
-            3^n inner loop dominate any enumeration overhead savings.
+        dense_threshold: edge density at or above which the graph takes
+            the routing table's ``dense`` row (DPsub/DPconv on the
+            exact rung). The default of 0.9 only triggers on
+            (near-)cliques; the documented sentinel 1.1 disables the
+            dense row entirely, so cliques route like ``general``
+            graphs.
+        dense_size_limit: exact-rung ceiling for the dense row; above
+            it dense graphs escalate to LinDP (the 2^n side tables and
+            3^n inner loop dominate long before the sparse ceilings).
         conv_min_relations: dense graphs with at least this many
-            relations (and within ``dense_size_limit``) go to DPconv
-            instead of DPsub. The default of 4 is the measured
-            crossover where the value sweep starts beating per-pair
-            pricing (BENCH_dpconv.json: dpconv wins every clique cell
-            from n=4 up, reaching ~20x at n=13); below it the two are
-            within measurement noise and DPsub keeps the paper's exact
-            counter profile. Set above ``dense_size_limit`` to never
+            relations (within ``dense_size_limit``) go to DPconv
+            instead of DPsub — the measured crossover from
+            BENCH_dpconv.json. Set above ``dense_size_limit`` to never
             select DPconv.
+        exact_size_limits: per-class overrides of
+            :data:`DEFAULT_EXACT_LIMITS` (unknown keys rejected).
+        lindp_size_limit: largest n the LinDP rung accepts; its O(n^3)
+            interval DP is ~300 ms at n=100 and cubic beyond.
+        idp_size_limit: largest n the IDP rung accepts on the
+            bounded-degree classes (chain/cycle) where its blocks stay
+            polynomial.
+        lindp_degrade_limit: largest n for which
+            :meth:`degradation_path` still offers LinDP; a degraded
+            request runs its fallback synchronously on the caller's
+            thread, so the rung must stay sub-second.
     """
 
     name = "adaptive"
@@ -56,26 +155,147 @@ class AdaptiveOptimizer(JoinOrderer):
         dense_threshold: float = 0.9,
         dense_size_limit: int = 16,
         conv_min_relations: int = 4,
+        exact_size_limits: Mapping[str, int] | None = None,
+        lindp_size_limit: int = 160,
+        idp_size_limit: int = 400,
+        lindp_degrade_limit: int = 100,
     ) -> None:
         if not 0.0 < dense_threshold:
             raise ValueError("dense_threshold must be positive")
         if conv_min_relations < 2:
             raise ValueError("conv_min_relations must be >= 2")
+        if dense_size_limit < 1:
+            raise ValueError("dense_size_limit must be >= 1")
+        limits = dict(DEFAULT_EXACT_LIMITS)
+        if exact_size_limits is not None:
+            unknown = sorted(set(exact_size_limits) - set(limits))
+            if unknown:
+                raise ValueError(
+                    f"unknown graph classes in exact_size_limits: {unknown}; "
+                    f"expected a subset of {sorted(limits)}"
+                )
+            for key, value in exact_size_limits.items():
+                if value < 1:
+                    raise ValueError(
+                        f"exact_size_limits[{key!r}] must be >= 1, got {value}"
+                    )
+            limits.update(exact_size_limits)
+        if lindp_size_limit < 1:
+            raise ValueError("lindp_size_limit must be >= 1")
+        if idp_size_limit < lindp_size_limit:
+            raise ValueError(
+                "idp_size_limit must be >= lindp_size_limit — IDP is the "
+                "rung *after* LinDP, a lower ceiling would dead-zone sizes"
+            )
+        if lindp_degrade_limit < 1:
+            raise ValueError("lindp_degrade_limit must be >= 1")
         self._dense_threshold = dense_threshold
         self._dense_size_limit = dense_size_limit
         self._conv_min_relations = conv_min_relations
-        self._dpsub = DPsub()
-        self._dpconv = DPconv()
-        self._dpccp = DPccp()
+        self._exact_limits = limits
+        self._lindp_size_limit = lindp_size_limit
+        self._idp_size_limit = idp_size_limit
+        self._lindp_degrade_limit = lindp_degrade_limit
+        self._delegates: dict[str, JoinOrderer] = {
+            "dpccp": DPccp(),
+            "dpsub": DPsub(),
+            "dpconv": DPconv(),
+            "lindp": LinDP(),
+            "idp": IterativeDP(),
+            "goo": GreedyOperatorOrdering(),
+        }
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def graph_class(self, graph: QueryGraph) -> str:
+        """The routing-table row for ``graph`` (``dense`` or a shape)."""
+        if graph.n_relations >= 2 and density(graph) >= self._dense_threshold:
+            return "dense"
+        return _CLASS_OF_SHAPE[classify_shape(graph)]
+
+    def route(self, graph: QueryGraph) -> RoutingDecision:
+        """Resolve the routing table for ``graph``.
+
+        Raises:
+            DisconnectedGraphError: no cross-product-free plan exists,
+                so no rung of the ladder applies; surfacing it here
+                (rather than from whichever delegate) keeps the error
+                independent of the routing outcome.
+        """
+        if not graph.is_connected:
+            raise DisconnectedGraphError(
+                "the query graph is disconnected; no rung of the ladder "
+                "can produce a cross-product-free join tree"
+            )
+        n = graph.n_relations
+        graph_class = self.graph_class(graph)
+        if graph_class == "dense":
+            if n <= self._dense_size_limit:
+                if n >= self._conv_min_relations:
+                    return RoutingDecision(
+                        graph_class, n, "exact", "dpconv",
+                        f"dense graph within dense_size_limit="
+                        f"{self._dense_size_limit}: subset convolution",
+                    )
+                return RoutingDecision(
+                    graph_class, n, "exact", "dpsub",
+                    f"dense graph below conv_min_relations="
+                    f"{self._conv_min_relations}: paper's dense enumerator",
+                )
+        elif n <= self._exact_limits[graph_class]:
+            return RoutingDecision(
+                graph_class, n, "exact", "dpccp",
+                f"{graph_class} within exact ceiling "
+                f"{self._exact_limits[graph_class]}: exact DP is affordable",
+            )
+        if n <= self._lindp_size_limit:
+            return RoutingDecision(
+                graph_class, n, "lindp", "lindp",
+                f"past the exact ceiling, within lindp_size_limit="
+                f"{self._lindp_size_limit}: linearized DP",
+            )
+        if graph_class in _IDP_CLASSES and n <= self._idp_size_limit:
+            return RoutingDecision(
+                graph_class, n, "idp", "idp",
+                f"bounded-degree {graph_class} within idp_size_limit="
+                f"{self._idp_size_limit}: iterative DP blocks",
+            )
+        return RoutingDecision(
+            graph_class, n, "goo", "goo",
+            "beyond every bounded rung: greedy operator ordering",
+        )
 
     def choose(self, graph: QueryGraph) -> JoinOrderer:
-        """Return the algorithm that :meth:`optimize` would run."""
-        is_dense = density(graph) >= self._dense_threshold
-        if is_dense and graph.n_relations <= self._dense_size_limit:
-            if graph.n_relations >= self._conv_min_relations:
-                return self._dpconv
-            return self._dpsub
-        return self._dpccp
+        """Return the algorithm instance that :meth:`optimize` would run."""
+        return self._delegates[self.route(graph).algorithm]
+
+    def degradation_path(self, graph: QueryGraph) -> tuple[str, ...]:
+        """Deadline-safe rungs *below* the routed one, best first.
+
+        What the service runs when a request's deadline expires before
+        the routed algorithm answers. LinDP appears only when the query
+        was routed to the exact rung (anything routed *at or past*
+        LinDP already proved the rung too slow for this deadline) and
+        is small enough (``lindp_degrade_limit``) that a synchronous
+        run on the caller's thread stays cheap. IDP never appears: it
+        is the escalation for *routing*, not a quick answer. The path
+        always ends with ``goo``, which is unconditionally safe.
+        """
+        decision = self.route(graph)
+        path: list[str] = []
+        if (
+            decision.rung == "exact"
+            and graph.n_relations <= self._lindp_degrade_limit
+        ):
+            path.append("lindp")
+        path.append("goo")
+        return tuple(path)
+
+    # ------------------------------------------------------------------
+    # Optimization
+    # ------------------------------------------------------------------
 
     def optimize(
         self,
@@ -85,15 +305,15 @@ class AdaptiveOptimizer(JoinOrderer):
         instrumentation=None,
         plan_table_factory=None,
     ) -> OptimizationResult:
-        """Dispatch to the chosen algorithm; result names the delegate.
+        """Dispatch to the routed algorithm; result names the delegate.
 
         The delegate publishes its obs events under its own name
         (``enumerator.DPccp.*``), which is what the paper's per-
         algorithm accounting wants; only the returned result carries
         the combined ``adaptive->`` label. A ``plan_table_factory``
         (the k-best capture hook) is forwarded only when the delegate
-        supports in-run capture — DPconv's value-only sweep would
-        silently miss candidates.
+        supports in-run capture — DPconv's value-only sweep (and
+        LinDP's) would silently miss candidates.
         """
         delegate = self.choose(graph)
         result = delegate.optimize(

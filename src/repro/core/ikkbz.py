@@ -24,12 +24,13 @@ from dataclasses import dataclass
 
 from repro.core.base import CounterSet, JoinOrderer, PlanTable
 from repro.cost.base import CostModel
+from repro.cost.cardinality import CardinalityEstimator
 from repro.errors import OptimizerError
 from repro.graph.properties import is_tree
 from repro.graph.querygraph import QueryGraph
 from repro.plans.jointree import JoinTree
 
-__all__ = ["IKKBZ"]
+__all__ = ["IKKBZ", "ikkbz_order_for_root"]
 
 
 @dataclass(slots=True)
@@ -46,9 +47,24 @@ class _Module:
 
     @property
     def rank(self) -> float:
-        """ASI rank ``(T - 1) / C``; modules are ordered by this."""
+        """ASI rank ``(T - 1) / C``; modules are ordered by this.
+
+        Zero-cost modules (``C == 0``) have no finite ratio; the
+        standard treatment orders them by the sign of ``T - 1``, the
+        limit of ``(T - 1) / C`` as ``C -> 0+``: a free module that
+        *shrinks* the intermediate result (``T < 1``) belongs as early
+        as possible, one that *grows* it (``T > 1``) as late as
+        possible, and a size-neutral one is indifferent. Returning
+        ``-inf`` unconditionally (the old behaviour) let free growing
+        modules jump the queue and mis-linearize plans with free
+        predicates.
+        """
         if self.c == 0:
-            return float("-inf")
+            if self.t > 1.0:
+                return float("inf")
+            if self.t < 1.0:
+                return float("-inf")
+            return 0.0
         return (self.t - 1.0) / self.c
 
     def fuse(self, successor: "_Module") -> "_Module":
@@ -89,6 +105,54 @@ def _merge_by_rank(chains: list[list[_Module]]) -> list[_Module]:
     return merged
 
 
+def ikkbz_order_for_root(
+    graph: QueryGraph,
+    estimator: CardinalityEstimator,
+    root: int,
+    counters: CounterSet | None = None,
+) -> list[int]:
+    """Rank-optimal relation sequence starting at ``root`` (ASI ranks).
+
+    The reusable half of IKKBZ: orient the (tree-shaped) query graph at
+    ``root``, normalize each precedence chain until ranks ascend, and
+    merge the chains by rank. :class:`IKKBZ` turns the sequence into a
+    left-deep plan; :class:`~repro.core.lindp.LinDP` reuses it as a
+    *linearization* for its contiguous-interval DP. The caller is
+    responsible for the tree-shape precondition.
+    """
+    if counters is None:
+        counters = CounterSet()
+    children: list[list[int]] = [[] for _ in range(graph.n_relations)]
+    parent_edge_selectivity = [1.0] * graph.n_relations
+    order = graph.bfs_order(root)
+    placed = {root}
+    for node in order[1:]:
+        for edge in graph.edges_of(node):
+            other = edge.right if edge.left == node else edge.left
+            if other in placed:
+                children[other].append(node)
+                parent_edge_selectivity[node] = edge.selectivity
+                break
+        placed.add(node)
+
+    def chain_below(node: int) -> list[_Module]:
+        """Normalized rank-ascending chain for the subtree below ``node``."""
+        child_chains = []
+        for child in children[node]:
+            counters.inner_counter += 1
+            t = parent_edge_selectivity[child] * estimator.base_cardinality(
+                child
+            )
+            head = _Module([child], t=t, c=t)
+            child_chains.append(_normalize([head] + chain_below(child)))
+        return _merge_by_rank(child_chains)
+
+    sequence = [root]
+    for module in chain_below(root):
+        sequence.extend(module.indices)
+    return sequence
+
+
 class IKKBZ(JoinOrderer):
     """Polynomial-time optimal left-deep planner for acyclic graphs."""
 
@@ -122,37 +186,9 @@ class IKKBZ(JoinOrderer):
     def _order_for_root(
         self,
         graph: QueryGraph,
-        estimator,
+        estimator: CardinalityEstimator,
         root: int,
         counters: CounterSet,
     ) -> list[int]:
         """Optimal relation sequence starting at ``root`` (ASI ranks)."""
-        children: list[list[int]] = [[] for _ in range(graph.n_relations)]
-        parent_edge_selectivity = [1.0] * graph.n_relations
-        order = graph.bfs_order(root)
-        placed = {root}
-        for node in order[1:]:
-            for edge in graph.edges_of(node):
-                other = edge.right if edge.left == node else edge.left
-                if other in placed:
-                    children[other].append(node)
-                    parent_edge_selectivity[node] = edge.selectivity
-                    break
-            placed.add(node)
-
-        def chain_below(node: int) -> list[_Module]:
-            """Normalized rank-ascending chain for the subtree below ``node``."""
-            child_chains = []
-            for child in children[node]:
-                counters.inner_counter += 1
-                t = parent_edge_selectivity[child] * estimator.base_cardinality(
-                    child
-                )
-                head = _Module([child], t=t, c=t)
-                child_chains.append(_normalize([head] + chain_below(child)))
-            return _merge_by_rank(child_chains)
-
-        sequence = [root]
-        for module in chain_below(root):
-            sequence.extend(module.indices)
-        return sequence
+        return ikkbz_order_for_root(graph, estimator, root, counters)

@@ -49,6 +49,7 @@ __all__ = [
     "KBestPlanTable",
     "KBestResult",
     "KBestTracker",
+    "POSTHOC_MAX_RELATIONS",
     "k_best_plans",
     "plan_fingerprint",
 ]
@@ -212,9 +213,11 @@ class KBestResult:
         plans: rank-ordered join trees, rank 1 first; between 1 and k
             entries (small queries may not have k structurally distinct
             plans).
-        capture: how ranks past 1 were obtained — ``"single"`` (k == 1
-            or a one-relation query), ``"inline"`` (in-run capture) or
-            ``"post-hoc"`` (secondary DPccp capture run).
+        capture: how ranks past 1 were obtained — ``"single"`` (k == 1,
+            a one-relation query, or a query too large for the post-hoc
+            pass, see :data:`POSTHOC_MAX_RELATIONS`), ``"inline"``
+            (in-run capture) or ``"post-hoc"`` (secondary DPccp
+            capture run).
     """
 
     result: OptimizationResult = field(repr=False)
@@ -231,6 +234,15 @@ class KBestResult:
 #: the csg-cmp-pairs, so its candidate stream for the root set is the
 #: complete set of (optimal-subplan) top joins.
 _POSTHOC_CAPTURE = "dpccp"
+
+#: Largest query for which the post-hoc capture pass runs. The pass is
+#: a full exact DPccp enumeration — exactly the exponential wall the
+#: escalation ladder routes large queries *around* — so a 100-relation
+#: LinDP query served with ``k_best >= 2`` must not stall in capture.
+#: Beyond this bound ranks 2..k are simply unavailable (``capture ==
+#: "single"``) and the service's degraded path steps down its ladder
+#: instead of serving a retained rank-2 tree.
+POSTHOC_MAX_RELATIONS = 16
 
 
 def k_best_plans(
@@ -292,10 +304,16 @@ def k_best_plans(
     if delegate.kbest_capture:
         result = run(orderer, factory)
         capture = "inline"
-    else:
+    elif graph.n_relations <= POSTHOC_MAX_RELATIONS:
         result = run(orderer, None)
         run(make_algorithm(_POSTHOC_CAPTURE), factory)
         capture = "post-hoc"
+    else:
+        # The capture pass would be an exact enumeration of an instance
+        # the primary algorithm was chosen to avoid enumerating; serve
+        # rank 1 only rather than stall (POSTHOC_MAX_RELATIONS).
+        result = run(orderer, None)
+        return KBestResult(result=result, plans=(result.plan,))
 
     # Rank 1 is the primary run's own plan (the table's tie-breaks,
     # not the tracker's); ranks 2..k are the tracker's remaining

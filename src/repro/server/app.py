@@ -401,6 +401,7 @@ class PlanServer:
             "cache_hit": response.cache_hit,
             "degraded": response.degraded,
             "plan_rank": response.plan_rank,
+            "ladder_rung": response.ladder_rung,
             "fingerprint_key": response.fingerprint_key,
             "elapsed_seconds": response.elapsed_seconds,
             "optimize_seconds": response.optimize_seconds,

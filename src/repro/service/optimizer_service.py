@@ -12,12 +12,18 @@ something a query engine can keep resident and hammer:
   so a burst of cold queries cannot monopolize the caller's thread, and
   concurrent identical misses are **coalesced** into one optimization
   (the cache's stampede guard);
-* every request may carry a **deadline**; when the exact DP cannot
-  answer in time the service *degrades* instead of failing — it runs
-  the configured polynomial fallback (GOO or QuickPick, see
-  :data:`repro.core.FALLBACK_ALGORITHMS`) on the caller's thread,
-  returns its plan flagged ``degraded=True``, and lets the DP finish in
-  the background so the *next* request hits the cache;
+* every request may carry a **deadline**; when the routed algorithm
+  cannot answer in time the service *degrades* instead of failing — by
+  default it steps down the escalation ladder
+  (:meth:`repro.core.adaptive.AdaptiveOptimizer.degradation_path`:
+  a cached rank-2 plan first, then LinDP while the query is small
+  enough, then GOO), runs the chosen rung on the caller's thread,
+  returns its plan flagged ``degraded=True`` with the serving rung in
+  ``ladder_rung``, and lets the routed optimization finish in the
+  background so the *next* request hits the cache. A fixed heuristic
+  (``fallback="goo"``/``"quickpick"``/``"lindp"``, see
+  :data:`repro.core.FALLBACK_ALGORITHMS`) restores the single-rung
+  behaviour;
 * the cache can be **sharded** (``cache_shards``) into independent
   lock domains via :class:`~repro.service.sharding.ShardedPlanCache`,
   so concurrent lookups for distinct fingerprints stop contending on
@@ -109,6 +115,10 @@ class PlanResponse:
             which have no ranked list); ``2`` when a degraded request
             was answered from the retained rank-2 tree instead of the
             fallback heuristic.
+        ladder_rung: which rung of the degradation ladder served a
+            ``degraded`` response — ``"rank-2"`` (retained k-best
+            tree), ``"lindp"``, ``"goo"`` or ``"quickpick"``. ``None``
+            for non-degraded responses.
     """
 
     plan: JoinTree
@@ -120,6 +130,7 @@ class PlanResponse:
     optimize_seconds: float
     error: str | None = None
     plan_rank: int = 1
+    ladder_rung: str | None = None
 
     @property
     def cost(self) -> float:
@@ -152,8 +163,15 @@ class PlanService:
         algorithm: default algorithm registry name (``adaptive`` picks
             DPsub on near-cliques, DPccp elsewhere — the paper's own
             recommendation).
-        fallback: heuristic to run when a deadline expires; one of
-            :data:`repro.core.FALLBACK_ALGORITHMS`.
+        fallback: what answers a request whose deadline expired.
+            ``"ladder"`` (the default) steps down the escalation
+            ladder via
+            :meth:`repro.core.adaptive.AdaptiveOptimizer
+            .degradation_path` — LinDP for exact-routed queries small
+            enough to answer synchronously, GOO beyond; a name from
+            :data:`repro.core.FALLBACK_ALGORITHMS` pins one heuristic
+            instead. Either way a cached rank-2 plan, when retained
+            (``k_best >= 2``), is preferred over recomputing.
         cache_capacity / ttl_seconds: plan cache bounds.
         cache_shards: independent lock domains the cache is split over
             (consistent hashing; see
@@ -204,7 +222,7 @@ class PlanService:
     def __init__(
         self,
         algorithm: str = "adaptive",
-        fallback: str = "goo",
+        fallback: str = "ladder",
         cache_capacity: int = 1024,
         ttl_seconds: float | None = None,
         cache_shards: int = 1,
@@ -224,11 +242,11 @@ class PlanService:
             raise ServiceError(
                 f"unknown algorithm {algorithm!r}; expected one of: {known}"
             )
-        if fallback not in FALLBACK_ALGORITHMS:
+        if fallback != "ladder" and fallback not in FALLBACK_ALGORITHMS:
             known = ", ".join(FALLBACK_ALGORITHMS)
             raise ServiceError(
-                f"fallback must be a deadline-safe heuristic ({known}), "
-                f"got {fallback!r}"
+                f"fallback must be 'ladder' or a deadline-safe heuristic "
+                f"({known}), got {fallback!r}"
             )
         if workers < 1:
             raise ServiceError(f"need at least one worker, got {workers}")
@@ -245,6 +263,11 @@ class PlanService:
         self._algorithm = algorithm
         self._k_best = k_best
         self._fallback = fallback
+        # Routing policy for the "ladder" fallback: which rungs a
+        # degraded request may run synchronously (degradation_path).
+        from repro.core.adaptive import AdaptiveOptimizer
+
+        self._ladder = AdaptiveOptimizer()
         self._default_deadline = default_deadline_seconds
         self._card_digits = card_digits
         self._sel_digits = sel_digits
@@ -669,22 +692,26 @@ class PlanService:
         started: float,
         error: BaseException | None = None,
     ) -> PlanResponse:
-        """Deadline expired or the exact DP failed: answer with the
-        fallback heuristic.
+        """Deadline expired or the routed algorithm failed: step down
+        the ladder.
 
-        Before paying for the heuristic, the service checks whether it
-        already holds a ranked entry for this fingerprint (live under
-        another algorithm's key, or parked in the cache's stale tier
-        after TTL expiry/LRU eviction) with at least two plans — if so
-        it serves that entry's **rank-2 tree** (``plan_rank=2``): an
-        optimal-subplans candidate the DP itself priced, strictly
-        better-informed than a from-scratch greedy pass, and
-        deliberately not the rank-1 champion, which the in-flight
-        recomputation will re-deliver fresh.
+        Before paying for any recomputation, the service checks whether
+        it already holds a ranked entry for this fingerprint (live
+        under another algorithm's key, or parked in the cache's stale
+        tier after TTL expiry/LRU eviction) with at least two plans —
+        if so it serves that entry's **rank-2 tree** (``plan_rank=2``,
+        ``ladder_rung="rank-2"``): an optimal-subplans candidate the DP
+        itself priced, strictly better-informed than a from-scratch
+        heuristic pass, and deliberately not the rank-1 champion, which
+        the in-flight recomputation will re-deliver fresh.
 
-        Otherwise this runs the fallback on the caller's thread (the
-        pool may be what is saturated), against the request's own
-        numbering (no relabeling needed). On deadline expiry the exact
+        Otherwise this runs the degradation rungs on the caller's
+        thread (the pool may be what is saturated), against the
+        request's own numbering (no relabeling needed): with the
+        ``"ladder"`` fallback the rungs come from
+        :meth:`repro.core.adaptive.AdaptiveOptimizer.degradation_path`
+        (LinDP before GOO for exact-routed queries), a pinned fallback
+        is its own single rung. On deadline expiry the routed
         optimization keeps running in the background and lands in the
         cache for future requests; on failure (``error`` given)
         nothing was cached and the response carries the failure
@@ -695,14 +722,32 @@ class PlanService:
         ranked = self._degraded_from_cache(request, fingerprint, started, reason)
         if ranked is not None:
             return ranked
-        with self._obs.span(
-            "service.degrade", fallback=self._fallback
-        ) as span:
-            if span is not None and reason is not None:
-                span.attributes["error"] = reason
-            result = make_algorithm(self._fallback).optimize(
-                request.graph, catalog=request.catalog, instrumentation=self._obs
-            )
+        if self._fallback == "ladder":
+            rungs = self._ladder.degradation_path(request.graph)
+        else:
+            rungs = (self._fallback,)
+        result = None
+        rung = rungs[-1]
+        for candidate in rungs:
+            with self._obs.span("service.degrade", fallback=candidate) as span:
+                if span is not None and reason is not None:
+                    span.attributes["error"] = reason
+                try:
+                    result = make_algorithm(candidate).optimize(
+                        request.graph,
+                        catalog=request.catalog,
+                        instrumentation=self._obs,
+                    )
+                except OptimizerError:
+                    # A rung refusing the instance (defensive; the
+                    # ladder only offers rungs it believes apply) falls
+                    # through to the next one — GOO never refuses a
+                    # connected graph.
+                    continue
+            rung = candidate
+            break
+        assert result is not None
+        self._metrics.counter(f"degraded_rung_{rung}").increment()
         elapsed = time.perf_counter() - started
         self._metrics.histogram("plan_latency").observe(elapsed)
         return PlanResponse(
@@ -714,6 +759,7 @@ class PlanService:
             elapsed_seconds=elapsed,
             optimize_seconds=result.elapsed_seconds,
             error=reason,
+            ladder_rung=rung,
         )
 
     def _degraded_from_cache(
@@ -747,6 +793,7 @@ class PlanService:
             if len(entry.canonical_plans) < 2:
                 continue
             self._metrics.counter("degraded_rank2").increment()
+            self._metrics.counter("degraded_rung_rank-2").increment()
             with self._obs.span(
                 "service.degrade_rank2", freshness=freshness
             ):
@@ -767,6 +814,7 @@ class PlanService:
                 optimize_seconds=entry.optimize_seconds,
                 error=reason,
                 plan_rank=2,
+                ladder_rung="rank-2",
             )
         return None
 
@@ -913,6 +961,11 @@ class PlanService:
         return self._algorithm
 
     @property
+    def fallback(self) -> str:
+        """The degradation policy: ``"ladder"`` or a pinned heuristic."""
+        return self._fallback
+
+    @property
     def metrics(self) -> MetricsRegistry:
         """The service's metrics registry (a view over the obs context)."""
         return self._metrics
@@ -955,6 +1008,13 @@ class PlanService:
             ],
         }
         snapshot["k_best"] = self._k_best
+        snapshot["ladder"] = {
+            "fallback": self._fallback,
+            "degraded_rungs": {
+                rung: self._metrics.counter(f"degraded_rung_{rung}").value
+                for rung in ("rank-2", "lindp", "goo", "quickpick")
+            },
+        }
         pool = self._process_pool
         snapshot["resilience"] = {
             "breaker_state": self._breaker.state,

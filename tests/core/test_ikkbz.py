@@ -9,7 +9,7 @@ import pytest
 from repro import bitset
 from repro.catalog.synthetic import random_catalog
 from repro.core.dpccp import DPccp
-from repro.core.ikkbz import IKKBZ
+from repro.core.ikkbz import IKKBZ, _Module, ikkbz_order_for_root
 from repro.cost.cout import CoutModel
 from repro.errors import OptimizerError
 from repro.graph.generators import (
@@ -90,3 +90,40 @@ class TestIKKBZ:
         graph = chain_graph(2, selectivity=0.5)
         result = IKKBZ().optimize(graph)
         assert result.plan.size == 2
+
+
+class TestZeroCostRank:
+    """Regression: C == 0 modules must order by the sign of T - 1.
+
+    The old code returned -inf for every zero-cost module, letting a
+    free *growing* module (T > 1) jump the queue and mis-linearize
+    plans with free predicates.
+    """
+
+    def test_free_growing_module_ranks_last(self):
+        assert _Module(indices=[0], t=2.0, c=0.0).rank == float("inf")
+
+    def test_free_shrinking_module_ranks_first(self):
+        assert _Module(indices=[0], t=0.5, c=0.0).rank == float("-inf")
+
+    def test_free_neutral_module_is_indifferent(self):
+        assert _Module(indices=[0], t=1.0, c=0.0).rank == 0.0
+
+    def test_finite_rank_unchanged(self):
+        assert _Module(indices=[0], t=3.0, c=4.0).rank == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_orderings_still_optimal_left_deep(self, seed):
+        """The ASI guarantee holds for every root's ordering stream."""
+        rng = random.Random(100 + seed)
+        n = rng.randint(3, 8)
+        graph = random_tree_graph(n, rng)
+        catalog = random_catalog(n, rng)
+        model = CoutModel(graph, catalog)
+        oracle = optimal_left_deep_cost(graph, catalog)
+        result = IKKBZ().optimize(graph, cost_model=CoutModel(graph, catalog))
+        assert result.cost == pytest.approx(oracle)
+        for root in range(n):
+            order = ikkbz_order_for_root(graph, model.estimator, root)
+            assert sorted(order) == list(range(n))
+            assert order[0] == root

@@ -18,6 +18,7 @@ from repro.catalog.synthetic import random_catalog
 from repro.core import make_algorithm
 from repro.core.kbest import (
     MAX_K,
+    POSTHOC_MAX_RELATIONS,
     KBestPlanTable,
     KBestTracker,
     k_best_plans,
@@ -256,3 +257,38 @@ def test_kbest_table_preserves_base_semantics_and_captures() -> None:
 
     with pytest.raises(OptimizerError):
         KBestPlanTable(root_mask=0, tracker=tracker)
+
+
+class TestPostHocGuard:
+    """Post-hoc capture must not re-enumerate ladder-scale queries."""
+
+    def test_small_query_gets_posthoc_ranks(self):
+        rng = random.Random(5)
+        graph = graph_for_topology("chain", 8, rng=rng)
+        catalog = random_catalog(8, rng)
+        outcome = k_best_plans(graph, k=2, algorithm="goo", catalog=catalog)
+        assert outcome.capture == "post-hoc"
+        assert outcome.k_available == 2
+
+    def test_large_query_serves_rank_one_only(self):
+        # One relation past POSTHOC_MAX_RELATIONS: a DPccp capture pass
+        # here is exactly the exponential enumeration the ladder routes
+        # large queries around, so ranks 2..k are declined, not stalled.
+        n = POSTHOC_MAX_RELATIONS + 1
+        rng = random.Random(5)
+        graph = graph_for_topology("chain", n, rng=rng)
+        catalog = random_catalog(n, rng)
+        outcome = k_best_plans(graph, k=2, algorithm="goo", catalog=catalog)
+        assert outcome.capture == "single"
+        assert outcome.k_available == 1
+        assert outcome.plans == (outcome.result.plan,)
+
+    def test_inline_capture_unaffected_by_guard(self):
+        # Capturing enumerators keep their in-run ranks at any size the
+        # primary run itself can afford.
+        rng = random.Random(5)
+        graph = graph_for_topology("chain", 8, rng=rng)
+        catalog = random_catalog(8, rng)
+        outcome = k_best_plans(graph, k=2, algorithm="dpccp", catalog=catalog)
+        assert outcome.capture == "inline"
+        assert outcome.k_available == 2

@@ -1,0 +1,127 @@
+"""Property-based handoff battery for the escalation ladder (hypothesis).
+
+Each rung of the ladder hands queries to the next as n grows; these
+properties pin the contracts at the handoff points:
+
+* IKKBZ (the LinDP linearizer) is exactly the optimal left-deep plan
+  on random acyclic graphs — the ASI guarantee, via the independent
+  :class:`~repro.core.leftdeep.LeftDeepDP` oracle;
+* IDP with a block size covering the whole query degenerates to the
+  exact DP — so the idp rung is a strict generalization, not a
+  different optimum;
+* LinDP is bracketed by the exact optimum below and GOO above on
+  arbitrary connected graphs — the ladder can only improve on its own
+  terminal rung.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.catalog.synthetic import random_catalog
+from repro.core import DPccp, GreedyOperatorOrdering, IterativeDP, LinDP
+from repro.core.ikkbz import IKKBZ
+from repro.core.leftdeep import LeftDeepDP
+from repro.cost.cout import CoutModel
+from repro.graph.generators import (
+    graph_for_topology,
+    random_connected_graph,
+    random_tree_graph,
+)
+from repro.plans.visitors import validate_plan
+
+REL_TOL = 1e-9
+
+
+@st.composite
+def tree_instances(draw, max_n: int = 10):
+    """(graph, catalog) pairs over random acyclic connected graphs."""
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    rng = random.Random(seed)
+    graph = random_tree_graph(n, rng)
+    catalog = random_catalog(n, rng)
+    return graph, catalog
+
+
+@st.composite
+def connected_instances(draw, max_n: int = 8):
+    """(graph, catalog) pairs over arbitrary connected graphs."""
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    extra = draw(st.floats(min_value=0.0, max_value=1.0))
+    rng = random.Random(seed)
+    graph = random_connected_graph(n, rng, extra)
+    catalog = random_catalog(n, rng)
+    return graph, catalog
+
+
+@st.composite
+def paper_instances(draw, max_n: int = 12):
+    """(graph, catalog) pairs over the paper's four topologies."""
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    topology = draw(st.sampled_from(["chain", "star", "cycle", "clique"]))
+    cap = 9 if topology == "clique" else max_n  # exact reference budget
+    n = draw(st.integers(min_value=3, max_value=cap))
+    rng = random.Random(seed)
+    graph = graph_for_topology(topology, n, rng=rng)
+    catalog = random_catalog(n, rng)
+    return graph, catalog
+
+
+class TestLinearizerHandoff:
+    @given(tree_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_ikkbz_is_optimal_left_deep(self, instance):
+        """IKKBZ == LeftDeepDP under C_out on acyclic graphs (ASI)."""
+        graph, catalog = instance
+        ikkbz = IKKBZ().optimize(graph, cost_model=CoutModel(graph, catalog))
+        oracle = LeftDeepDP().optimize(
+            graph, cost_model=CoutModel(graph, catalog)
+        )
+        assert ikkbz.cost == pytest.approx(oracle.cost, rel=REL_TOL)
+
+
+class TestIdpHandoff:
+    @given(connected_instances())
+    @settings(max_examples=25, deadline=None)
+    def test_idp_with_covering_block_is_exact(self, instance):
+        """IDP(k >= n) must equal the exact DP, not approximate it."""
+        graph, catalog = instance
+        idp = IterativeDP(k=graph.n_relations).optimize(
+            graph, cost_model=CoutModel(graph, catalog)
+        )
+        exact = DPccp().optimize(graph, cost_model=CoutModel(graph, catalog))
+        assert idp.cost == pytest.approx(exact.cost, rel=REL_TOL)
+
+
+class TestLinDPBracket:
+    @given(paper_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_lindp_between_exact_and_goo(self, instance):
+        graph, catalog = instance
+        exact = DPccp().optimize(graph, cost_model=CoutModel(graph, catalog))
+        lindp = LinDP().optimize(graph, cost_model=CoutModel(graph, catalog))
+        goo = GreedyOperatorOrdering().optimize(
+            graph, cost_model=CoutModel(graph, catalog)
+        )
+        validate_plan(lindp.plan, graph)
+        assert lindp.cost >= exact.cost / (1 + REL_TOL)
+        assert lindp.cost <= goo.cost * (1 + REL_TOL)
+
+    @given(connected_instances())
+    @settings(max_examples=25, deadline=None)
+    def test_lindp_bracket_on_random_graphs(self, instance):
+        """Same bracket on arbitrary shapes (cyclic fallback included)."""
+        graph, catalog = instance
+        exact = DPccp().optimize(graph, cost_model=CoutModel(graph, catalog))
+        lindp = LinDP().optimize(graph, cost_model=CoutModel(graph, catalog))
+        goo = GreedyOperatorOrdering().optimize(
+            graph, cost_model=CoutModel(graph, catalog)
+        )
+        validate_plan(lindp.plan, graph)
+        assert lindp.cost >= exact.cost / (1 + REL_TOL)
+        assert lindp.cost <= goo.cost * (1 + REL_TOL)

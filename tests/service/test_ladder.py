@@ -1,0 +1,106 @@
+"""Service-side escalation-ladder tests: rung-labelled degradation.
+
+A deadline-expired request must be answered by stepping *down* the
+ladder — cached rank-2, then LinDP (only where the routed rung was
+exact), then GOO — and every degraded response must say which rung
+served it (``PlanResponse.ladder_rung``), so "silently degrade" is
+structurally impossible.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.catalog.synthetic import random_catalog
+from repro.errors import ServiceError
+from repro.graph.generators import chain_graph, star_graph
+from repro.plans.visitors import validate_plan
+from repro.service import PlanService
+
+TINY = 1e-9  # expired before optimization starts
+
+
+def exact_routed_instance(n=13, seed=11):
+    """A star the ladder routes at the exact rung (star ceiling 14)."""
+    rng = random.Random(seed)
+    return star_graph(n, rng=rng), random_catalog(n, rng)
+
+
+def lindp_routed_instance(n=120, seed=11):
+    """A chain routed at the lindp rung (past the chain ceiling 22)."""
+    rng = random.Random(seed)
+    return chain_graph(n, rng=rng), random_catalog(n, rng)
+
+
+class TestLadderDegradation:
+    def test_exact_routed_degrades_to_lindp(self):
+        graph, catalog = exact_routed_instance()
+        with PlanService(workers=1) as service:
+            response = service.plan(graph, catalog, deadline_seconds=TINY)
+        assert response.degraded
+        assert response.ladder_rung == "lindp"
+        assert "LinDP" in response.algorithm
+        assert "(degraded)" in response.algorithm
+        validate_plan(response.plan, graph)
+
+    def test_lindp_routed_skips_to_goo(self):
+        # The routed rung already was lindp: re-running it under a
+        # burnt deadline would repeat the work that just timed out.
+        graph, catalog = lindp_routed_instance()
+        with PlanService(workers=1) as service:
+            response = service.plan(graph, catalog, deadline_seconds=TINY)
+        assert response.degraded
+        assert response.ladder_rung == "goo"
+        assert "GOO" in response.algorithm
+        validate_plan(response.plan, graph)
+
+    def test_undegraded_response_has_no_rung(self):
+        graph, catalog = exact_routed_instance(n=6)
+        with PlanService(workers=1) as service:
+            response = service.plan(graph, catalog)
+        assert not response.degraded
+        assert response.ladder_rung is None
+
+    def test_pinned_fallback_still_works(self):
+        graph, catalog = exact_routed_instance()
+        with PlanService(workers=1, fallback="goo") as service:
+            assert service.fallback == "goo"
+            response = service.plan(graph, catalog, deadline_seconds=TINY)
+        assert response.degraded
+        assert response.ladder_rung == "goo"
+        assert "GOO" in response.algorithm
+
+    def test_unknown_fallback_rejected(self):
+        with pytest.raises(ServiceError):
+            PlanService(fallback="ikkbz")
+
+    def test_degraded_cost_never_below_direct_exact(self):
+        """The rung plan is honest: a real plan for the real query."""
+        graph, catalog = exact_routed_instance(n=10, seed=3)
+        with PlanService(workers=1) as service:
+            degraded = service.plan(graph, catalog, deadline_seconds=TINY)
+        with PlanService(workers=1) as service:
+            exact = service.plan(graph, catalog)
+        assert degraded.cost >= exact.cost / (1 + 1e-9)
+
+
+class TestLadderSnapshot:
+    def test_snapshot_reports_rung_counters(self):
+        graph, catalog = exact_routed_instance()
+        big_graph, big_catalog = lindp_routed_instance()
+        with PlanService(workers=1) as service:
+            service.plan(graph, catalog, deadline_seconds=TINY)
+            service.plan(big_graph, big_catalog, deadline_seconds=TINY)
+            snapshot = service.snapshot()
+        ladder = snapshot["ladder"]
+        assert ladder["fallback"] == "ladder"
+        assert ladder["degraded_rungs"]["lindp"] == 1
+        assert ladder["degraded_rungs"]["goo"] == 1
+        assert ladder["degraded_rungs"]["rank-2"] == 0
+
+    def test_snapshot_reports_pinned_fallback(self):
+        with PlanService(workers=1, fallback="quickpick") as service:
+            snapshot = service.snapshot()
+        assert snapshot["ladder"]["fallback"] == "quickpick"

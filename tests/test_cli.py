@@ -130,6 +130,64 @@ class TestPlanCommand:
         assert "pool spawned: True" in out
         assert "verify    : matches sequential DPsize" in out
 
+    def test_any_registry_algorithm_accepted(self, capsys):
+        # Regression: plan used to accept only dpsize/dpconv while every
+        # other subcommand routed through the full registry.
+        assert main(
+            ["plan", "--topology", "chain", "-n", "30",
+             "--algorithm", "lindp"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "algorithm : LinDP" in out
+        assert "linearization" in out
+
+    def test_exact_engine_verifies(self, capsys):
+        assert main(
+            ["plan", "--topology", "star", "-n", "7",
+             "--algorithm", "dpccp", "--verify"]
+        ) == 0
+        assert "verify    : matches" in capsys.readouterr().out
+
+    def test_pool_flags_reject_non_dpsize(self, capsys):
+        assert main(
+            ["plan", "-n", "6", "--algorithm", "lindp", "--jobs", "2"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "--jobs" in err
+        assert "dpsize" in err
+
+    def test_backend_rejects_non_dpconv(self, capsys):
+        assert main(
+            ["plan", "-n", "6", "--algorithm", "dpccp",
+             "--backend", "python"]
+        ) == 2
+        assert "--backend" in capsys.readouterr().err
+
+    def test_verify_rejects_heuristics(self, capsys):
+        assert main(
+            ["plan", "-n", "6", "--algorithm", "goo", "--verify"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "--verify" in err
+        assert "goo" in err
+
+
+class TestOptimizeRouting:
+    def test_adaptive_prints_routing_decision(self, capsys):
+        assert main(
+            ["optimize", "--topology", "chain", "-n", "30",
+             "--algorithm", "adaptive"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "routing   : chain query, n=30 -> rung 'lindp'" in out
+
+    def test_non_adaptive_prints_no_routing(self, capsys):
+        assert main(
+            ["optimize", "--topology", "chain", "-n", "6",
+             "--algorithm", "dpccp"]
+        ) == 0
+        assert "routing" not in capsys.readouterr().out
+
 
 class TestServiceCommands:
     def test_serve_batch_defaults(self):
@@ -137,6 +195,14 @@ class TestServiceCommands:
         assert args.topology == "star"
         assert args.requests == 200
         assert args.repeat_ratio == 0.7
+        assert args.fallback == "ladder"
+
+    def test_fallback_choices(self):
+        args = build_parser().parse_args(["serve-batch", "--fallback", "goo"])
+        assert args.fallback == "goo"
+        assert build_parser().parse_args(["serve"]).fallback == "ladder"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-batch", "--fallback", "ikkbz"])
         assert args.jobs is None
         assert args.concurrency is None
 
